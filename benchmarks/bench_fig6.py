@@ -1,0 +1,61 @@
+"""Fig. 6 — density buckets, network growth, query-time labels."""
+
+import pytest
+
+from repro.core import Arrival
+from repro.datasets import dblp_like, dblp_predicates
+from repro.experiments import fig6
+from repro.queries import WorkloadGenerator
+
+from conftest import emit, n_queries, scaled
+
+
+@pytest.fixture(scope="module")
+def tables():
+    buckets = fig6.run_density_buckets(
+        scale=scaled(0.2), n_queries=n_queries(5), seed=23
+    )
+    emit(buckets, "fig6_buckets")
+    growth = fig6.run_network_growth(
+        scale=scaled(0.3), n_queries=n_queries(5), seed=29
+    )
+    emit(growth, "fig6_growth")
+    qtl = fig6.run_query_time_labels(
+        n_nodes=round(scaled(400)), n_queries=n_queries(8), seed=31
+    )
+    emit(qtl, "fig6_query_time_labels")
+    return buckets, growth, qtl
+
+
+def test_query_time_label_recall(tables):
+    _, _, qtl = tables
+    for recall in qtl.column("Recall"):
+        if recall is not None:
+            assert recall >= 0.4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = dblp_like(n_nodes=400, seed=31)
+    registry, _ = dblp_predicates(seed=31)
+    predicates = [registry[name] for name in registry.names()]
+    generator = WorkloadGenerator(graph, seed=31)
+    engine = Arrival(graph, walk_length=12, num_walks=80, seed=1)
+    return generator, engine, predicates, registry
+
+
+def test_static_label_query(benchmark, tables, setup):
+    generator, engine, _, _ = setup
+    query = generator.sample_query(positive_bias=0.5)
+    benchmark(engine.query, query)
+
+
+def test_query_time_label_query(benchmark, tables, setup):
+    generator, engine, predicates, registry = setup
+    query = generator.sample_query(
+        symbols=predicates,
+        predicates=registry,
+        n_labels_range=(2, 3),
+        positive_bias=0.5,
+    )
+    benchmark(engine.query, query)

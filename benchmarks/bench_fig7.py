@@ -1,0 +1,73 @@
+"""Fig. 7 — negation, distance bounds, and the K-sweeps."""
+
+import pytest
+
+from repro.core import Arrival
+from repro.datasets import dblp_like
+from repro.experiments import fig7
+from repro.queries import WorkloadGenerator
+
+from conftest import emit, n_queries, scaled
+
+
+@pytest.fixture(scope="module")
+def tables():
+    negation = fig7.run_negation(
+        scale=scaled(0.2), n_queries=n_queries(5), seed=37
+    )
+    emit(negation, "fig7_negation")
+    distance = fig7.run_distance_bounds(
+        scale=scaled(0.2), n_queries=n_queries(5), seed=41
+    )
+    emit(distance, "fig7_distance_bounds")
+    num_walks = fig7.run_num_walks_sweep(
+        scale=scaled(0.25), n_queries=n_queries(8), seed=43
+    )
+    emit(num_walks, "fig7_num_walks_sweep")
+    walk_length = fig7.run_walk_length_sweep(
+        scale=scaled(0.25), n_queries=n_queries(8), seed=47
+    )
+    emit(walk_length, "fig7_walk_length_sweep")
+    return negation, distance, num_walks, walk_length
+
+
+def test_negation_recall_near_one(tables):
+    negation = tables[0]
+    for recall in negation.column("Recall"):
+        if recall is not None:
+            assert recall >= 0.6  # the paper observes ~1
+
+
+def test_walk_length_sweep_recall_monotone_ish(tables):
+    sweep = tables[3]
+    # recall at the largest K must not be below recall at the smallest
+    by_dataset = {}
+    for row in sweep.rows:
+        dataset, k, recall = row[0], row[1], row[2]
+        if recall is not None:
+            by_dataset.setdefault(dataset, []).append((k, recall))
+    for points in by_dataset.values():
+        points.sort()
+        if len(points) >= 2:
+            assert points[-1][1] >= points[0][1]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = dblp_like(n_nodes=400, seed=37)
+    generator = WorkloadGenerator(graph, seed=37)
+    return graph, generator
+
+
+def test_negated_query(benchmark, tables, setup):
+    graph, generator = setup
+    engine = Arrival(graph, walk_length=12, num_walks=80, seed=1)
+    query = generator.sample_query(negate=True, n_labels_range=(2, 4))
+    benchmark(engine.query, query)
+
+
+def test_distance_bounded_query(benchmark, tables, setup):
+    graph, generator = setup
+    engine = Arrival(graph, walk_length=12, num_walks=80, seed=1)
+    query = generator.sample_query(distance_bound=6, positive_bias=0.5)
+    benchmark(engine.query, query)

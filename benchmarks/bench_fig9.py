@@ -1,0 +1,29 @@
+"""Fig. 9 — label-frequency distributions."""
+
+import pytest
+
+from repro.datasets import freebase_like
+from repro.experiments import fig9
+from repro.graph.stats import label_frequency_distribution
+
+from conftest import emit, scaled
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = fig9.run(scale=scaled(0.5), seed=53)
+    emit(result, "fig9")
+    return result
+
+
+def test_distributions_are_heavy_tailed(table):
+    # every dataset has more rare labels than very frequent ones
+    for row in table.rows:
+        counts = row[1:]
+        assert sum(counts[:2]) >= counts[-2] - 1 or counts[-1] == 0
+
+
+def test_label_frequency_computation(benchmark, table):
+    graph = freebase_like(n_nodes=900, seed=53)
+    frequencies = benchmark(label_frequency_distribution, graph)
+    assert frequencies

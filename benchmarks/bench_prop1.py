@@ -1,0 +1,35 @@
+"""Proposition 1 — walk-overlap probability vs the theoretical bound."""
+
+import pytest
+
+from repro.core.unlabeled import UnlabeledWalkReachability
+from repro.experiments import prop1
+
+from conftest import emit, scaled
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = prop1.run(
+        n_nodes=round(scaled(400)), extra_edges=round(scaled(1200)),
+        n_trials=15, seed=61,
+    )
+    emit(result, "prop1")
+    return result
+
+
+def test_bound_holds_at_full_budget(table):
+    full_budget_row = [row for row in table.rows if row[0] == 1.0]
+    if full_budget_row:
+        _, _, probability, bound = full_budget_row[0]
+        # empirical estimate from n_trials samples; allow slack
+        assert probability >= bound - 0.15
+
+
+def test_unlabeled_walk_query(benchmark, table):
+    graph = prop1.strongly_connected_random_graph(300, 900, seed=3)
+    engine = UnlabeledWalkReachability(
+        graph, walk_length=12, num_walks=120, seed=1
+    )
+    result = benchmark(engine.query, 0, 7)
+    assert result.reachable  # strongly connected

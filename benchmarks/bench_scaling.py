@@ -1,0 +1,44 @@
+"""Scalability study — ARRIVAL alone at sizes the oracle cannot reach."""
+
+import pytest
+
+from repro.experiments import scaling
+
+from conftest import emit, n_queries, scaled
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = scaling.run(
+        sizes=tuple(round(scaled(s)) for s in (400, 800, 1600, 3200)),
+        n_queries=n_queries(20),
+        seed=67,
+    )
+    emit(result, "scaling")
+    return result
+
+
+def test_time_growth_is_sublinear_per_node(table):
+    """Quadrupling |V| must not quadruple per-query time: the complexity
+    is driven by walkLength x numWalks, with numWalks ~ n^(2/3)."""
+    sizes = table.column("|V|")
+    times = table.column("Mean ms")
+    if times[0] > 0:
+        size_ratio = sizes[-1] / sizes[0]
+        time_ratio = times[-1] / max(times[0], 1e-9)
+        assert time_ratio < 3 * size_ratio  # generous slack for noise
+
+
+def test_budget_never_exceeded(table):
+    for used in table.column("Budget used"):
+        # a query makes at most ~walkLength x numWalks jumps (plus the
+        # per-walk bookkeeping step), so utilisation stays ~<= 1
+        assert used <= 1.2
+
+
+def test_scaling_run(benchmark, table):
+    result = benchmark.pedantic(
+        lambda: scaling.run(sizes=(300,), n_queries=5, seed=67),
+        rounds=3, iterations=1,
+    )
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Table 1 — capability matrix (probed live) + probe cost."""
+
+import pytest
+
+from repro.experiments import table1
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def table(request):
+    result = table1.run()
+    emit(result, "table1")
+    return result
+
+
+def test_table1_probe(benchmark, table):
+    result = benchmark(table1.run)
+    assert len(result.rows) == 7

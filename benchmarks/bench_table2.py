@@ -1,0 +1,24 @@
+"""Table 2 — dataset statistics + generator cost."""
+
+import pytest
+
+from repro.datasets import gplus_like
+from repro.experiments import table2
+
+from conftest import emit, scaled
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = table2.run(scale=scaled(0.5), seed=0)
+    emit(result, "table2")
+    return result
+
+
+def test_table2_rows(table):
+    assert len(table.rows) == 5
+
+
+def test_dataset_generation(benchmark, table):
+    graph = benchmark(gplus_like, n_nodes=600, seed=0)
+    assert graph.num_nodes == 600

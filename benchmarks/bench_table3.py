@@ -1,0 +1,62 @@
+"""Table 3 — recall + running times of ARRIVAL / RL / BBFS.
+
+The micro-benchmarks time one representative query per engine on the
+GPlus-like graph so the per-engine cost ordering (ARRIVAL fastest of
+the full-regex engines, BBFS slowest) is measured independently of the
+table's averaged workload.
+"""
+
+import pytest
+
+from repro.baselines import BBFSEngine, RareLabelsEngine
+from repro.core import Arrival
+from repro.core.parameters import estimate_walk_length, recommended_num_walks
+from repro.datasets import gplus_like
+from repro.experiments import table3
+from repro.queries import WorkloadGenerator
+
+from conftest import emit, n_queries, scaled
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = table3.run(scale=scaled(0.3), n_queries=n_queries(12), seed=7)
+    emit(result, "table3")
+    return result
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = gplus_like(n_nodes=400, seed=7)
+    generator = WorkloadGenerator(graph, seed=7)
+    query = generator.sample_query(positive_bias=1.0)
+    walk_length = estimate_walk_length(graph, seed=7)
+    num_walks = recommended_num_walks(graph.num_nodes)
+    return graph, query, walk_length, num_walks
+
+
+def test_table3_recall_band(table):
+    recalls = [value for value in table.column("Recall") if value is not None]
+    assert recalls, "no dataset produced positive queries"
+    # the paper reports >= 0.86 on every dataset
+    assert min(recalls) >= 0.5
+
+
+def test_arrival_query(benchmark, table, setup):
+    graph, query, walk_length, num_walks = setup
+    engine = Arrival(
+        graph, walk_length=walk_length, num_walks=num_walks, seed=1
+    )
+    benchmark(engine.query, query)
+
+
+def test_rl_query(benchmark, table, setup):
+    graph, query, _, _ = setup
+    engine = RareLabelsEngine(graph)
+    benchmark(engine.query, query)
+
+
+def test_bbfs_query(benchmark, table, setup):
+    graph, query, _, _ = setup
+    engine = BBFSEngine(graph, max_expansions=50_000, time_budget=2.0)
+    benchmark.pedantic(engine.query, args=(query,), rounds=3, iterations=1)

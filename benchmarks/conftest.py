@@ -1,0 +1,41 @@
+"""Benchmark-suite configuration.
+
+Every bench module regenerates its paper table/figure once (module
+fixture) — printing it and writing it under ``benchmarks/results/`` —
+and then micro-benchmarks the operation the table's numbers hinge on
+with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs: the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_QUERIES``
+environment variables multiply dataset sizes and workload lengths
+(default 1.0 / as coded) for slower, tighter runs.
+"""
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_QUERIES = float(os.environ.get("REPRO_BENCH_QUERIES", "1.0"))
+
+
+def scaled(value: float) -> float:
+    """Dataset scale adjusted by the environment knob."""
+    return value * BENCH_SCALE
+
+
+def n_queries(value: int) -> int:
+    """Workload length adjusted by the environment knob."""
+    return max(2, round(value * BENCH_QUERIES))
+
+
+def emit(result, name: str) -> None:
+    """Print an ExperimentResult and persist it under results/."""
+    text = result.render()
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

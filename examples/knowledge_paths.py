@@ -1,0 +1,60 @@
+"""Regular path queries on a knowledge graph (Freebase-like).
+
+Demonstrates the three Sec. 2.1 query families on a graph labeled on
+both nodes and edges — the setting where a path's label sequence
+interleaves entity types and relation names — and compares ARRIVAL with
+the RL baseline, whose answers follow *arbitrary-path* semantics (it
+may return a witness that revisits entities).
+
+Run with::
+
+    python examples/knowledge_paths.py
+"""
+
+from repro import Arrival, BBFSEngine, RareLabelsEngine
+from repro.datasets import freebase_like
+from repro.queries import WorkloadGenerator
+
+
+def main():
+    graph = freebase_like(n_nodes=900, seed=5)
+    print(f"knowledge graph: {graph}")
+    print(f"label alphabet: {len(graph.label_alphabet())} "
+          f"(entity types + relations)\n")
+
+    generator = WorkloadGenerator(graph, seed=9)
+    arrival = Arrival(graph, seed=1)
+    rare_labels = RareLabelsEngine(graph)
+    exact = BBFSEngine(graph, max_expansions=200_000, time_budget=5.0)
+
+    names = {1: "label-set restricted", 2: "repeated sequence",
+             3: "concatenated chains"}
+    for query_type in (1, 2, 3):
+        print(f"--- query type {query_type} ({names[query_type]}) ---")
+        hits = 0
+        for _ in range(8):
+            query = generator.sample_query(
+                query_types=(query_type,), positive_bias=0.7
+            )
+            ours = arrival.query(query)
+            theirs = rare_labels.query(query)
+            if ours.reachable:
+                hits += 1
+                # ARRIVAL's positives are certain: confirm with BBFS
+                assert exact.query(query).reachable
+            if theirs.reachable and theirs.path_is_simple is False:
+                print(f"  RL found only a NON-simple witness for "
+                      f"{query.regex_text!r} — ARRIVAL answered "
+                      f"{ours.reachable} under simple-path semantics")
+        print(f"  {hits}/8 queries answered reachable by ARRIVAL\n")
+
+    # the rare-label shortcut: a regex mentioning a label absent from
+    # the graph is refuted in O(1)
+    impossible = rare_labels.query(0, 1, "type:c0 rel:unobtainium type:c0")
+    print(f"rare-label shortcut fired: {impossible.info.get('shortcut')}")
+    assert not impossible.reachable
+    print("\nknowledge_paths OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments without the ``wheel`` package:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""ARRIVAL — approximate regular simple path queries on labeled graphs.
+
+A faithful, pure-Python reproduction of Wadhwa et al., *Efficiently
+Answering Regular Simple Path Queries on Large Labeled Networks*
+(SIGMOD 2019): the ARRIVAL bidirectional random-walk engine, the exact
+baselines it is evaluated against (BFS, BBFS, the LI landmark index and
+the RL rare-labels search), the regex/automaton machinery they share,
+synthetic stand-ins for the paper's five datasets, and runners for every
+table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import LabeledGraph, Arrival
+
+    graph = LabeledGraph(directed=True)
+    alice = graph.add_node({"person"})
+    bob = graph.add_node({"person"})
+    graph.add_edge(alice, bob, {"follows"})
+
+    engine = Arrival(graph, seed=7)
+    result = engine.query(alice, bob, "follows+")
+    print(result.reachable, result.path)
+"""
+
+from repro.core.arrival import Arrival
+from repro.core.enumeration import (
+    enumerate_compatible_paths,
+    sample_compatible_paths,
+)
+from repro.core.result import QueryResult
+from repro.core.router import AutoEngine
+from repro.core.unlabeled import UnlabeledWalkReachability
+from repro.baselines.bfs import BFSEngine
+from repro.baselines.fan import FanEngine
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.label_closure import LabelClosureIndex
+from repro.baselines.landmark import LandmarkIndex
+from repro.baselines.rare_labels import RareLabelsEngine
+from repro.errors import (
+    GraphError,
+    IndexBuildError,
+    QueryError,
+    RegexSyntaxError,
+    ReproError,
+    TimeBudgetExceeded,
+    UnsupportedQueryError,
+    UnsupportedRegexError,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.temporal import TemporalGraph
+from repro.labels import Predicate, PredicateRegistry
+from repro.queries.query import RSPQuery
+from repro.queries.io import load_workload, save_workload
+from repro.queries.workload import WorkloadGenerator
+from repro.regex.compiler import CompiledRegex, compile_regex
+from repro.regex.parser import parse_regex
+from repro.regex.sparql import translate_property_path
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Arrival",
+    "AutoEngine",
+    "UnlabeledWalkReachability",
+    "enumerate_compatible_paths",
+    "sample_compatible_paths",
+    "QueryResult",
+    "BFSEngine",
+    "FanEngine",
+    "BBFSEngine",
+    "LandmarkIndex",
+    "LabelClosureIndex",
+    "RareLabelsEngine",
+    "LabeledGraph",
+    "GraphBuilder",
+    "TemporalGraph",
+    "Predicate",
+    "PredicateRegistry",
+    "RSPQuery",
+    "WorkloadGenerator",
+    "save_workload",
+    "load_workload",
+    "CompiledRegex",
+    "compile_regex",
+    "parse_regex",
+    "translate_property_path",
+    "ReproError",
+    "RegexSyntaxError",
+    "UnsupportedRegexError",
+    "GraphError",
+    "QueryError",
+    "UnsupportedQueryError",
+    "IndexBuildError",
+    "TimeBudgetExceeded",
+    "__version__",
+]

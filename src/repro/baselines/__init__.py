@@ -1,0 +1,38 @@
+"""Baseline engines the paper compares ARRIVAL against.
+
+* :class:`~repro.baselines.bfs.BFSEngine` — Algorithm 1's exhaustive
+  simple-path BFS.
+* :class:`~repro.baselines.bbfs.BBFSEngine` — bidirectional BFS with
+  automaton state maintenance; the paper's ground-truth baseline.
+* :class:`~repro.baselines.landmark.LandmarkIndex` — LI (Valstar et al.
+  2017), an LCR landmark index supporting only query type 1.
+* :class:`~repro.baselines.label_closure.LabelClosureIndex` — Zou et
+  al. (2014), a full label-constrained transitive closure with
+  incremental edge insertion (the Table 1 "dynamic" LCR technique).
+* :class:`~repro.baselines.rare_labels.RareLabelsEngine` — RL
+  (Koschmieder & Leser 2012), index-free full-regex search without the
+  simple-path guarantee.
+* :class:`~repro.baselines.fan.FanEngine` — Fan et al. (2011), the
+  restricted single-label-block fragment (Table 1's "partially" row),
+  polynomial under arbitrary-path semantics.
+* :mod:`~repro.baselines.product_bfs` — the (node x automaton-state)
+  product-graph search underpinning RL and the experiment oracle.
+"""
+
+from repro.baselines.bfs import BFSEngine
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.fan import FanEngine
+from repro.baselines.label_closure import LabelClosureIndex
+from repro.baselines.landmark import LandmarkIndex
+from repro.baselines.rare_labels import RareLabelsEngine
+from repro.baselines.product_bfs import product_reachability
+
+__all__ = [
+    "BFSEngine",
+    "BBFSEngine",
+    "FanEngine",
+    "LandmarkIndex",
+    "LabelClosureIndex",
+    "RareLabelsEngine",
+    "product_reachability",
+]

@@ -1,0 +1,143 @@
+"""Algorithm 1: exhaustive simple-path BFS.
+
+The simplest exact strategy: expand every simple, potentially compatible
+path from the source one edge at a time in breadth-first order until a
+compatible path reaches the target or the space is exhausted.  Unlike a
+plain BFS, *all* simple potentially-compatible paths are explored (not
+just shortest ones), which is why the worst case is exponential
+(Theorem 1) — the budget parameters exist so experiments can abandon
+runaway searches the way the paper abandons minute-long BBFS runs.
+
+A faithful detail from the pseudocode: a partial path that has reached
+the target but is not (yet) compatible is *dropped*, not expanded — any
+accepting path ends at the target, and a simple path cannot revisit it,
+so extending such a path can never produce an answer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Optional
+
+from repro.core.result import QueryResult
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import RegexLike, compile_regex
+from repro.regex.matcher import ForwardTracker, resolve_elements
+
+
+class BFSEngine:
+    """Exhaustive simple-path BFS (Algorithm 1)."""
+
+    name = "BFS"
+    supports_full_regex = True
+    supports_query_time_labels = True
+    supports_dynamic = True
+    index_free = True
+    enforces_simple_paths = True
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        *,
+        elements: Optional[str] = None,
+        max_expansions: Optional[int] = 1_000_000,
+        time_budget: Optional[float] = None,
+        negation_mode: str = "paper",
+    ):
+        self.graph = graph
+        self.elements = resolve_elements(graph, elements)
+        self.max_expansions = max_expansions
+        self.time_budget = time_budget
+        self.negation_mode = negation_mode
+        self._compiled_cache: dict = {}
+
+    def compile(self, regex: RegexLike, predicates=None):
+        """Compile (and memoise) a regex for this engine."""
+        key = (str(regex), self.negation_mode)
+        if key not in self._compiled_cache:
+            self._compiled_cache[key] = compile_regex(
+                regex, predicates, self.negation_mode
+            )
+        return self._compiled_cache[key]
+
+    def query(
+        self,
+        source,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+        *,
+        predicates=None,
+        distance_bound: Optional[int] = None,
+        min_distance: Optional[int] = None,
+    ) -> QueryResult:
+        """Exact RSPQ answer (subject to the expansion/time budgets)."""
+        if target is None and regex is None:
+            query = source
+            source, target, regex = query.source, query.target, query.regex
+            predicates = query.predicates if predicates is None else predicates
+            if distance_bound is None:
+                distance_bound = query.distance_bound
+            if min_distance is None:
+                min_distance = query.min_distance
+        if not self.graph.is_alive(source):
+            raise QueryError(f"source node {source} does not exist")
+        if not self.graph.is_alive(target):
+            raise QueryError(f"target node {target} does not exist")
+        compiled = self.compile(regex, predicates)
+        tracker = ForwardTracker(compiled, self.graph, self.elements)
+
+        deadline = (
+            time.perf_counter() + self.time_budget if self.time_budget else None
+        )
+        start_states = tracker.start(source)
+        expansions = 0
+        truncated = False
+        queue = deque()
+        if start_states:
+            queue.append(((source,), frozenset([source]), start_states))
+        # s == t: the one-node path is checked like any dequeued path
+        while queue:
+            expansions += 1
+            if self.max_expansions is not None and expansions > self.max_expansions:
+                truncated = True
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                truncated = True
+                break
+            path, path_set, states = queue.popleft()
+            node = path[-1]
+            if node == target:
+                too_short = (
+                    min_distance is not None
+                    and len(path) - 1 < min_distance
+                )
+                if tracker.is_accepting(states) and not too_short:
+                    return QueryResult(
+                        reachable=True,
+                        path=list(path),
+                        method=self.name,
+                        exact=True,
+                        path_is_simple=True,
+                        expansions=expansions,
+                    )
+                continue  # reached target incompatibly: drop (see module doc)
+            if distance_bound is not None and len(path) - 1 >= distance_bound:
+                continue
+            for neighbor in self.graph.out_neighbors(node):
+                if neighbor in path_set:
+                    continue  # simplicity
+                next_states = tracker.extend(states, node, neighbor)
+                if next_states:  # potential compatibility
+                    queue.append(
+                        (path + (neighbor,), path_set | {neighbor}, next_states)
+                    )
+
+        return QueryResult(
+            reachable=False,
+            method=self.name,
+            exact=not truncated,
+            timed_out=truncated,
+            expansions=expansions,
+        )

@@ -1,0 +1,110 @@
+"""Fan et al. (2011)-style restricted-regex reachability.
+
+"Adding regular expressions to graph reachability and pattern queries"
+supports a deliberately *restricted* regex fragment chosen to keep
+evaluation polynomial — the "✓ (partially)" row of Table 1.  The
+fragment here mirrors their edge-constraint language: a **concatenation
+of single-label blocks**, each block one of
+
+    l        exactly one l-edge
+    l{m,n}   between m and n consecutive l-elements (bounded recursion)
+    l+ / l*  unbounded repetition of one label
+    l?       optional single label
+
+Alternation between *different* labels, nesting, negation and
+query-time labels are outside the fragment and raise
+:class:`~repro.errors.UnsupportedQueryError`.  Because every block
+constrains a run of a single label, evaluation is polynomial under
+arbitrary-path semantics — the engine answers through the
+(node x automaton-state) product search, like RL, and therefore also
+does not guarantee simple witnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.product_bfs import product_reachability
+from repro.core.result import QueryResult
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.ast_nodes import (
+    Concat,
+    Literal,
+    Optional as OptionalNode,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.compiler import CompiledRegex, RegexLike, compile_regex
+from repro.regex.matcher import resolve_elements
+
+
+def in_fan_fragment(ast: Regex) -> bool:
+    """Is ``ast`` a concatenation of single-literal blocks?"""
+    parts = ast.parts if isinstance(ast, Concat) else (ast,)
+    for part in parts:
+        if isinstance(part, (Star, Plus, OptionalNode, Repeat)):
+            part = part.inner
+        if not (isinstance(part, Literal) and isinstance(part.symbol, str)):
+            return False
+    return True
+
+
+class FanEngine:
+    """Restricted-fragment reachability (arbitrary-path semantics)."""
+
+    name = "FAN"
+    supports_full_regex = False  # the Table 1 "partially" row
+    supports_query_time_labels = False
+    supports_dynamic = True  # index-free within its fragment
+    index_free = True
+    enforces_simple_paths = False
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        *,
+        elements: Optional[str] = None,
+        max_visits: Optional[int] = None,
+    ):
+        self.graph = graph
+        self.elements = resolve_elements(graph, elements)
+        self.max_visits = max_visits
+        self._compiled_cache: dict = {}
+
+    def compile(self, regex: RegexLike, predicates=None) -> CompiledRegex:
+        """Compile after validating the fragment restriction."""
+        compiled = compile_regex(regex, predicates)
+        if not in_fan_fragment(compiled.ast):
+            raise UnsupportedQueryError(
+                "Fan et al. supports only concatenations of single-label "
+                f"blocks (l, l?, l+, l*, l{{m,n}}); got {compiled.source!r}"
+            )
+        return compiled
+
+    def query(
+        self,
+        source,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+        *,
+        predicates=None,
+    ) -> QueryResult:
+        """Exact arbitrary-path answer within the supported fragment."""
+        if target is None and regex is None:
+            query = source
+            source, target, regex = query.source, query.target, query.regex
+            predicates = query.predicates if predicates is None else predicates
+        if not self.graph.is_alive(source):
+            raise QueryError(f"source node {source} does not exist")
+        if not self.graph.is_alive(target):
+            raise QueryError(f"target node {target} does not exist")
+        compiled = self.compile(regex, predicates)
+        result = product_reachability(
+            self.graph, source, target, compiled, self.elements,
+            max_visits=self.max_visits,
+        )
+        result.method = self.name
+        return result

@@ -1,0 +1,233 @@
+"""Zou et al. (2014)-style label-constrained transitive closure.
+
+The third LCR technique in the paper's Table 1: like LI it only supports
+query type 1 and its cost grows exponentially with the label alphabet,
+but unlike LI it handles **dynamic networks** — the closure is updated
+incrementally on edge insertion instead of being rebuilt.
+
+The index stores, per source node, the antichain of *minimal label sets*
+under which each other node is reachable (the same lattice structure as
+:mod:`repro.baselines.landmark`, without the landmark restriction — a
+full closure).  Queries are then a pure O(answer) lookup: ``(s, t, L')``
+is reachable iff some stored minimal set for ``(s, t)`` is a subset of
+``L'``.  That is the Zou et al. trade: the fastest possible query against
+the heaviest index (O(n²) entries before label-set blow-up), which is
+why the paper reports it crashing beyond a handful of labels.
+
+Incremental maintenance: inserting an edge (and label updates) seeds a
+worklist with the new fact and propagates minimal sets backwards, the
+standard semi-naive closure update.  Deletions are not incremental (they
+would need full recomputation — the classic weakness of closure-based
+indexes) and raise, so callers fall back to a rebuild; this asymmetry is
+itself faithful to the technique.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.result import QueryResult
+from repro.errors import IndexBuildError, QueryError, UnsupportedQueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import RegexLike, compile_regex
+from repro.regex.matcher import resolve_elements
+
+Antichain = List[FrozenSet[str]]
+
+_SET_OVERHEAD_BYTES = 64
+_LABEL_REF_BYTES = 8
+_ENTRY_OVERHEAD_BYTES = 48
+
+
+class LabelClosureIndex:
+    """Full label-constrained transitive closure (query type 1 only)."""
+
+    name = "ZOU"
+    supports_full_regex = False
+    supports_query_time_labels = False
+    supports_dynamic = True  # incremental edge/label insertion
+    index_free = False
+    enforces_simple_paths = True  # LCR: subset-closed
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        *,
+        elements: Optional[str] = None,
+        memory_budget_bytes: Optional[int] = None,
+        build: bool = True,
+    ):
+        self.graph = graph
+        self.elements = resolve_elements(graph, elements)
+        self._consume_nodes = self.elements in ("nodes", "both")
+        self._consume_edges = self.elements in ("edges", "both")
+        self.memory_budget_bytes = memory_budget_bytes
+        #: reach[u][v] = antichain of minimal label sets for u ->* v
+        self._reach: Dict[int, Dict[int, Antichain]] = {}
+        self._memory_bytes = 0
+        self.built = False
+        if build:
+            self.build()
+
+    # ------------------------------------------------------------------
+    # construction and maintenance
+    # ------------------------------------------------------------------
+    def _node_choices(self, node: int) -> List[FrozenSet[str]]:
+        if not self._consume_nodes:
+            return [frozenset()]
+        return [frozenset((label,)) for label in self.graph.node_labels(node)]
+
+    def _edge_choices(self, u: int, v: int) -> List[FrozenSet[str]]:
+        if not self._consume_edges:
+            return [frozenset()]
+        return [frozenset((label,)) for label in self.graph.edge_labels(u, v)]
+
+    def build(self) -> None:
+        """Compute the closure from scratch."""
+        self._reach = {}
+        self._memory_bytes = 0
+        for node in self.graph.nodes():
+            # the trivial path: a node reaches itself consuming its own
+            # symbol (or nothing on edge-only graphs)
+            for choice in self._node_choices(node):
+                self._insert(node, node, choice)
+        # propagate each self-fact across incoming edges until fixpoint
+        pending = deque((node, node) for node in self.graph.nodes())
+        while pending:
+            mid, dst = pending.popleft()
+            for fact_set in list(self._reach.get(mid, {}).get(dst, [])):
+                for change in self._relax_into(mid, dst, fact_set):
+                    pending.append(change)
+        self.built = True
+
+    def _relax_into(self, mid: int, dst: int, fact_set: FrozenSet[str]):
+        """Extend the fact ``mid ->* dst under fact_set`` across every
+        edge ``u -> mid``; yields (u, dst) for newly improved entries."""
+        changed = []
+        for u in self.graph.in_neighbors(mid):
+            edge_choices = self._edge_choices(u, mid)
+            node_choices = self._node_choices(u)
+            if not edge_choices or not node_choices:
+                continue
+            for edge_choice in edge_choices:
+                for node_choice in node_choices:
+                    candidate = fact_set | edge_choice | node_choice
+                    if self._insert(u, dst, candidate):
+                        changed.append((u, dst))
+        return changed
+
+    def _insert(self, src: int, dst: int, candidate: FrozenSet[str]) -> bool:
+        antichain = self._reach.setdefault(src, {}).setdefault(dst, [])
+        for existing in antichain:
+            if existing <= candidate:
+                return False
+        removed = [s for s in antichain if candidate < s]
+        for s in removed:
+            antichain.remove(s)
+            self._account(-len(s), -1)
+        antichain.append(candidate)
+        self._account(len(candidate), 1)
+        return True
+
+    def _account(self, label_refs: int, sets: int) -> None:
+        self._memory_bytes += (
+            label_refs * _LABEL_REF_BYTES
+            + sets * (_SET_OVERHEAD_BYTES + _ENTRY_OVERHEAD_BYTES)
+        )
+        if (
+            self.memory_budget_bytes is not None
+            and self._memory_bytes > self.memory_budget_bytes
+        ):
+            raise IndexBuildError(
+                f"label-closure index exceeded its memory budget "
+                f"({self._memory_bytes} > {self.memory_budget_bytes} bytes)"
+            )
+
+    def memory_bytes(self) -> int:
+        """Analytic index size (the exponential-growth metric)."""
+        return self._memory_bytes
+
+    # ------------------------------------------------------------------
+    # dynamic updates
+    # ------------------------------------------------------------------
+    def notify_edge_added(self, u: int, v: int) -> None:
+        """Incrementally fold a just-inserted edge into the closure.
+
+        Call *after* ``graph.add_edge(u, v, ...)``.  Every fact
+        ``v ->* dst`` is re-relaxed through the new edge and changes
+        propagate backwards as usual.
+        """
+        if not self.built:
+            raise IndexBuildError("index has not been built")
+        pending = deque()
+        for dst, antichain in self._reach.get(v, {}).items():
+            for fact_set in list(antichain):
+                # relax only across the new edge first
+                for edge_choice in self._edge_choices(u, v):
+                    for node_choice in self._node_choices(u):
+                        candidate = fact_set | edge_choice | node_choice
+                        if self._insert(u, dst, candidate):
+                            pending.append((u, dst))
+        while pending:
+            mid, dst = pending.popleft()
+            for fact_set in list(self._reach.get(mid, {}).get(dst, [])):
+                for change in self._relax_into(mid, dst, fact_set):
+                    pending.append(change)
+
+    def notify_node_added(self, node: int) -> None:
+        """Fold a just-inserted (isolated) node into the closure."""
+        if not self.built:
+            raise IndexBuildError("index has not been built")
+        for choice in self._node_choices(node):
+            self._insert(node, node, choice)
+
+    def notify_edge_removed(self, u: int, v: int) -> None:
+        """Deletions cannot be maintained incrementally; rebuild."""
+        raise IndexBuildError(
+            "closure indexes do not support incremental deletion; "
+            "call build() to recompute"
+        )
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+        *,
+        predicates=None,
+    ) -> QueryResult:
+        """Answer a type-1 query from the closure in O(answer) time."""
+        if target is None and regex is None:
+            query = source
+            source, target, regex = query.source, query.target, query.regex
+            predicates = query.predicates if predicates is None else predicates
+        compiled = compile_regex(regex, predicates)
+        labels = compiled.label_set_form
+        if labels is None:
+            raise UnsupportedQueryError(
+                "the label-closure index only supports query type 1"
+            )
+        return self.query_label_set(source, target, labels)
+
+    def query_label_set(
+        self, source: int, target: int, labels: FrozenSet[str]
+    ) -> QueryResult:
+        """LCR lookup against the closure."""
+        if not self.built:
+            raise IndexBuildError("index has not been built")
+        if not self.graph.is_alive(source):
+            raise QueryError(f"source node {source} does not exist")
+        if not self.graph.is_alive(target):
+            raise QueryError(f"target node {target} does not exist")
+        antichain = self._reach.get(source, {}).get(target, [])
+        reachable = any(entry <= labels for entry in antichain)
+        return QueryResult(
+            reachable=reachable,
+            method=self.name,
+            exact=True,
+            info={"minimal_sets": len(antichain)},
+        )

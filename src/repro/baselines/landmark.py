@@ -1,0 +1,295 @@
+"""LI — Landmark Indexing for LCR queries (Valstar et al., SIGMOD 2017).
+
+LI supports **only query type 1** — label-set restricted paths,
+``(l0|...|lk)*`` — the LCR fragment, and answers them from a
+pre-computed index.  Per landmark ℓ and node ``v`` the index stores the
+*antichain of minimal label sets* ``S`` such that a path ``v -> ℓ``
+(resp. ``ℓ -> v``) exists in which every consumed element contributes a
+label from ``S``.  A query ``(s, t, L')`` is answered positively the
+moment some landmark has ``S1 ⊆ L'`` on the ``s -> ℓ`` side and
+``S2 ⊆ L'`` on the ``ℓ -> t`` side; otherwise a pruned label-constrained
+BFS fallback keeps the answer exact (the original's "landmark + partial
+BFS" design).
+
+The antichain sizes grow combinatorially with the label alphabet — the
+exponential memory behaviour the paper measures in Fig. 4.  The optional
+``memory_budget_bytes`` aborts the build with
+:class:`~repro.errors.IndexBuildError` when the analytic index size
+exceeds the budget, reproducing LI's out-of-memory crashes.
+
+Because LCR constraints are subset-closed, any witness walk contains a
+simple witness path, so LI is exact under simple-path semantics for its
+fragment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.result import QueryResult
+from repro.errors import IndexBuildError, QueryError, UnsupportedQueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import RegexLike, compile_regex
+from repro.regex.matcher import resolve_elements
+
+Antichain = List[FrozenSet[str]]
+
+_SET_OVERHEAD_BYTES = 64
+_LABEL_REF_BYTES = 8
+_ENTRY_OVERHEAD_BYTES = 48
+
+
+class LandmarkIndex:
+    """LCR landmark index (query type 1 only)."""
+
+    name = "LI"
+    supports_full_regex = False
+    supports_query_time_labels = False
+    supports_dynamic = False  # the index must be rebuilt on change
+    index_free = False
+    enforces_simple_paths = True  # LCR: subset-closed, so simple == any
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        n_landmarks: int = 16,
+        *,
+        elements: Optional[str] = None,
+        memory_budget_bytes: Optional[int] = None,
+        build: bool = True,
+    ):
+        self.graph = graph
+        self.elements = resolve_elements(graph, elements)
+        self._consume_nodes = self.elements in ("nodes", "both")
+        self._consume_edges = self.elements in ("edges", "both")
+        self.memory_budget_bytes = memory_budget_bytes
+        self.landmarks = self._pick_landmarks(n_landmarks)
+        self._to_landmark: Dict[int, Dict[int, Antichain]] = {}
+        self._from_landmark: Dict[int, Dict[int, Antichain]] = {}
+        self._memory_bytes = 0
+        self.built = False
+        if build:
+            self.build()
+
+    # ------------------------------------------------------------------
+    # index construction
+    # ------------------------------------------------------------------
+    def _pick_landmarks(self, n_landmarks: int) -> List[int]:
+        nodes = sorted(
+            self.graph.nodes(),
+            key=lambda v: -(self.graph.in_degree(v) + self.graph.out_degree(v)),
+        )
+        return nodes[:n_landmarks]
+
+    def build(self) -> None:
+        """Compute both antichain tables for every landmark.
+
+        Raises :class:`IndexBuildError` if the memory budget is hit.
+        """
+        self._memory_bytes = 0
+        for landmark in self.landmarks:
+            self._to_landmark[landmark] = self._build_side(landmark, to_side=True)
+            self._from_landmark[landmark] = self._build_side(
+                landmark, to_side=False
+            )
+        self.built = True
+
+    def _element_choices(self, node: int) -> List[FrozenSet[str]]:
+        """Per-node symbol contributions ({a} per label a), or [∅] when
+        nodes are not consumed."""
+        if not self._consume_nodes:
+            return [frozenset()]
+        return [frozenset((label,)) for label in self.graph.node_labels(node)]
+
+    def _edge_choices(self, u: int, v: int) -> List[FrozenSet[str]]:
+        if not self._consume_edges:
+            return [frozenset()]
+        return [
+            frozenset((label,)) for label in self.graph.edge_labels(u, v)
+        ]
+
+    def _build_side(self, landmark: int, to_side: bool) -> Dict[int, Antichain]:
+        """Worklist DP for one direction.
+
+        ``to_side=True`` computes requirements for paths ``v -> landmark``
+        (propagating along *incoming* edges from the landmark);
+        ``to_side=False`` for ``landmark -> v``.
+        """
+        graph = self.graph
+        table: Dict[int, Antichain] = {}
+        base = self._element_choices(landmark)
+        if not base:
+            return table  # landmark unlabeled in a node-consuming graph
+        table[landmark] = list(base)
+        self._account(sum(len(s) for s in base), len(base))
+        worklist = deque([landmark])
+        while worklist:
+            v = worklist.popleft()
+            current_sets = list(table[v])
+            neighbors = (
+                graph.in_neighbors(v) if to_side else graph.out_neighbors(v)
+            )
+            for u in neighbors:
+                edge = (u, v) if to_side else (v, u)
+                edge_choices = self._edge_choices(*edge)
+                if not edge_choices:
+                    continue  # unlabeled edge in an edge-consuming graph
+                node_choices = self._element_choices(u)
+                if not node_choices:
+                    continue
+                changed = False
+                antichain = table.setdefault(u, [])
+                for base_set in current_sets:
+                    for edge_choice in edge_choices:
+                        for node_choice in node_choices:
+                            candidate = base_set | edge_choice | node_choice
+                            if self._insert_minimal(antichain, candidate):
+                                changed = True
+                if changed:
+                    worklist.append(u)
+        return table
+
+    def _insert_minimal(self, antichain: Antichain, candidate: FrozenSet[str]) -> bool:
+        """Insert ``candidate`` keeping only minimal sets; True if kept."""
+        for existing in antichain:
+            if existing <= candidate:
+                return False
+        removed = [s for s in antichain if candidate < s]
+        if removed:
+            for s in removed:
+                antichain.remove(s)
+                self._account(-len(s), -1)
+        antichain.append(candidate)
+        self._account(len(candidate), 1)
+        return True
+
+    def _account(self, label_refs: int, sets: int) -> None:
+        self._memory_bytes += (
+            label_refs * _LABEL_REF_BYTES
+            + sets * (_SET_OVERHEAD_BYTES + _ENTRY_OVERHEAD_BYTES)
+        )
+        if (
+            self.memory_budget_bytes is not None
+            and self._memory_bytes > self.memory_budget_bytes
+        ):
+            raise IndexBuildError(
+                f"landmark index exceeded its memory budget "
+                f"({self._memory_bytes} > {self.memory_budget_bytes} bytes)"
+            )
+
+    def memory_bytes(self) -> int:
+        """Analytic size of the index (the Fig. 4 memory metric)."""
+        return self._memory_bytes
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+        *,
+        predicates=None,
+    ) -> QueryResult:
+        """Answer a type-1 query; raises
+        :class:`UnsupportedQueryError` for anything else."""
+        if target is None and regex is None:
+            query = source
+            source, target, regex = query.source, query.target, query.regex
+            predicates = query.predicates if predicates is None else predicates
+        compiled = compile_regex(regex, predicates)
+        labels = compiled.label_set_form
+        if labels is None:
+            raise UnsupportedQueryError(
+                "LI only supports query type 1 (label-set restricted paths)"
+            )
+        return self.query_label_set(source, target, labels)
+
+    def query_label_set(
+        self, source: int, target: int, labels: FrozenSet[str]
+    ) -> QueryResult:
+        """LCR reachability: does a path exist whose every consumed
+        element carries a label from ``labels``?"""
+        if not self.built:
+            raise IndexBuildError("index has not been built")
+        if not self.graph.is_alive(source):
+            raise QueryError(f"source node {source} does not exist")
+        if not self.graph.is_alive(target):
+            raise QueryError(f"target node {target} does not exist")
+        if not self._admissible_node(source, labels) or not self._admissible_node(
+            target, labels
+        ):
+            return QueryResult(
+                reachable=False, method=self.name, exact=True
+            )
+        if source == target:
+            return QueryResult(
+                reachable=True, path=[source], method=self.name,
+                exact=True, path_is_simple=True,
+            )
+        # fast path: route through any landmark
+        for landmark in self.landmarks:
+            to_entry = self._to_landmark[landmark].get(source)
+            from_entry = self._from_landmark[landmark].get(target)
+            if not to_entry or not from_entry:
+                continue
+            if any(s <= labels for s in to_entry) and any(
+                s <= labels for s in from_entry
+            ):
+                return QueryResult(
+                    reachable=True,
+                    method=self.name,
+                    exact=True,
+                    info={"via_landmark": landmark},
+                )
+        # exact fallback: pruned label-constrained BFS
+        return self._lcr_bfs(source, target, labels)
+
+    def _admissible_node(self, node: int, labels: FrozenSet[str]) -> bool:
+        if not self._consume_nodes:
+            return True
+        return bool(self.graph.node_labels(node) & labels)
+
+    def _admissible_edge(self, u: int, v: int, labels: FrozenSet[str]) -> bool:
+        if not self._consume_edges:
+            return True
+        return bool(self.graph.edge_labels(u, v) & labels)
+
+    def _lcr_bfs(
+        self, source: int, target: int, labels: FrozenSet[str]
+    ) -> QueryResult:
+        parents: Dict[int, Optional[int]] = {source: None}
+        queue = deque([source])
+        expansions = 0
+        while queue:
+            node = queue.popleft()
+            expansions += 1
+            for neighbor in self.graph.out_neighbors(node):
+                if neighbor in parents:
+                    continue
+                if not self._admissible_edge(node, neighbor, labels):
+                    continue
+                if not self._admissible_node(neighbor, labels):
+                    continue
+                parents[neighbor] = node
+                if neighbor == target:
+                    path = [neighbor]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return QueryResult(
+                        reachable=True,
+                        path=path,
+                        method=self.name,
+                        exact=True,
+                        path_is_simple=True,
+                        expansions=expansions,
+                        info={"via_landmark": None},
+                    )
+                queue.append(neighbor)
+        return QueryResult(
+            reachable=False, method=self.name, exact=True,
+            expansions=expansions,
+        )

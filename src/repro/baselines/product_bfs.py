@@ -1,0 +1,144 @@
+"""BFS over the node x automaton-state product graph.
+
+Dropping the simple-path requirement makes regular path reachability
+polynomial: a pair ``(node, state)`` fully captures a search
+configuration, so visiting each pair once suffices.  This search is
+
+* the core of the Rare-Labels baseline (which, per Table 1, does not
+  guarantee simplicity), and
+* one half of the experiment oracle: if the product search says
+  *unreachable*, no path — simple or not — exists; if its witness
+  happens to be simple, the RSPQ answer is a certain *reachable*.
+
+The witness path is reconstructed from parent pointers and may repeat
+nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.result import QueryResult
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import CompiledRegex
+from repro.regex.matcher import ForwardTracker, is_simple, resolve_elements
+
+
+def product_reachability(
+    graph: LabeledGraph,
+    source: int,
+    target: int,
+    compiled: CompiledRegex,
+    elements: Optional[str] = None,
+    max_visits: Optional[int] = None,
+) -> QueryResult:
+    """Arbitrary-path (non-simple) regex reachability, exactly.
+
+    Returns a :class:`QueryResult` whose ``path`` may repeat nodes;
+    ``path_is_simple`` reports whether it happens to be simple.
+    ``max_visits`` bounds the number of product states expanded (the
+    search is then marked ``timed_out`` when the bound is hit).
+    """
+    elements = resolve_elements(graph, elements)
+    tracker = ForwardTracker(compiled, graph, elements)
+    accepts = compiled.nfa.accepts
+
+    start_states = tracker.start(source)
+    parents: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
+    queue = deque()
+    for state in start_states:
+        parents[(source, state)] = None
+        queue.append((source, state))
+
+    def witness(final: Tuple[int, int]) -> List[int]:
+        nodes = []
+        current: Optional[Tuple[int, int]] = final
+        while current is not None:
+            nodes.append(current[0])
+            current = parents[current]
+        nodes.reverse()
+        return nodes
+
+    # the source itself may already accept (e.g. s == t and the one-node
+    # word matches)
+    if source == target:
+        for state in start_states:
+            if state in accepts:
+                return QueryResult(
+                    reachable=True, path=[source], method="product-bfs",
+                    exact=True, path_is_simple=True,
+                )
+
+    visits = 0
+    truncated = False
+    while queue:
+        node, state = queue.popleft()
+        visits += 1
+        if max_visits is not None and visits > max_visits:
+            truncated = True
+            break
+        single = frozenset((state,))
+        for neighbor in graph.out_neighbors(node):
+            next_states = tracker.extend(single, node, neighbor)
+            for next_state in next_states:
+                key = (neighbor, next_state)
+                if key in parents:
+                    continue
+                parents[key] = (node, state)
+                if neighbor == target and next_state in accepts:
+                    path = witness(key)
+                    return QueryResult(
+                        reachable=True,
+                        path=path,
+                        method="product-bfs",
+                        exact=True,
+                        path_is_simple=is_simple(path),
+                        expansions=visits,
+                    )
+                queue.append(key)
+
+    return QueryResult(
+        reachable=False,
+        method="product-bfs",
+        exact=not truncated,
+        timed_out=truncated,
+        expansions=visits,
+    )
+
+
+def product_distances(
+    graph: LabeledGraph,
+    source: int,
+    compiled: CompiledRegex,
+    elements: Optional[str] = None,
+) -> Dict[int, int]:
+    """Shortest compatible-prefix distance (in edges) from ``source`` to
+    every product-reachable node.
+
+    Used by walkLength calibration and by tests as an independent check
+    on the tracker semantics.
+    """
+    elements = resolve_elements(graph, elements)
+    tracker = ForwardTracker(compiled, graph, elements)
+    start_states = tracker.start(source)
+    best: Dict[int, int] = {}
+    seen = set()
+    queue = deque()
+    for state in start_states:
+        seen.add((source, state))
+        queue.append((source, state, 0))
+    if start_states:
+        best[source] = 0
+    while queue:
+        node, state, depth = queue.popleft()
+        single = frozenset((state,))
+        for neighbor in graph.out_neighbors(node):
+            for next_state in tracker.extend(single, node, neighbor):
+                key = (neighbor, next_state)
+                if key not in seen:
+                    seen.add(key)
+                    if neighbor not in best:
+                        best[neighbor] = depth + 1
+                    queue.append((neighbor, next_state, depth + 1))
+    return best

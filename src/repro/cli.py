@@ -1,0 +1,350 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro.cli``)::
+
+    # generate a dataset and persist it
+    python -m repro.cli generate gplus --scale 0.5 --seed 7 --out g.json
+
+    # summarise a stored graph
+    python -m repro.cli stats g.json
+
+    # answer one RSPQ
+    python -m repro.cli query g.json 0 42 "(Gender:Male | Occ:o0)*" \
+        --engine arrival --seed 1
+
+    # enumerate compatible simple paths
+    python -m repro.cli enumerate g.json 0 42 "Occ:o0+" --limit 3
+
+    # regenerate a paper table/figure
+    python -m repro.cli experiment table3 --scale 0.3 --queries 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.bfs import BFSEngine
+from repro.baselines.landmark import LandmarkIndex
+from repro.baselines.rare_labels import RareLabelsEngine
+from repro.baselines.fan import FanEngine
+from repro.core.arrival import Arrival
+from repro.core.enumeration import enumerate_compatible_paths
+from repro.core.router import AutoEngine
+from repro.datasets.registry import dataset_names, load_dataset, snapshot_of
+from repro.errors import ReproError
+from repro.graph import io as graph_io
+from repro.graph.stats import labels_by_frequency, summarize
+
+_ENGINES = {
+    "auto": lambda graph, seed: AutoEngine(graph, seed=seed),
+    "arrival": lambda graph, seed: Arrival(graph, seed=seed),
+    "bfs": lambda graph, seed: BFSEngine(graph),
+    "bbfs": lambda graph, seed: BBFSEngine(graph),
+    "rl": lambda graph, seed: RareLabelsEngine(graph),
+    "li": lambda graph, seed: LandmarkIndex(graph),
+    "fan": lambda graph, seed: FanEngine(graph),
+}
+
+_EXPERIMENTS = {}
+
+
+def _experiment_registry():
+    """Lazy experiment-name -> runner map (imports are not free)."""
+    if not _EXPERIMENTS:
+        from repro.experiments import (
+            ablations, fig4, fig5, fig6, fig7, fig9, prop1, scaling,
+            table1, table2, table3,
+        )
+
+        _EXPERIMENTS.update({
+            "table1": lambda **kw: table1.run(),
+            "table2": lambda **kw: table2.run(
+                scale=kw["scale"], seed=kw["seed"]),
+            "table3": lambda **kw: table3.run(**kw),
+            "fig4-size": lambda **kw: fig4.run_size_sweep(
+                n_queries=kw["n_queries"], seed=kw["seed"]),
+            "fig4-labels": lambda **kw: fig4.run_label_sweep(
+                n_queries=kw["n_queries"], seed=kw["seed"]),
+            "fig5-types": lambda **kw: fig5.run_query_types(**kw),
+            "fig5-labels": lambda **kw: fig5.run_label_set_size(**kw),
+            "fig6-buckets": lambda **kw: fig6.run_density_buckets(**kw),
+            "fig6-growth": lambda **kw: fig6.run_network_growth(**kw),
+            "fig6-qtl": lambda **kw: fig6.run_query_time_labels(
+                n_queries=kw["n_queries"], seed=kw["seed"]),
+            "fig7-negation": lambda **kw: fig7.run_negation(**kw),
+            "fig7-distance": lambda **kw: fig7.run_distance_bounds(**kw),
+            "fig7-numwalks": lambda **kw: fig7.run_num_walks_sweep(**kw),
+            "fig7-walklength": lambda **kw: fig7.run_walk_length_sweep(**kw),
+            "fig9": lambda **kw: fig9.run(scale=kw["scale"], seed=kw["seed"]),
+            "prop1": lambda **kw: prop1.run(seed=kw["seed"]),
+            "scaling": lambda **kw: scaling.run(
+                n_queries=kw["n_queries"], seed=kw["seed"]),
+            "ablations": lambda **kw: ablations.run(
+                scale=kw["scale"], n_queries=kw["n_queries"], seed=kw["seed"]),
+        })
+    return _EXPERIMENTS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARRIVAL: regular simple path queries (SIGMOD 2019 "
+        "reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset and save it"
+    )
+    generate.add_argument("dataset", choices=dataset_names())
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.add_argument(
+        "--format", choices=("json", "edgelist"), default="json"
+    )
+
+    stats = commands.add_parser("stats", help="summarise a stored graph")
+    stats.add_argument("graph")
+    stats.add_argument("--top-labels", type=int, default=10)
+
+    query = commands.add_parser("query", help="answer one RSPQ")
+    query.add_argument("graph")
+    query.add_argument("source", type=int)
+    query.add_argument("target", type=int)
+    query.add_argument("regex")
+    query.add_argument("--engine", choices=sorted(_ENGINES), default="auto")
+    query.add_argument(
+        "--syntax", choices=("native", "sparql"), default="native",
+        help="regex syntax: the native label-regex grammar or SPARQL "
+        "property paths",
+    )
+    query.add_argument("--seed", type=int, default=None)
+    query.add_argument("--max-edges", type=int, default=None)
+    query.add_argument("--min-edges", type=int, default=None)
+
+    enumerate_cmd = commands.add_parser(
+        "enumerate", help="enumerate compatible simple paths"
+    )
+    enumerate_cmd.add_argument("graph")
+    enumerate_cmd.add_argument("source", type=int)
+    enumerate_cmd.add_argument("target", type=int)
+    enumerate_cmd.add_argument("regex")
+    enumerate_cmd.add_argument("--limit", type=int, default=10)
+    enumerate_cmd.add_argument("--max-edges", type=int, default=None)
+
+    workload = commands.add_parser(
+        "workload", help="generate a query workload for a stored graph"
+    )
+    workload.add_argument("graph")
+    workload.add_argument("--out", required=True)
+    workload.add_argument("-n", "--queries", type=int, default=50)
+    workload.add_argument("--types", default="1,2,3",
+                          help="comma-separated query types")
+    workload.add_argument("--positive-bias", type=float, default=0.0)
+    workload.add_argument("--seed", type=int, default=0)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run a stored workload against an engine and "
+        "report recall/precision/speedup"
+    )
+    evaluate.add_argument("graph")
+    evaluate.add_argument("workload")
+    evaluate.add_argument("--engine", choices=("arrival",), default="arrival")
+    evaluate.add_argument("--baseline", choices=("bbfs", "none"),
+                          default="bbfs")
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(_experiment_registry()))
+    experiment.add_argument("--scale", type=float, default=0.3)
+    experiment.add_argument("--queries", type=int, default=10)
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument(
+        "--chart", default=None, metavar="LABEL:VALUE",
+        help="also render a bar chart of VALUE column against LABEL "
+        "column, e.g. --chart 'K:Recall'",
+    )
+
+    return parser
+
+
+def _load_graph(path: str):
+    if path.endswith((".txt", ".edgelist")):
+        return graph_io.load_edge_list(path)
+    return graph_io.load_json(path)
+
+
+def _cmd_generate(args) -> int:
+    graph = snapshot_of(load_dataset(args.dataset, args.scale, args.seed))
+    if args.format == "json":
+        graph_io.save_json(graph, args.out)
+    else:
+        graph_io.save_edge_list(graph, args.out)
+    print(
+        f"wrote {args.dataset} ({graph.num_nodes} nodes, "
+        f"{graph.num_edges} edges, {len(graph.label_alphabet())} labels) "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    graph = _load_graph(args.graph)
+    summary = summarize(graph, name=args.graph)
+    print(f"nodes: {summary.num_nodes}")
+    print(f"edges: {summary.num_edges}")
+    print(f"labels: {summary.num_labels}")
+    print(f"directed: {summary.directed}")
+    print(f"node labels: {summary.node_labels}  "
+          f"edge labels: {summary.edge_labels}")
+    top = labels_by_frequency(graph)[: args.top_labels]
+    if top:
+        print("most frequent labels: " + ", ".join(top))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    graph = _load_graph(args.graph)
+    engine = _ENGINES[args.engine](graph, args.seed)
+    regex = args.regex
+    if getattr(args, "syntax", "native") == "sparql":
+        from repro.regex.sparql import translate_property_path
+
+        regex = translate_property_path(args.regex)
+    kwargs = {}
+    if args.max_edges is not None:
+        kwargs["distance_bound"] = args.max_edges
+    if args.min_edges is not None:
+        kwargs["min_distance"] = args.min_edges
+    result = engine.query(args.source, args.target, regex, **kwargs)
+    print(f"reachable: {result.reachable}")
+    if result.path:
+        print(f"witness: {' -> '.join(map(str, result.path))}")
+    if result.timed_out:
+        print("warning: search truncated by its budget (answer inexact)")
+    routed = result.info.get("routed_to")
+    if routed:
+        print(f"engine: {routed}")
+    return 0 if result.reachable else 1
+
+
+def _cmd_enumerate(args) -> int:
+    graph = _load_graph(args.graph)
+    count = 0
+    for path in enumerate_compatible_paths(
+        graph, args.source, args.target, args.regex,
+        limit=args.limit, max_edges=args.max_edges,
+    ):
+        print(" -> ".join(map(str, path)))
+        count += 1
+    print(f"{count} path(s)")
+    return 0 if count else 1
+
+
+def _cmd_experiment(args) -> int:
+    runner = _experiment_registry()[args.name]
+    result = runner(scale=args.scale, n_queries=args.queries, seed=args.seed)
+    print(result.render())
+    if args.chart:
+        from repro.experiments.charts import chart_experiment
+
+        label_column, _, value_column = args.chart.partition(":")
+        print()
+        print(chart_experiment(result, label_column, value_column))
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.queries.io import save_workload
+    from repro.queries.workload import WorkloadGenerator
+
+    graph = _load_graph(args.graph)
+    types = tuple(int(part) for part in args.types.split(","))
+    generator = WorkloadGenerator(graph, seed=args.seed)
+    queries = generator.generate(
+        args.queries, query_types=types, positive_bias=args.positive_bias
+    )
+    save_workload(queries, args.out)
+    print(f"wrote {len(queries)} queries to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core.parameters import (
+        estimate_walk_length,
+        recommended_num_walks,
+    )
+    from repro.experiments.harness import (
+        Oracle,
+        evaluate_workload,
+        ground_truths,
+        workload_metrics,
+    )
+    from repro.queries.io import load_workload
+
+    graph = _load_graph(args.graph)
+    queries = load_workload(args.workload)
+    from repro.queries.workload import workload_summary
+
+    summary = workload_summary(queries)
+    print(f"workload: {summary['n_queries']} queries, "
+          f"type mix {summary['type_counts']}")
+    oracle = Oracle(graph)
+    truths = ground_truths(oracle, queries)
+    engine = Arrival(
+        graph,
+        walk_length=estimate_walk_length(graph, seed=args.seed),
+        num_walks=recommended_num_walks(graph.num_nodes),
+        seed=args.seed,
+    )
+    records = evaluate_workload(engine, queries, truths)
+    baseline_records = None
+    if args.baseline == "bbfs":
+        baseline = BBFSEngine(graph, max_expansions=200_000, time_budget=5.0)
+        baseline_records = evaluate_workload(baseline, queries, truths)
+    metrics = workload_metrics(records, baseline_records)
+    print(f"queries: {metrics.n_queries} "
+          f"(+{metrics.n_positive} / -{metrics.n_negative} / "
+          f"?{metrics.n_undecided})")
+    if metrics.recall is not None:
+        print(f"recall: {metrics.recall:.3f}")
+    if metrics.precision is not None:
+        print(f"precision: {metrics.precision:.3f}")
+    print(f"mean time: {metrics.mean_time * 1000:.3f} ms")
+    if metrics.speedup is not None:
+        print(f"mean speedup vs BBFS: {metrics.speedup:.1f}x")
+    if oracle.undecided:
+        print(f"warning: {oracle.undecided} queries undecided within the "
+              "oracle budget")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "workload": _cmd_workload,
+    "evaluate": _cmd_evaluate,
+    "stats": _cmd_stats,
+    "query": _cmd_query,
+    "enumerate": _cmd_enumerate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

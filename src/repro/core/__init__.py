@@ -1,0 +1,31 @@
+"""The paper's primary contribution: the ARRIVAL query engine."""
+
+from repro.core.arrival import Arrival
+from repro.core.enumeration import (
+    enumerate_compatible_paths,
+    sample_compatible_paths,
+)
+from repro.core.router import AutoEngine
+from repro.core.unlabeled import UnlabeledWalkReachability
+from repro.core.parameters import (
+    recommended_num_walks,
+    theoretical_num_walks,
+    estimate_walk_length,
+    estimate_walk_length_labeled,
+    StationaryOverlapEstimator,
+)
+from repro.core.result import QueryResult
+
+__all__ = [
+    "Arrival",
+    "AutoEngine",
+    "UnlabeledWalkReachability",
+    "enumerate_compatible_paths",
+    "sample_compatible_paths",
+    "QueryResult",
+    "recommended_num_walks",
+    "theoretical_num_walks",
+    "estimate_walk_length",
+    "estimate_walk_length_labeled",
+    "StationaryOverlapEstimator",
+]

@@ -1,0 +1,405 @@
+"""ARRIVAL: Approximate Regular-simple-path Reachability In Vertex and
+Arc Labeled graphs (Algorithm 2).
+
+The engine samples ``numWalks`` self-avoiding, automaton-guided random
+walks — half started at the source (forward), half at the target
+(backward) — and answers *reachable* the moment a forward and a backward
+walk join into a simple, regex-compatible path (Case 3), detected in
+O(1) per jump through ``(node, automatonState)`` hashmaps.  If the walk
+budget is exhausted without a join, it answers *not reachable*.
+
+Properties reproduced from the paper:
+
+* **No false positives** — every positive answer carries a witness path
+  that is verified simple and compatible.
+* **Index-free** — nothing outlives a query except the optional
+  stationary-overlap statistics used to refine ``numWalks``, so dynamic
+  graphs need no maintenance: query a fresh snapshot.
+* **Parameter defaults** — ``numWalks = (n² ln n)^(1/3)`` and
+  ``walkLength = 2 x`` a sampled diameter upper bound (Sec. 5.2.3), both
+  overridable per engine or scaled per query (the Fig. 7 K-sweeps).
+
+Typical use::
+
+    engine = Arrival(graph, seed=7)
+    result = engine.query(source, target, "(friend | colleague)+")
+    if result.reachable:
+        print(result.path)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.parameters import (
+    StationaryOverlapEstimator,
+    estimate_walk_length,
+    recommended_num_walks,
+)
+from repro.core.result import QueryResult
+from repro.core.walks import SideRunner
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.labels import PredicateRegistry
+from repro.regex.compiler import CompiledRegex, RegexLike, compile_regex
+from repro.regex.matcher import COMPATIBLE, check_path, resolve_elements
+from repro.rng import RngLike, ensure_rng
+
+
+class Arrival:
+    """The ARRIVAL query engine for one (snapshot of a) graph.
+
+    Parameters
+    ----------
+    graph:
+        The multi-labeled graph to query.
+    walk_length, num_walks:
+        Override the automatic parameter selection (Sec. 5.2.3).
+    elements:
+        Which path elements carry symbols ("nodes"/"edges"/"both");
+        default resolves from the graph.
+    label_mode:
+        "exact" (powerset state tracking, default) or "sampled" (the
+        paper's one-label-per-element sampling, Appendix C.1).
+    meeting:
+        "hashmap" (efficient Case-3 check, default) or "naive" (the
+        Theorem 2 baseline, for the ablation).
+    adaptive:
+        Refine ``numWalks`` across queries from the walks' endpoint
+        statistics (the Sec. 4.3 amortised α estimate).
+    negation_mode:
+        "paper" (Appendix A restriction) or "dfa" (extended negation).
+    seed:
+        Seed / generator for all randomness.
+    """
+
+    name = "ARRIVAL"
+    supports_full_regex = True
+    supports_query_time_labels = True
+    supports_dynamic = True
+    index_free = True
+    enforces_simple_paths = True
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        walk_length: Optional[int] = None,
+        num_walks: Optional[int] = None,
+        *,
+        elements: Optional[str] = None,
+        label_mode: str = "exact",
+        meeting: str = "hashmap",
+        adaptive: bool = False,
+        bidirectional: bool = True,
+        step_cache: bool = True,
+        negation_mode: str = "paper",
+        walk_length_multiplier: float = 2.0,
+        diameter_sample_size: int = 32,
+        calibration_regexes=None,
+        seed: RngLike = None,
+    ):
+        if meeting not in ("hashmap", "naive"):
+            raise ValueError(f"meeting must be 'hashmap' or 'naive', got {meeting!r}")
+        self.graph = graph
+        self.elements = resolve_elements(graph, elements)
+        self.label_mode = label_mode
+        self.meeting = meeting
+        self.adaptive = adaptive
+        #: ablation switch: False degrades to unidirectional sampling —
+        #: the backward side only registers the target's trivial meeting
+        #: key, so forward walks must reach the target on their own
+        self.bidirectional = bidirectional
+        #: transition memoisation (sound only without predicates /
+        #: sampling; auto-disabled there); off for the ablation
+        self.step_cache = step_cache
+        self.negation_mode = negation_mode
+        self.rng = ensure_rng(seed)
+        self.estimator = StationaryOverlapEstimator()
+        self._walk_length = walk_length
+        self._num_walks = num_walks
+        self._walk_length_multiplier = walk_length_multiplier
+        self._diameter_sample_size = diameter_sample_size
+        #: Sec. 4.3's labeled calibration: when sample regexes (e.g. from
+        #: a query log or a workload) are supplied, walkLength is
+        #: estimated over regex-compatible shortest-path trees instead of
+        #: the unlabeled diameter
+        self._calibration_regexes = (
+            list(calibration_regexes) if calibration_regexes else None
+        )
+        self._compiled_cache: dict = {}
+        # transition memoisation, shared across queries per compiled
+        # regex and direction (see repro.regex.matcher._StepCache)
+        self._step_caches: dict = {}
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+    @property
+    def walk_length(self) -> int:
+        """Maximum nodes per walk (estimated on first use, Sec. 5.2.3;
+        regex-calibrated per Sec. 4.3 when calibration regexes were
+        supplied)."""
+        if self._walk_length is None:
+            if self._calibration_regexes:
+                from repro.core.parameters import (
+                    estimate_walk_length_labeled,
+                )
+
+                compiled = [
+                    self.compile(regex)
+                    for regex in self._calibration_regexes
+                ]
+                self._walk_length = estimate_walk_length_labeled(
+                    self.graph,
+                    compiled,
+                    multiplier=self._walk_length_multiplier,
+                    elements=self.elements,
+                    seed=self.rng,
+                )
+            else:
+                self._walk_length = estimate_walk_length(
+                    self.graph,
+                    sample_size=self._diameter_sample_size,
+                    multiplier=self._walk_length_multiplier,
+                    seed=self.rng,
+                )
+        return self._walk_length
+
+    @property
+    def num_walks(self) -> int:
+        """Total walk budget per query (both directions combined)."""
+        if self.adaptive:
+            refined = self.estimator.refined_num_walks(self.graph.num_nodes)
+            if refined is not None:
+                return refined
+        if self._num_walks is None:
+            self._num_walks = recommended_num_walks(self.graph.num_nodes)
+        return self._num_walks
+
+    def compile(
+        self, regex: RegexLike, predicates: Optional[PredicateRegistry] = None
+    ) -> CompiledRegex:
+        """Compile (and memoise by source text) a regex for this engine."""
+        if isinstance(regex, CompiledRegex):
+            return regex
+        key = (str(regex), self.negation_mode)
+        compiled = self._compiled_cache.get(key)
+        if compiled is None:
+            compiled = compile_regex(regex, predicates, self.negation_mode)
+            self._compiled_cache[key] = compiled
+        return compiled
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+        *,
+        predicates: Optional[PredicateRegistry] = None,
+        distance_bound: Optional[int] = None,
+        min_distance: Optional[int] = None,
+        walk_length_scale: float = 1.0,
+        num_walks_scale: float = 1.0,
+        trace: Optional[list] = None,
+    ) -> QueryResult:
+        """Answer one RSPQ: is ``target`` reachable from ``source`` by a
+        simple path compatible with ``regex``?
+
+        ``source`` may alternatively be an
+        :class:`~repro.queries.query.RSPQuery` carrying all fields.
+        ``distance_bound`` caps the witness path's edge count
+        (Sec. 5.5.2); the ``*_scale`` factors implement the Fig. 7
+        K-sweeps.  Passing a list as ``trace`` collects one event per
+        registered walker position (side, walk, node, automaton states)
+        — the raw material of the paper's Fig. 3 illustration.
+        """
+        if target is None and regex is None:
+            query = source
+            source = query.source
+            target = query.target
+            regex = query.regex
+            predicates = query.predicates if predicates is None else predicates
+            if distance_bound is None:
+                distance_bound = query.distance_bound
+            if min_distance is None:
+                min_distance = query.min_distance
+        if not self.graph.is_alive(source):
+            raise QueryError(f"source node {source} does not exist")
+        if not self.graph.is_alive(target):
+            raise QueryError(f"target node {target} does not exist")
+        if (
+            distance_bound is not None
+            and min_distance is not None
+            and min_distance > distance_bound
+        ):
+            raise QueryError("min_distance exceeds distance_bound")
+        compiled = self.compile(regex, predicates)
+
+        walk_length = max(2, round(self.walk_length * walk_length_scale))
+        num_walks = max(1, round(self.num_walks * num_walks_scale))
+        if distance_bound is not None:
+            if distance_bound < 0:
+                raise QueryError("distance_bound must be non-negative")
+            walk_length = min(walk_length, distance_bound + 1)
+
+        if source == target:
+            if min_distance is not None and min_distance > 0:
+                return QueryResult(
+                    reachable=False, method=self.name, exact=True
+                )
+            return self._trivial_result(source, compiled)
+
+        forward = SideRunner(
+            self.graph, compiled, self.elements, source,
+            forward=True, walk_length=walk_length, rng=self.rng,
+            mode=self.label_mode, meeting=self.meeting,
+            max_edges=distance_bound, min_edges=min_distance,
+            cache=self._step_cache(compiled, forward=True),
+            trace=trace,
+        )
+        backward = SideRunner(
+            self.graph, compiled, self.elements, target,
+            forward=False, walk_length=walk_length, rng=self.rng,
+            mode=self.label_mode, meeting=self.meeting,
+            max_edges=distance_bound, min_edges=min_distance,
+            cache=self._step_cache(compiled, forward=False),
+            trace=trace,
+        )
+        forward.opposite = backward
+        backward.opposite = forward
+
+        joined = None
+        # the forward side dies instantly when the source's own symbol
+        # cannot begin any accepted word; that is a certain negative
+        # (probed in exact mode so the answer does not depend on label
+        # sampling)
+        from repro.regex.matcher import ForwardTracker
+
+        source_alive = bool(
+            ForwardTracker(compiled, self.graph, self.elements).start(source)
+        )
+        if source_alive:
+            if not self.bidirectional:
+                # register the target's trivial key so forward arrivals
+                # at the target are recognised, then freeze that side
+                joined = backward.step()
+            while (
+                joined is None
+                and forward.completed_walks + backward.completed_walks
+                < num_walks
+            ):
+                joined = forward.step()
+                if joined is not None:
+                    break
+                if self.bidirectional:
+                    joined = backward.step()
+                    if joined is not None:
+                        break
+
+        self._record_endpoints(forward, backward)
+
+        info = {
+            "walk_length": walk_length,
+            "num_walks": num_walks,
+            "forward_walks": forward.completed_walks,
+            "backward_walks": backward.completed_walks,
+            "stored_keys": forward.index.n_keys + backward.index.n_keys,
+        }
+        jumps = forward.jumps + backward.jumps
+        if joined is None:
+            miss_bound = self._miss_probability_bound(num_walks)
+            if miss_bound is not None:
+                info["miss_probability_bound"] = miss_bound
+            return QueryResult(
+                reachable=False,
+                method=self.name,
+                exact=not source_alive,
+                expansions=forward.completed_walks + backward.completed_walks,
+                jumps=jumps,
+                info=info,
+            )
+        # the guarantee of no false positives: verify the witness
+        assert check_path(
+            compiled, self.graph, joined, self.elements
+        ) == COMPATIBLE, "internal error: joined path is not compatible"
+        return QueryResult(
+            reachable=True,
+            path=joined,
+            method=self.name,
+            exact=True,
+            path_is_simple=True,
+            expansions=forward.completed_walks + backward.completed_walks,
+            jumps=jumps,
+            info=info,
+        )
+
+    def _miss_probability_bound(self, num_walks: int):
+        """Proposition-1 style bound on the false-negative probability.
+
+        If the walk endpoints collected so far give a robust-
+        undirectedness estimate α̂, and the walk budget met the
+        theoretical ``(16 n² ln n / α̂²)^(1/3)``, Proposition 1 bounds the
+        miss probability of an *unlabeled, strongly-connected-pair* query
+        by 1/n.  For labeled queries this is a heuristic indicator (the
+        proposition's hypotheses do not transfer exactly — see Sec. 4.2),
+        reported in ``result.info`` and never used to change answers.
+        """
+        from repro.core.parameters import theoretical_num_walks
+
+        n_nodes = self.graph.num_nodes
+        if n_nodes < 2:
+            return None
+        alpha = self.estimator.alpha(n_nodes)
+        if not alpha:
+            return None
+        if num_walks >= theoretical_num_walks(n_nodes, alpha):
+            return 1.0 / n_nodes
+        return None
+
+    def _step_cache(self, compiled: CompiledRegex, forward: bool):
+        """Shared transition cache for one (regex, direction), or None
+        when memoisation would be unsound for the current mode."""
+        from repro.regex.matcher import _StepCache
+
+        if not self.step_cache:
+            return None
+        if not _StepCache.usable_for(compiled, self.label_mode):
+            return None
+        key = (id(compiled), forward)
+        cache = self._step_caches.get(key)
+        if cache is None:
+            cache = _StepCache()
+            self._step_caches[key] = cache
+        return cache
+
+    def query_many(self, queries) -> list:
+        """Answer a workload of RSPQuery objects in order.
+
+        With ``adaptive=True`` the endpoint statistics accumulated by
+        earlier queries refine numWalks for later ones — the Sec. 4.3
+        amortisation across a query stream."""
+        return [self.query(query) for query in queries]
+
+    # ------------------------------------------------------------------
+    def _trivial_result(self, node: int, compiled: CompiledRegex) -> QueryResult:
+        """s == t: the one-node path is the only simple candidate."""
+        compatible = (
+            check_path(compiled, self.graph, [node], self.elements)
+            == COMPATIBLE
+        )
+        return QueryResult(
+            reachable=compatible,
+            path=[node] if compatible else None,
+            method=self.name,
+            exact=True,
+            path_is_simple=True if compatible else None,
+        )
+
+    def _record_endpoints(self, forward: SideRunner, backward: SideRunner) -> None:
+        for endpoint in forward.endpoints:
+            self.estimator.record_forward(endpoint)
+        for endpoint in backward.endpoints:
+            self.estimator.record_backward(endpoint)

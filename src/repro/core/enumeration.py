@@ -1,0 +1,119 @@
+"""Enumeration of compatible simple paths.
+
+The paper's related work (Mendelzon & Wood; Yakovets et al.) studies
+*enumerating* all C-compatible paths rather than deciding reachability;
+the paper explicitly does not compare against those systems because the
+answer sets differ.  This module provides both flavours as a library
+extension:
+
+* :func:`enumerate_compatible_paths` — exhaustive, shortest-first
+  enumeration by BFS over simple potentially-compatible partial paths
+  (exponential worst case, budget-guarded);
+* :func:`sample_compatible_paths` — approximate enumeration through
+  repeated randomized ARRIVAL queries, collecting distinct witnesses;
+  inherits ARRIVAL's no-false-positive guarantee and misses paths with
+  the usual one-sided error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.core.arrival import Arrival
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import RegexLike, compile_regex
+from repro.regex.matcher import ForwardTracker, resolve_elements
+
+
+def enumerate_compatible_paths(
+    graph: LabeledGraph,
+    source: int,
+    target: int,
+    regex: RegexLike,
+    *,
+    predicates=None,
+    elements: Optional[str] = None,
+    limit: Optional[int] = None,
+    max_edges: Optional[int] = None,
+    max_expansions: int = 1_000_000,
+) -> Iterator[List[int]]:
+    """Yield every compatible simple path from ``source`` to ``target``
+    in breadth-first (shortest-first) order.
+
+    ``limit`` stops after that many paths; ``max_edges`` bounds path
+    length; ``max_expansions`` guards the exponential worst case (a
+    :class:`QueryError` is raised if it is hit before enumeration
+    finishes, so callers never mistake truncation for completion).
+    """
+    if not graph.is_alive(source):
+        raise QueryError(f"source node {source} does not exist")
+    if not graph.is_alive(target):
+        raise QueryError(f"target node {target} does not exist")
+    compiled = compile_regex(regex, predicates)
+    elements = resolve_elements(graph, elements)
+    tracker = ForwardTracker(compiled, graph, elements)
+
+    yielded = 0
+    expansions = 0
+    start_states = tracker.start(source)
+    queue: deque = deque()
+    if start_states:
+        queue.append(((source,), frozenset([source]), start_states))
+    while queue:
+        expansions += 1
+        if expansions > max_expansions:
+            raise QueryError(
+                f"path enumeration exceeded {max_expansions} expansions"
+            )
+        path, path_set, states = queue.popleft()
+        node = path[-1]
+        if node == target:
+            if tracker.is_accepting(states):
+                yield list(path)
+                yielded += 1
+                if limit is not None and yielded >= limit:
+                    return
+            continue  # simple paths cannot revisit the target
+        if max_edges is not None and len(path) - 1 >= max_edges:
+            continue
+        for neighbor in graph.out_neighbors(node):
+            if neighbor in path_set:
+                continue
+            next_states = tracker.extend(states, node, neighbor)
+            if next_states:
+                queue.append(
+                    (path + (neighbor,), path_set | {neighbor}, next_states)
+                )
+
+
+def sample_compatible_paths(
+    engine: Arrival,
+    source: int,
+    target: int,
+    regex: RegexLike,
+    *,
+    predicates=None,
+    count: int = 5,
+    max_queries: int = 50,
+) -> List[List[int]]:
+    """Collect up to ``count`` *distinct* compatible simple paths by
+    re-running randomized ARRIVAL queries.
+
+    Each returned path is a verified witness (no false positives); the
+    collection may be incomplete — this is sampling, not enumeration.
+    """
+    compiled = engine.compile(regex, predicates)
+    found: List[List[int]] = []
+    seen: Set[Tuple[int, ...]] = set()
+    for _ in range(max_queries):
+        if len(found) >= count:
+            break
+        result = engine.query(source, target, compiled)
+        if result.reachable:
+            key = tuple(result.path)
+            if key not in seen:
+                seen.add(key)
+                found.append(result.path)
+    return found

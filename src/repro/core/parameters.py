@@ -1,0 +1,193 @@
+"""Parameter selection for ARRIVAL (Sec. 4.3 and Sec. 5.2.3).
+
+* ``numWalks``: the theoretical value is
+  ``(16 n² ln n / α²)^(1/3)`` (Proposition 1) where α is the *robust
+  undirectedness* (Eq. 2).  Computing α exactly needs the stationary
+  distributions, so the paper starts from the practical initial value
+  ``(n² ln n)^(1/3)`` and refines the α estimate from the walk endpoints
+  ARRIVAL produces anyway — :class:`StationaryOverlapEstimator` implements
+  that amortised refinement.
+* ``walkLength``: an upper bound on the graph diameter from ``s`` sampled
+  shortest-path trees, doubled (Sec. 5.2.3).  The labeled variant
+  restricts the trees to regex-compatible paths by running them over the
+  node x automaton-state product (Sec. 4.3's query-log procedure).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+from typing import Iterable, Optional
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.stats import diameter_upper_bound
+from repro.regex.compiler import CompiledRegex
+from repro.regex.matcher import ForwardTracker
+from repro.rng import RngLike, ensure_rng
+
+
+def recommended_num_walks(n_nodes: int) -> int:
+    """The practical initial value ``(n² ln n)^(1/3)`` (Sec. 5.2.3)."""
+    if n_nodes < 2:
+        return 1
+    return max(1, math.ceil((n_nodes**2 * math.log(n_nodes)) ** (1.0 / 3.0)))
+
+
+def theoretical_num_walks(n_nodes: int, alpha: float) -> int:
+    """Proposition 1's ``(16 n² ln n / α²)^(1/3)``.
+
+    α must be positive; a tiny α means the forward and backward
+    stationary distributions barely overlap and the bound explodes, which
+    is the correct signal that sampling cannot help.
+    """
+    if n_nodes < 2:
+        return 1
+    if alpha <= 0:
+        raise ValueError("robust undirectedness must be positive")
+    value = (16 * n_nodes**2 * math.log(n_nodes)) / (alpha**2)
+    return max(1, math.ceil(value ** (1.0 / 3.0)))
+
+
+def estimate_walk_length(
+    graph: LabeledGraph,
+    sample_size: int = 32,
+    multiplier: float = 2.0,
+    seed: RngLike = None,
+) -> int:
+    """Unlabeled walkLength: ``multiplier x`` a sampled diameter bound.
+
+    The paper uses multiplier 2 "to further amplify the quality"
+    (Sec. 5.2.3).  A floor of 4 keeps tiny or fragmented graphs usable.
+    """
+    bound = diameter_upper_bound(graph, sample_size=sample_size, seed=seed)
+    return max(4, math.ceil(multiplier * max(1, bound)))
+
+
+def _product_eccentricity(
+    graph: LabeledGraph,
+    compiled: CompiledRegex,
+    source: int,
+    elements: Optional[str] = None,
+) -> int:
+    """Depth of the BFS tree over (node, state) pairs from ``source``,
+    exploring only regex-compatible continuations."""
+    tracker = ForwardTracker(compiled, graph, elements)
+    start_states = tracker.start(source)
+    if not start_states:
+        return 0
+    depth_of = {}
+    queue = deque()
+    for state in start_states:
+        depth_of[(source, state)] = 0
+        queue.append((source, state))
+    deepest = 0
+    while queue:
+        node, state = queue.popleft()
+        depth = depth_of[(node, state)] + 1
+        for neighbor in graph.out_neighbors(node):
+            next_states = tracker.extend(frozenset((state,)), node, neighbor)
+            for next_state in next_states:
+                key = (neighbor, next_state)
+                if key not in depth_of:
+                    depth_of[key] = depth
+                    deepest = max(deepest, depth)
+                    queue.append(key)
+    return deepest
+
+
+def estimate_walk_length_labeled(
+    graph: LabeledGraph,
+    regexes: Iterable[CompiledRegex],
+    sample_size: int = 16,
+    multiplier: float = 2.0,
+    elements: Optional[str] = None,
+    seed: RngLike = None,
+) -> int:
+    """Labeled walkLength (Sec. 4.3): the paper samples regexes from a
+    real query log and measures shortest *compatible* path trees; we
+    sample from the supplied workload regexes instead.
+    """
+    rng = ensure_rng(seed)
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 4
+    regexes = list(regexes)
+    if not regexes:
+        return estimate_walk_length(graph, multiplier=multiplier, seed=rng)
+    longest = 0
+    for _ in range(sample_size):
+        source = nodes[int(rng.integers(len(nodes)))]
+        compiled = regexes[int(rng.integers(len(regexes)))]
+        longest = max(
+            longest, _product_eccentricity(graph, compiled, source, elements)
+        )
+    return max(4, math.ceil(multiplier * max(1, longest)))
+
+
+class StationaryOverlapEstimator:
+    """Online estimate of the robust undirectedness α (Eq. 2).
+
+    ARRIVAL's own walks sample (approximately) from the forward and
+    backward stationary distributions once they run close to mixing;
+    recording each walk's final vertex lets the engine continuously
+    refine α — and with it numWalks — at no extra sampling cost
+    (Sec. 4.3's amortisation argument).
+    """
+
+    def __init__(self) -> None:
+        self._forward_counts: Counter = Counter()
+        self._backward_counts: Counter = Counter()
+        self.n_forward = 0
+        self.n_backward = 0
+
+    def record_forward(self, endpoint: int) -> None:
+        """Record a forward walk's final vertex."""
+        self._forward_counts[endpoint] += 1
+        self.n_forward += 1
+
+    def record_backward(self, endpoint: int) -> None:
+        """Record a backward walk's final vertex."""
+        self._backward_counts[endpoint] += 1
+        self.n_backward += 1
+
+    @property
+    def n_samples(self) -> int:
+        """Total endpoints recorded."""
+        return self.n_forward + self.n_backward
+
+    def alpha(self, n_nodes: int) -> Optional[float]:
+        """Eq. 2 over the empirical distributions; None until both sides
+        have samples."""
+        if n_nodes <= 0 or not self.n_forward or not self.n_backward:
+            return None
+        threshold = 1.0 / (2 * n_nodes)
+        total = 0.0
+        # only vertices seen by the forward side can contribute a
+        # positive product, so iterating one counter suffices
+        for vertex, forward_count in self._forward_counts.items():
+            pi_f = forward_count / self.n_forward
+            pi_b = self._backward_counts.get(vertex, 0) / self.n_backward
+            total += max(0.0, pi_f - threshold) * max(0.0, pi_b - threshold)
+        return n_nodes * total
+
+    def refined_num_walks(
+        self,
+        n_nodes: int,
+        min_samples: int = 64,
+        cap_factor: float = 4.0,
+    ) -> Optional[int]:
+        """numWalks from the current α estimate, or None if there is not
+        enough data yet.
+
+        The result is clamped to ``cap_factor x`` the practical initial
+        value: a noisy tiny α early on must not blow the budget up
+        unboundedly.
+        """
+        if self.n_samples < min_samples:
+            return None
+        alpha = self.alpha(n_nodes)
+        if not alpha:
+            return None
+        initial = recommended_num_walks(n_nodes)
+        refined = theoretical_num_walks(n_nodes, alpha)
+        return int(min(refined, math.ceil(cap_factor * initial)))

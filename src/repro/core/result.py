@@ -1,0 +1,40 @@
+"""Query results shared by ARRIVAL and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one reachability query.
+
+    ``reachable=True`` always comes with a witness ``path`` (engines that
+    enforce simple-path semantics provide a simple witness; the
+    Rare-Labels baseline may not — see ``path_is_simple``).  ARRIVAL's
+    one-sided error shows up here as: ``reachable=True`` answers are
+    certain, ``reachable=False`` answers may be false negatives.
+
+    ``exact`` is True for the exhaustive engines (BFS/BBFS/LI/RL within
+    their supported fragments) when they ran to completion; ``timed_out``
+    flags a search abandoned on its budget (the paper abandons BBFS past
+    one minute on Twitter).
+    """
+
+    reachable: bool
+    path: Optional[List[int]] = None
+    method: str = ""
+    exact: bool = False
+    timed_out: bool = False
+    path_is_simple: Optional[bool] = None
+    #: number of random walks performed (ARRIVAL) or partial paths /
+    #: states expanded (search baselines)
+    expansions: int = 0
+    #: total random-walk jumps (ARRIVAL only)
+    jumps: int = 0
+    #: engine-specific extras (meeting node, parameters used, ...)
+    info: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.reachable

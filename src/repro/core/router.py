@@ -1,0 +1,125 @@
+"""Engine auto-selection.
+
+The paper's empirical conclusion (Sec. 5.3): *"when the number of labels
+in a network is small, LI provides faster querying time.  However, for
+networks with more than 32 labels, which is often the case on real world
+networks, ARRIVAL is more appropriate."*  The router turns that finding
+into a policy:
+
+* type-1 (LCR) queries on a static graph whose alphabet has at most
+  ``li_label_threshold`` labels -> the Landmark Index (built lazily,
+  once, within a memory budget);
+* everything else -> ARRIVAL;
+* ``exact=True`` forces BBFS (for callers who need certainty and accept
+  the exponential worst case).
+
+The chosen engine is recorded in ``result.info["routed_to"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.landmark import LandmarkIndex
+from repro.core.arrival import Arrival
+from repro.core.result import QueryResult
+from repro.errors import IndexBuildError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.queries.query import RSPQuery
+from repro.regex.compiler import RegexLike
+from repro.rng import RngLike
+
+
+class AutoEngine:
+    """Route each query to the most appropriate engine."""
+
+    name = "AUTO"
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        *,
+        li_label_threshold: int = 32,
+        li_landmarks: int = 16,
+        li_memory_budget_bytes: Optional[int] = 256_000_000,
+        dynamic: bool = False,
+        seed: RngLike = None,
+        **arrival_kwargs,
+    ):
+        self.graph = graph
+        self.li_label_threshold = li_label_threshold
+        self.li_landmarks = li_landmarks
+        self.li_memory_budget_bytes = li_memory_budget_bytes
+        #: a dynamic graph invalidates any index; LI is then never used
+        self.dynamic = dynamic
+        self.arrival = Arrival(graph, seed=seed, **arrival_kwargs)
+        self._landmark: Optional[LandmarkIndex] = None
+        self._landmark_failed = False
+        self._bbfs: Optional[BBFSEngine] = None
+        self._n_labels = len(graph.label_alphabet())
+
+    # ------------------------------------------------------------------
+    def _landmark_index(self) -> Optional[LandmarkIndex]:
+        if self._landmark_failed:
+            return None
+        if self._landmark is None:
+            try:
+                self._landmark = LandmarkIndex(
+                    self.graph,
+                    n_landmarks=self.li_landmarks,
+                    memory_budget_bytes=self.li_memory_budget_bytes,
+                )
+            except IndexBuildError:
+                # exactly the paper's observation: past a certain label
+                # count the index cannot be afforded — fall back
+                self._landmark_failed = True
+                return None
+        return self._landmark
+
+    def route(self, query: RSPQuery) -> str:
+        """Name of the engine that would serve ``query``."""
+        compiled = query.compiled()
+        if (
+            not self.dynamic
+            and compiled.is_label_set_query
+            and query.distance_bound is None
+            and query.min_distance is None
+            and self._n_labels <= self.li_label_threshold
+            and self._landmark_index() is not None
+        ):
+            return "LI"
+        return "ARRIVAL"
+
+    def query(
+        self,
+        source,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+        *,
+        predicates=None,
+        exact: bool = False,
+        **kwargs,
+    ) -> QueryResult:
+        """Answer the query through the routed engine."""
+        if target is None and regex is None:
+            rsp_query = source
+        else:
+            rsp_query = RSPQuery(
+                source, target, regex, predicates=predicates,
+                distance_bound=kwargs.pop("distance_bound", None),
+                min_distance=kwargs.pop("min_distance", None),
+            )
+        if exact:
+            if self._bbfs is None:
+                self._bbfs = BBFSEngine(self.graph)
+            result = self._bbfs.query(rsp_query)
+            result.info["routed_to"] = "BBFS"
+            return result
+        routed = self.route(rsp_query)
+        if routed == "LI":
+            result = self._landmark_index().query(rsp_query)
+        else:
+            result = self.arrival.query(rsp_query, **kwargs)
+        result.info["routed_to"] = routed
+        return result

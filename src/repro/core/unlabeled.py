@@ -1,0 +1,165 @@
+"""Unlabeled random-walk reachability (Sec. 4.1, after Feige / ARROW).
+
+ARRIVAL's theory rests on the unlabeled case: on a strongly connected
+directed graph, ``numWalks = (16 n² ln n / α²)^(1/3)`` forward and
+backward walks of length ``diameter`` overlap with probability at least
+``1 - 1/n`` (Proposition 1), where α is the robust undirectedness
+(Eq. 2).  This module implements that primitive directly — plain
+bidirectional random walks with a shared-endpoint check — so the bound
+can be validated empirically (``repro.experiments.prop1``) and so the
+labeled engine has its theoretical substrate in code, not just in the
+paper's appendix.
+
+Unlike ARRIVAL's walks these are *not* self-avoiding and carry no
+automaton: each walk is a plain Markov-chain trajectory, and "meeting"
+means some forward walk and some backward walk touch a common vertex —
+the red-ball/blue-ball bins experiment of Theorem 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.parameters import StationaryOverlapEstimator
+from repro.core.result import QueryResult
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.rng import RngLike, ensure_rng
+
+
+class UnlabeledWalkReachability:
+    """Bidirectional random-walk s-t reachability on plain digraphs."""
+
+    name = "RW-REACH"
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        walk_length: int,
+        num_walks: int,
+        seed: RngLike = None,
+    ):
+        self.graph = graph
+        self.walk_length = walk_length
+        self.num_walks = num_walks
+        self.rng = ensure_rng(seed)
+        self.estimator = StationaryOverlapEstimator()
+
+    def _walk(self, start: int, forward: bool) -> List[int]:
+        """One trajectory of up to ``walk_length`` vertices."""
+        node = start
+        trail = [node]
+        for _ in range(self.walk_length - 1):
+            neighbors = (
+                self.graph.out_neighbors(node)
+                if forward
+                else self.graph.in_neighbors(node)
+            )
+            if not neighbors:
+                break
+            node = neighbors[int(self.rng.integers(len(neighbors)))]
+            trail.append(node)
+        return trail
+
+    def query(self, source: int, target: int) -> QueryResult:
+        """Is ``target`` reachable from ``source``?
+
+        One-sided like ARRIVAL: positives carry a witness walk-join
+        (possibly non-simple — plain reachability does not need
+        simplicity); negatives may be wrong.
+        """
+        if not self.graph.is_alive(source):
+            raise QueryError(f"source node {source} does not exist")
+        if not self.graph.is_alive(target):
+            raise QueryError(f"target node {target} does not exist")
+        if source == target:
+            return QueryResult(reachable=True, path=[source],
+                               method=self.name, exact=True)
+        forward_seen: Dict[int, Tuple[int, int]] = {}
+        backward_seen: Dict[int, Tuple[int, int]] = {}
+        forward_trails: List[List[int]] = []
+        backward_trails: List[List[int]] = []
+
+        walks = 0
+        while walks < self.num_walks:
+            forward = walks % 2 == 0
+            start = source if forward else target
+            trail = self._walk(start, forward)
+            walks += 1
+            if forward:
+                self.estimator.record_forward(trail[-1])
+                forward_trails.append(trail)
+                own, other = forward_seen, backward_seen
+            else:
+                self.estimator.record_backward(trail[-1])
+                backward_trails.append(trail)
+                own, other = backward_seen, forward_seen
+            for position, node in enumerate(trail):
+                own.setdefault(node, (len(forward_trails if forward else backward_trails) - 1, position))
+                if node in other:
+                    path = self._join(
+                        node,
+                        forward_seen,
+                        backward_seen,
+                        forward_trails,
+                        backward_trails,
+                    )
+                    return QueryResult(
+                        reachable=True,
+                        path=path,
+                        method=self.name,
+                        exact=True,
+                        path_is_simple=len(set(path)) == len(path),
+                        expansions=walks,
+                    )
+        return QueryResult(
+            reachable=False, method=self.name, expansions=walks
+        )
+
+    @staticmethod
+    def _join(node, forward_seen, backward_seen, forward_trails,
+              backward_trails) -> List[int]:
+        walk_id, position = forward_seen[node]
+        prefix = forward_trails[walk_id][: position + 1]
+        walk_id, position = backward_seen[node]
+        suffix = backward_trails[walk_id][: position + 1]
+        return list(prefix) + list(reversed(suffix[:-1]))
+
+
+def measure_overlap_probability(
+    graph: LabeledGraph,
+    walk_length: int,
+    num_walks: int,
+    n_trials: int = 30,
+    seed: RngLike = None,
+) -> float:
+    """Empirical probability that the walk sets of a random reachable
+    pair meet — the quantity Proposition 1 lower-bounds.
+
+    Pairs are drawn from the same strongly connected component when one
+    exists (the proposition's hypothesis); falls back to random pairs.
+    """
+    from repro.graph.stats import strongly_connected_components
+
+    rng = ensure_rng(seed)
+    components = [
+        c for c in strongly_connected_components(graph) if len(c) > 1
+    ]
+    if components:
+        pool = max(components, key=len)
+    else:
+        pool = list(graph.nodes())
+    if len(pool) < 2:
+        raise QueryError("graph has no usable vertex pair")
+
+    hits = 0
+    for _ in range(n_trials):
+        picks = rng.choice(len(pool), size=2, replace=False)
+        source, target = pool[int(picks[0])], pool[int(picks[1])]
+        engine = UnlabeledWalkReachability(
+            graph, walk_length=walk_length, num_walks=num_walks, seed=rng
+        )
+        hits += bool(engine.query(source, target).reachable)
+    return hits / n_trials

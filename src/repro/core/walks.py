@@ -1,0 +1,225 @@
+"""Random-walk machinery for ARRIVAL (Algorithm 2's inner loop).
+
+A :class:`SideRunner` manages one direction of the bidirectional sampler:
+it owns the current walk (path + automaton state set), restarts walks
+from its origin when they die or hit ``walk_length``, records every
+position into its :class:`~repro.core.meeting.MeetingIndex` and
+:class:`~repro.core.meeting.WalkStore`, and checks Case 3 against the
+*opposite* side after every jump.
+
+Candidate neighbours must keep the walk simple (node not yet on the
+path) and potentially compatible (non-empty automaton state set) —
+lines 20-21 of Algorithm 2.  The backward side admits a neighbour when
+its *meeting key* is non-empty: even if the node's own symbol kills the
+continuation, the position is still a valid junction for a forward walk
+that consumes that symbol itself (see :mod:`repro.regex.matcher` for the
+key semantics); the walk then dies on the next step, which is the
+paper's Case 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.meeting import (
+    MeetingIndex,
+    WalkStore,
+    hashmap_meet,
+    naive_meet,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import CompiledRegex
+from repro.regex.matcher import BackwardTracker, ForwardTracker
+from repro.regex.nfa import StateSet
+
+
+class SideRunner:
+    """One direction (forward or backward) of the bidirectional sampler."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        compiled: CompiledRegex,
+        elements: str,
+        origin: int,
+        forward: bool,
+        walk_length: int,
+        rng: np.random.Generator,
+        mode: str = "exact",
+        meeting: str = "hashmap",
+        max_edges: Optional[int] = None,
+        min_edges: Optional[int] = None,
+        cache=None,
+        trace: Optional[list] = None,
+    ):
+        self.graph = graph
+        self.compiled = compiled
+        self.elements = elements
+        self.origin = origin
+        self.forward = forward
+        self.walk_length = walk_length
+        self.rng = rng
+        self.mode = mode
+        self.meeting = meeting
+        self.max_edges = max_edges
+        self.min_edges = min_edges
+        #: optional event sink: one dict per registered position (the
+        #: Fig. 3 walker/hashmap illustration is replayable from it)
+        self.trace = trace
+
+        self.store = WalkStore()
+        self.index = MeetingIndex()
+        self.completed_walks = 0
+        self.jumps = 0
+        #: endpoints of completed walks, for the stationary estimator
+        self.endpoints: List[int] = []
+
+        if forward:
+            self._tracker = ForwardTracker(
+                compiled, graph, elements, mode, rng, cache=cache
+            )
+            self._neighbors: Callable[[int], List[int]] = graph.out_neighbors
+        else:
+            self._tracker = BackwardTracker(
+                compiled, graph, elements, mode, rng, cache=cache
+            )
+            self._neighbors = graph.in_neighbors
+
+        # current-walk state
+        self._path: List[int] = []
+        self._path_set: set = set()
+        self._states: StateSet = frozenset()
+        self._walk_id: Optional[int] = None
+        # the opposite side, wired by the engine after both exist
+        self.opposite: Optional["SideRunner"] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Is a walk currently in progress?"""
+        return self._walk_id is not None
+
+    @property
+    def current_path(self) -> List[int]:
+        """Node sequence of the in-progress walk."""
+        return self._path
+
+    def step(self) -> Optional[List[int]]:
+        """One walker action: begin a walk or take one jump.
+
+        Returns a simple compatible joined path if Case 3 fires, else
+        None.  Walk termination (Cases 1-2) increments
+        ``completed_walks`` and leaves the side inactive; the next call
+        begins a fresh walk.
+        """
+        if not self.active:
+            return self._begin()
+        candidates = self._candidates()
+        if not candidates or len(self._path) >= self.walk_length:
+            self._finish_walk()
+            return None
+        node, key_states, next_states = candidates[
+            int(self.rng.integers(len(candidates)))
+        ]
+        self._path.append(node)
+        self._path_set.add(node)
+        self._states = next_states
+        self.store.append(self._walk_id, node)
+        self.jumps += 1
+        return self._register(node, key_states)
+
+    # ------------------------------------------------------------------
+    def _begin(self) -> Optional[List[int]]:
+        self._walk_id = self.store.new_walk(self.origin)
+        self._path = [self.origin]
+        self._path_set = {self.origin}
+        self.jumps += 1
+        if self.forward:
+            self._states = self._tracker.start(self.origin)
+            key_states = self._states
+        else:
+            key_states, self._states = self._tracker.start(self.origin)
+        if not key_states:
+            # the origin's own symbol cannot start/end any accepted word;
+            # the walk is dead on arrival (Case 1 at length 1)
+            self._finish_walk()
+            return None
+        return self._register(self.origin, key_states)
+
+    def _candidates(self) -> List[Tuple[int, StateSet, StateSet]]:
+        """Admissible next nodes with their (key, continuation) states."""
+        if not self._states:
+            return []
+        current = self._path[-1]
+        admissible = []
+        for neighbor in self._neighbors(current):
+            if neighbor in self._path_set:
+                continue  # simplicity (line 20-21 of Alg. 2)
+            if self.forward:
+                next_states = self._tracker.extend(
+                    self._states, current, neighbor
+                )
+                if next_states:
+                    admissible.append((neighbor, next_states, next_states))
+            else:
+                key_states, next_states = self._tracker.extend(
+                    self._states, neighbor, current
+                )
+                # admission on the continuation set (the paper's
+                # "potentially backward compatible", line 21): if it is
+                # empty, no forward set can intersect the key either, so
+                # nothing is lost (see tests/test_walks.py for the
+                # property check)
+                if next_states:
+                    admissible.append((neighbor, key_states, next_states))
+        return admissible
+
+    def _finish_walk(self) -> None:
+        self.endpoints.append(self._path[-1])
+        self.completed_walks += 1
+        self._walk_id = None
+        self._path = []
+        self._path_set = set()
+        self._states = frozenset()
+
+    def _register(self, node: int, key_states: StateSet) -> Optional[List[int]]:
+        """Record the position and run the Case-3 check."""
+        position = len(self._path) - 1
+        if self.trace is not None:
+            self.trace.append(
+                {
+                    "side": "forward" if self.forward else "backward",
+                    "walk": self.completed_walks,
+                    "node": node,
+                    "position": position,
+                    "states": tuple(sorted(key_states)),
+                }
+            )
+        if self.meeting == "hashmap":
+            self.index.add(node, key_states, self._walk_id, position)
+            if self.opposite is None:
+                return None
+            return hashmap_meet(
+                self.opposite.index,
+                self.opposite.store,
+                node,
+                key_states,
+                self._path,
+                current_is_forward=self.forward,
+                max_edges=self.max_edges,
+                min_edges=self.min_edges,
+            )
+        if self.opposite is None:
+            return None
+        return naive_meet(
+            self.compiled,
+            self.graph,
+            self.elements,
+            self._path,
+            self.opposite.store,
+            current_is_forward=self.forward,
+            max_edges=self.max_edges,
+            min_edges=self.min_edges,
+        )

@@ -1,0 +1,29 @@
+"""Synthetic, seeded stand-ins for the paper's five evaluation graphs.
+
+The real datasets (GPlus, DBLP, Freebase, StackOverflow, Twitter — up to
+2 billion edges) are unavailable offline and intractable for pure-Python
+walks at full size; each generator reproduces the *properties the
+algorithms are sensitive to* at a configurable scale (see DESIGN.md §4):
+directedness, where labels live (nodes/edges/both), label-alphabet size
+and Zipfian frequency skew, heavy-tailed degrees, community structure,
+attribute vectors for query-time labels, and timestamped interactions.
+"""
+
+from repro.datasets.social import gplus_like
+from repro.datasets.collaboration import dblp_like, dblp_predicates
+from repro.datasets.knowledge import freebase_like
+from repro.datasets.temporal_net import stackoverflow_like
+from repro.datasets.follower import twitter_like
+from repro.datasets.registry import DATASETS, load_dataset, dataset_names
+
+__all__ = [
+    "gplus_like",
+    "dblp_like",
+    "dblp_predicates",
+    "freebase_like",
+    "stackoverflow_like",
+    "twitter_like",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,108 @@
+"""Shared synthesis primitives for the dataset generators.
+
+Kept deliberately small: degree-biased (preferential-attachment-style)
+edge generation for heavy-tailed graphs, and Zipf-weighted categorical
+sampling for skewed label alphabets (the Fig. 9 frequency shapes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+
+def zipf_weights(n_categories: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalised Zipf(rank^-exponent) weights over ``n_categories``."""
+    if n_categories < 1:
+        raise ValueError("need at least one category")
+    ranks = np.arange(1, n_categories + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def sample_zipf(
+    rng: np.random.Generator,
+    n_categories: int,
+    size: int,
+    exponent: float = 1.1,
+) -> np.ndarray:
+    """``size`` category indices drawn with Zipfian skew."""
+    return rng.choice(n_categories, size=size, p=zipf_weights(n_categories, exponent))
+
+
+def preferential_edges(
+    rng: np.random.Generator,
+    n_nodes: int,
+    avg_out_degree: float,
+    directed: bool = True,
+) -> List[Tuple[int, int]]:
+    """Heavy-tailed random edges via degree-biased target selection.
+
+    Nodes arrive one at a time; each new node draws targets from a
+    repeated-endpoint pool (the standard Barabási-Albert trick), giving
+    a power-law in-degree tail without quadratic cost.  Self-loops and
+    duplicates are skipped, so the realised average degree is slightly
+    below the requested one on small graphs.
+    """
+    if n_nodes < 2:
+        return []
+    m = max(1, round(avg_out_degree))
+    edges: Set[Tuple[int, int]] = set()
+    # endpoint pool seeded with a small clique so early draws have targets
+    pool: List[int] = [0, 1]
+    edges.add((1, 0))
+    for node in range(2, n_nodes):
+        targets: Set[int] = set()
+        attempts = 0
+        while len(targets) < min(m, node) and attempts < 4 * m:
+            attempts += 1
+            candidate = pool[int(rng.integers(len(pool)))]
+            if candidate != node:
+                targets.add(candidate)
+        for target in targets:
+            if directed and rng.random() < 0.2:
+                # a minority of reversed edges keeps the graph from being
+                # a DAG, so cycles and back-paths exist as in real
+                # follower networks
+                edge = (target, node)
+            else:
+                edge = (node, target)
+            if edge not in edges and (edge[1], edge[0]) != edge:
+                edges.add(edge)
+            pool.append(target)
+        pool.append(node)
+    return sorted(edges)
+
+
+def community_edges(
+    rng: np.random.Generator,
+    n_nodes: int,
+    n_communities: int,
+    avg_degree: float,
+    p_within: float = 0.85,
+) -> Tuple[List[Tuple[int, int]], np.ndarray]:
+    """Undirected community-structured edges (collaboration networks).
+
+    Returns (edges, community assignment).  Endpoints of each edge are
+    drawn from the same community with probability ``p_within``.
+    """
+    communities = sample_zipf(rng, n_communities, n_nodes, exponent=0.8)
+    members: List[List[int]] = [[] for _ in range(n_communities)]
+    for node, community in enumerate(communities):
+        members[int(community)].append(node)
+    n_edges = round(n_nodes * avg_degree / 2)
+    edges: Set[Tuple[int, int]] = set()
+    attempts = 0
+    while len(edges) < n_edges and attempts < 20 * n_edges:
+        attempts += 1
+        u = int(rng.integers(n_nodes))
+        if rng.random() < p_within and len(members[int(communities[u])]) > 1:
+            group = members[int(communities[u])]
+            v = group[int(rng.integers(len(group)))]
+        else:
+            v = int(rng.integers(n_nodes))
+        if u == v:
+            continue
+        edges.add((min(u, v), max(u, v)))
+    return sorted(edges), communities

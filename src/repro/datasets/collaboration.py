@@ -1,0 +1,121 @@
+"""DBLP-like co-authorship network (Sec. 5.1) and its query-time labels.
+
+The real DBLP graph: 1.75M authors, undirected co-authorship edges, 679
+node labels.  Each author here carries the paper's five features:
+
+1. number of papers published,
+2. years active,
+3. the set of venues published in,
+4. the set of subject areas,
+5. the median venue rank (1-5, from the CORE portal).
+
+Venues/subjects/rank double as node *labels* (``venue:...``,
+``subject:...``, ``rank:...``) so static-label queries work, and the raw
+numbers live in node *attributes* so the Sec. 5.4.5 query-time label
+families have inputs.  :func:`dblp_predicates` builds exactly those four
+families with randomly drawn thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets._synth import community_edges, sample_zipf
+from repro.graph.labeled_graph import LabeledGraph
+from repro.labels import PredicateRegistry
+from repro.rng import RngLike, ensure_rng
+
+
+def dblp_like(
+    n_nodes: int = 1500,
+    avg_degree: float = 6.0,
+    n_venues: int = 60,
+    n_subjects: int = 20,
+    seed: RngLike = 0,
+) -> LabeledGraph:
+    """An undirected collaboration graph with author feature vectors."""
+    rng = ensure_rng(seed)
+    graph = LabeledGraph(directed=False)
+    graph.labeled_elements = "nodes"
+
+    edges, communities = community_edges(
+        rng, n_nodes, n_communities=n_venues, avg_degree=avg_degree
+    )
+    num_papers = 1 + sample_zipf(rng, 100, n_nodes, exponent=1.3)
+    years_active = 1 + rng.integers(0, 40, size=n_nodes)
+    ranks = 1 + sample_zipf(rng, 5, n_nodes, exponent=0.5)
+
+    for i in range(n_nodes):
+        # authors publish in their community's venue plus a few others
+        home_venue = int(communities[i])
+        extra = rng.integers(0, 3)
+        venues = {home_venue} | {
+            int(v) for v in sample_zipf(rng, n_venues, int(extra))
+        }
+        subjects = {
+            int(s) for s in sample_zipf(rng, n_subjects, 1 + int(rng.integers(0, 3)))
+        }
+        labels = (
+            {f"venue:v{v}" for v in venues}
+            | {f"subject:s{s}" for s in subjects}
+            | {f"rank:{int(ranks[i])}"}
+        )
+        graph.add_node(
+            labels,
+            {
+                "num_papers": int(num_papers[i]),
+                "years_active": int(years_active[i]),
+                "n_venues": len(venues),
+                "n_subjects": len(subjects),
+                "median_rank": int(ranks[i]),
+            },
+        )
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def dblp_predicates(
+    seed: RngLike = 0,
+) -> Tuple[PredicateRegistry, dict]:
+    """The four Sec. 5.4.5 query-time label families with random
+    thresholds.
+
+    Returns ``(registry, thresholds)`` — the registry holds predicates
+    named ``highQualityPublisher``, ``prolificPublisher``,
+    ``diverseAndExperienced`` and ``diverseOrExperienced``.
+    """
+    rng = ensure_rng(seed)
+    rank_threshold = int(rng.integers(1, 6))
+    papers_threshold = int(rng.integers(3, 10))
+    years_threshold = int(rng.integers(3, 10))
+    subjects_threshold = int(rng.integers(3, 10))
+    thresholds = {
+        "median_rank": rank_threshold,
+        "num_papers": papers_threshold,
+        "years_active": years_threshold,
+        "n_subjects": subjects_threshold,
+    }
+
+    registry = PredicateRegistry()
+    registry.register(
+        "highQualityPublisher",
+        lambda a: a.get("median_rank", 0) > rank_threshold,
+    )
+    registry.register(
+        "prolificPublisher",
+        lambda a: a.get("num_papers", 0) > papers_threshold,
+    )
+    registry.register(
+        "diverseAndExperienced",
+        lambda a: a.get("years_active", 0) > years_threshold
+        and a.get("n_subjects", 0) > subjects_threshold,
+    )
+    registry.register(
+        "diverseOrExperienced",
+        lambda a: a.get("years_active", 0) > years_threshold
+        or a.get("n_subjects", 0) > subjects_threshold,
+    )
+    return registry, thresholds

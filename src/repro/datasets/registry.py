@@ -1,0 +1,87 @@
+"""Dataset registry: name-based access and the Table 2 statistics.
+
+Every generator is registered with its default scale and a ``scale``
+multiplier so experiments can say ``load_dataset("gplus", scale=0.5)``.
+The dynamic StackOverflow dataset is returned as a
+:class:`~repro.graph.temporal.TemporalGraph`; ``snapshot_of`` converts
+uniformly so harness code can treat all five alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
+
+from repro.datasets.collaboration import dblp_like
+from repro.datasets.follower import twitter_like
+from repro.datasets.knowledge import freebase_like
+from repro.datasets.social import gplus_like
+from repro.datasets.temporal_net import stackoverflow_like
+from repro.errors import ReproError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.stats import GraphSummary, summarize
+from repro.graph.temporal import TemporalGraph
+from repro.rng import RngLike
+
+GraphLike = Union[LabeledGraph, TemporalGraph]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: how to build one dataset."""
+
+    name: str
+    factory: Callable[..., GraphLike]
+    default_nodes: int
+    dynamic: bool = False
+
+    def build(self, scale: float = 1.0, seed: RngLike = 0) -> GraphLike:
+        """Instantiate at ``scale`` x the default node count."""
+        n_nodes = max(16, round(self.default_nodes * scale))
+        return self.factory(n_nodes=n_nodes, seed=seed)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "gplus": DatasetSpec("GPlus", gplus_like, 1200),
+    "dblp": DatasetSpec("DBLP", dblp_like, 1500),
+    "freebase": DatasetSpec("Freebase", freebase_like, 1800),
+    "stackoverflow": DatasetSpec(
+        "StackOverflow", stackoverflow_like, 900, dynamic=True
+    ),
+    "twitter": DatasetSpec("Twitter", twitter_like, 2500),
+}
+
+
+def dataset_names() -> List[str]:
+    """Registered dataset keys, in the paper's Table 2 order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: RngLike = 0) -> GraphLike:
+    """Build the named dataset (case-insensitive key)."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise ReproError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return DATASETS[key].build(scale=scale, seed=seed)
+
+
+def snapshot_of(graph: GraphLike, time: float = None) -> LabeledGraph:
+    """A static view: temporal graphs are snapshotted (latest by
+    default), static graphs pass through."""
+    if isinstance(graph, TemporalGraph):
+        if time is None:
+            time = graph.time_range()[1]
+        return graph.snapshot(time)
+    return graph
+
+
+def table2_summary(scale: float = 1.0, seed: RngLike = 0) -> List[GraphSummary]:
+    """One :class:`GraphSummary` per dataset — the Table 2 rows."""
+    rows = []
+    for key, spec in DATASETS.items():
+        built = spec.build(scale=scale, seed=seed)
+        static = snapshot_of(built)
+        rows.append(summarize(static, name=spec.name, dynamic=spec.dynamic))
+    return rows

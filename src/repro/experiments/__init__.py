@@ -1,0 +1,26 @@
+"""Experiment runners — one module per table/figure in the paper's
+evaluation (see DESIGN.md §3 for the index).
+
+Every runner exposes ``run(...) -> ExperimentResult`` with small default
+parameters so the benchmark suite regenerates each table/figure in
+seconds; crank ``scale``/``n_queries`` up for tighter estimates.
+"""
+
+from repro.experiments.report import ExperimentResult, format_table
+from repro.experiments.charts import bar_chart, chart_experiment, sparkline
+from repro.experiments.harness import (
+    Oracle,
+    evaluate_workload,
+    workload_metrics,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "bar_chart",
+    "chart_experiment",
+    "sparkline",
+    "Oracle",
+    "evaluate_workload",
+    "workload_metrics",
+]

@@ -1,0 +1,85 @@
+"""Terminal charts for experiment series.
+
+The paper's figures are line/bar plots; in a text pipeline the closest
+faithful rendering is a labeled horizontal bar chart (one bar per sweep
+point) and a compact sparkline for inline trends.  Used by experiment
+``render()`` consumers and the CLI; pure string output, no plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR_CHAR = "█"
+
+
+def sparkline(values: Sequence[Optional[float]]) -> str:
+    """A one-line unicode trend, '·' for missing points."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return "·" * len(values)
+    low, high = min(present), max(present)
+    span = high - low
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append("·")
+        elif span == 0:
+            chars.append(_SPARK_LEVELS[-1])
+        else:
+            index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[Optional[float]],
+    width: int = 40,
+    title: Optional[str] = None,
+    value_format: str = "{:.3g}",
+) -> str:
+    """Horizontal bar chart; bars scale to the maximum value.
+
+    Missing values render as ``(no data)`` so gaps in sweeps (e.g. cells
+    without positive queries) stay visible rather than silently dropped.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    present = [v for v in values if v is not None]
+    peak = max(present) if present else 0.0
+    label_width = max((len(str(label)) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        prefix = f"{str(label):>{label_width}} |"
+        if value is None:
+            lines.append(f"{prefix} (no data)")
+            continue
+        length = 0 if peak <= 0 else round(width * value / peak)
+        bar = _BAR_CHAR * max(length, 1 if value > 0 else 0)
+        lines.append(f"{prefix}{bar} {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def chart_experiment(
+    result,
+    label_column: str,
+    value_column: str,
+    width: int = 40,
+) -> str:
+    """Bar chart of one column of an ExperimentResult against another."""
+    labels = [str(value) for value in result.column(label_column)]
+    values = [
+        value if isinstance(value, (int, float)) else None
+        for value in result.column(value_column)
+    ]
+    return bar_chart(
+        labels,
+        values,
+        width=width,
+        title=f"{result.title} — {value_column}",
+    )

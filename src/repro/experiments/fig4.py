@@ -1,0 +1,167 @@
+"""Fig. 4 — LI vs ARRIVAL (vs RL): memory and querying time against
+network size and label-alphabet size.
+
+The paper extracts nested BFS subgraphs of the Twitter network restricted
+to its top-30 labels, then grows either the subgraph fraction (a, c) or
+the retained label count (b, d).  The headline shapes to reproduce:
+
+* LI's memory grows steeply (exponentially in |L|) and eventually
+  exceeds any budget ("crashes"); ARRIVAL's per-query working set is
+  bounded by O(walkLength x numWalks) and grows linearly;
+* LI answers its supported fragment (type 1) fastest; ARRIVAL is far
+  faster than RL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.landmark import LandmarkIndex
+from repro.baselines.rare_labels import RareLabelsEngine
+from repro.core.arrival import Arrival
+from repro.core.parameters import estimate_walk_length, recommended_num_walks
+from repro.datasets.follower import twitter_like
+from repro.errors import IndexBuildError
+from repro.experiments.harness import evaluate_workload, time_query
+from repro.experiments.memory import arrival_peak_query_bytes
+from repro.experiments.report import ExperimentResult
+from repro.graph.stats import labels_by_frequency
+from repro.graph.subgraph import nested_subgraphs, restrict_labels
+from repro.queries.workload import WorkloadGenerator
+from repro.rng import RngLike, ensure_rng
+
+
+def _type1_workload(graph, n_queries, rng):
+    generator = WorkloadGenerator(graph, seed=rng)
+    return generator.generate(
+        n_queries, query_types=(1,), positive_bias=0.5
+    )
+
+
+def _mean_query_seconds(engine, queries) -> float:
+    total = 0.0
+    for query in queries:
+        _, elapsed = time_query(engine, query)
+        total += elapsed
+    return total / max(1, len(queries))
+
+
+def run_size_sweep(
+    n_nodes: int = 1500,
+    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    top_labels: int = 12,
+    n_queries: int = 10,
+    n_landmarks: int = 8,
+    memory_budget_bytes: Optional[int] = 64_000_000,
+    seed: RngLike = 11,
+) -> ExperimentResult:
+    """Fig. 4(a)+(c): memory and type-1 querying time vs network size."""
+    rng = ensure_rng(seed)
+    base = twitter_like(n_nodes=n_nodes, seed=rng)
+    keep = labels_by_frequency(base)[:top_labels]
+    base = restrict_labels(base, keep)
+    base.labeled_elements = "nodes"
+    subs = nested_subgraphs(base, list(fractions), seed=rng)
+    rows = []
+    for fraction, (subgraph, _) in zip(fractions, subs):
+        queries = _type1_workload(subgraph, n_queries, rng)
+        walk_length = estimate_walk_length(subgraph, seed=rng)
+        num_walks = recommended_num_walks(subgraph.num_nodes)
+        arrival = Arrival(
+            subgraph, walk_length=walk_length, num_walks=num_walks, seed=rng
+        )
+        arrival_mem = arrival_peak_query_bytes(arrival, queries, limit=5)
+        arrival_ms = _mean_query_seconds(arrival, queries) * 1000
+        try:
+            landmark = LandmarkIndex(
+                subgraph,
+                n_landmarks=n_landmarks,
+                memory_budget_bytes=memory_budget_bytes,
+            )
+            li_mem: Optional[int] = landmark.memory_bytes()
+            li_ms: Optional[float] = _mean_query_seconds(landmark, queries) * 1000
+        except IndexBuildError:
+            li_mem = None  # the paper's "LI crashes out of memory"
+            li_ms = None
+        rare = RareLabelsEngine(subgraph)
+        rl_ms = _mean_query_seconds(rare, queries) * 1000
+        rows.append(
+            (
+                f"{fraction:.0%}",
+                subgraph.num_nodes,
+                li_mem,
+                arrival_mem,
+                li_ms,
+                arrival_ms,
+                rl_ms,
+            )
+        )
+    return ExperimentResult(
+        title="Fig. 4(a,c): memory (bytes) and type-1 query time (ms) "
+        "vs network size [Twitter-like, top labels retained]",
+        headers=[
+            "Fraction",
+            "|V|",
+            "LI memory",
+            "ARRIVAL memory",
+            "LI ms",
+            "ARRIVAL ms",
+            "RL ms",
+        ],
+        rows=rows,
+        notes=["'-' in LI columns = index build exceeded its memory budget"],
+    )
+
+
+def run_label_sweep(
+    n_nodes: int = 900,
+    label_counts: Sequence[int] = (4, 8, 12, 16, 24),
+    n_queries: int = 10,
+    n_landmarks: int = 8,
+    memory_budget_bytes: Optional[int] = 64_000_000,
+    seed: RngLike = 13,
+) -> ExperimentResult:
+    """Fig. 4(b)+(d): memory and querying time vs number of labels."""
+    rng = ensure_rng(seed)
+    base = twitter_like(n_nodes=n_nodes, seed=rng)
+    ordered = labels_by_frequency(base)
+    rows = []
+    for count in label_counts:
+        subgraph = restrict_labels(base, ordered[:count])
+        subgraph.labeled_elements = "nodes"
+        queries = _type1_workload(subgraph, n_queries, rng)
+        walk_length = estimate_walk_length(subgraph, seed=rng)
+        num_walks = recommended_num_walks(subgraph.num_nodes)
+        arrival = Arrival(
+            subgraph, walk_length=walk_length, num_walks=num_walks, seed=rng
+        )
+        arrival_mem = arrival_peak_query_bytes(arrival, queries, limit=5)
+        arrival_ms = _mean_query_seconds(arrival, queries) * 1000
+        try:
+            landmark = LandmarkIndex(
+                subgraph,
+                n_landmarks=n_landmarks,
+                memory_budget_bytes=memory_budget_bytes,
+            )
+            li_mem: Optional[int] = landmark.memory_bytes()
+            li_ms: Optional[float] = _mean_query_seconds(landmark, queries) * 1000
+        except IndexBuildError:
+            li_mem = None
+            li_ms = None
+        rare = RareLabelsEngine(subgraph)
+        rl_ms = _mean_query_seconds(rare, queries) * 1000
+        rows.append((count, li_mem, arrival_mem, li_ms, arrival_ms, rl_ms))
+    return ExperimentResult(
+        title="Fig. 4(b,d): memory (bytes) and type-1 query time (ms) "
+        "vs number of labels [Twitter-like]",
+        headers=[
+            "# labels",
+            "LI memory",
+            "ARRIVAL memory",
+            "LI ms",
+            "ARRIVAL ms",
+            "RL ms",
+        ],
+        rows=rows,
+        notes=["'-' in LI columns = index build exceeded its memory budget"],
+    )

@@ -1,0 +1,158 @@
+"""Fig. 5 — quality and speedup by query type and by query label-set
+size.
+
+(a) recall per query type per dataset; (b-e) per-type speedup over BBFS
+split into positive/negative queries; (f-i) recall and speedup against
+the number of labels in the query regex (2-8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.core.arrival import Arrival
+from repro.core.parameters import estimate_walk_length, recommended_num_walks
+from repro.datasets.registry import DATASETS, snapshot_of
+from repro.experiments.harness import (
+    evaluate_static_workload,
+    evaluate_temporal_workload,
+    workload_metrics,
+)
+from repro.experiments.report import ExperimentResult
+from repro.graph.temporal import TemporalGraph
+from repro.queries.workload import WorkloadGenerator
+from repro.rng import RngLike, ensure_rng
+
+DEFAULT_DATASETS = ("gplus", "dblp", "freebase", "stackoverflow")
+
+
+def _factories(walk_length, num_walks, rng, bbfs_budget=100_000):
+    return {
+        "ARRIVAL": lambda g: Arrival(
+            g, walk_length=walk_length, num_walks=num_walks, seed=rng
+        ),
+        "BBFS": lambda g: BBFSEngine(
+            g, max_expansions=bbfs_budget, time_budget=3.0
+        ),
+    }
+
+
+def _evaluate(built, queries, rng):
+    """ARRIVAL + BBFS records for one dataset, static or temporal."""
+    if isinstance(built, TemporalGraph):
+        latest = snapshot_of(built)
+        walk_length = estimate_walk_length(latest, seed=rng)
+        num_walks = recommended_num_walks(latest.num_nodes)
+        return evaluate_temporal_workload(
+            built, queries, _factories(walk_length, num_walks, rng)
+        )
+    walk_length = estimate_walk_length(built, seed=rng)
+    num_walks = recommended_num_walks(built.num_nodes)
+    return evaluate_static_workload(
+        built, queries, _factories(walk_length, num_walks, rng)
+    )
+
+
+def _workload(built, rng, n_queries, **kwargs):
+    if isinstance(built, TemporalGraph):
+        latest = snapshot_of(built)
+        generator = WorkloadGenerator(latest, seed=rng)
+        return generator.generate(
+            n_queries, time_range=built.time_range(), **kwargs
+        )
+    generator = WorkloadGenerator(built, seed=rng)
+    return generator.generate(n_queries, **kwargs)
+
+
+def run_query_types(
+    scale: float = 0.4,
+    n_queries: int = 15,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    seed: RngLike = 17,
+) -> ExperimentResult:
+    """Fig. 5(a-e): recall and pos/neg speedup per query type."""
+    rng = ensure_rng(seed)
+    rows = []
+    for key in datasets:
+        spec = DATASETS[key.lower()]
+        built = spec.build(scale=scale, seed=rng)
+        for query_type in (1, 2, 3):
+            queries = _workload(
+                built, rng, n_queries,
+                query_types=(query_type,), positive_bias=0.5,
+            )
+            records = _evaluate(built, queries, rng)
+            metrics = workload_metrics(records["ARRIVAL"], records["BBFS"])
+            rows.append(
+                (
+                    spec.name,
+                    f"Type {query_type}",
+                    metrics.recall,
+                    metrics.speedup_positive,
+                    metrics.speedup_negative,
+                    metrics.n_positive,
+                    metrics.n_negative,
+                )
+            )
+    return ExperimentResult(
+        title="Fig. 5(a-e): recall and speedup over BBFS per query type",
+        headers=[
+            "Dataset",
+            "Query type",
+            "Recall",
+            "Speedup (pos)",
+            "Speedup (neg)",
+            "# pos",
+            "# neg",
+        ],
+        rows=rows,
+        notes=[f"scale={scale}, {n_queries} queries per (dataset, type)"],
+    )
+
+
+def run_label_set_size(
+    scale: float = 0.4,
+    n_queries: int = 12,
+    sizes: Sequence[int] = (2, 4, 6, 8),
+    datasets: Sequence[str] = ("gplus", "dblp", "freebase"),
+    seed: RngLike = 19,
+) -> ExperimentResult:
+    """Fig. 5(f-i): recall and speedup vs query label-set size."""
+    rng = ensure_rng(seed)
+    rows = []
+    for key in datasets:
+        spec = DATASETS[key.lower()]
+        built = spec.build(scale=scale, seed=rng)
+        for size in sizes:
+            queries = _workload(
+                built, rng, n_queries,
+                n_labels_range=(size, size), positive_bias=0.5,
+            )
+            records = _evaluate(built, queries, rng)
+            metrics = workload_metrics(records["ARRIVAL"], records["BBFS"])
+            rows.append(
+                (
+                    spec.name,
+                    size,
+                    metrics.recall,
+                    metrics.speedup_positive,
+                    metrics.speedup_negative,
+                    metrics.n_positive,
+                    metrics.n_negative,
+                )
+            )
+    return ExperimentResult(
+        title="Fig. 5(f-i): recall and speedup vs query label-set size",
+        headers=[
+            "Dataset",
+            "# labels",
+            "Recall",
+            "Speedup (pos)",
+            "Speedup (neg)",
+            "# pos",
+            "# neg",
+        ],
+        rows=rows,
+        notes=[f"scale={scale}, {n_queries} queries per (dataset, size)"],
+    )

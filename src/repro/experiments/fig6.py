@@ -1,0 +1,196 @@
+"""Fig. 6 — label-density buckets, scalability, and query-time labels.
+
+(a-d) recall and speedup when query labels come from a single density
+bucket (1 = most frequent ... 5 = bottom 20%): the paper's finding is
+that both recall and speedup degrade gracefully as labels get rarer.
+(e-g) running time growth against network size (nested subgraphs,
+40-100%).
+(h-i) recall and speedup when static labels are replaced by the four
+DBLP query-time label families (Sec. 5.4.5): quality matches the static
+case because ARRIVAL's algorithm is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.core.arrival import Arrival
+from repro.core.parameters import estimate_walk_length, recommended_num_walks
+from repro.datasets.collaboration import dblp_like, dblp_predicates
+from repro.datasets.registry import DATASETS, snapshot_of
+from repro.experiments.harness import (
+    evaluate_static_workload,
+    workload_metrics,
+)
+from repro.experiments.report import ExperimentResult
+from repro.graph.subgraph import nested_subgraphs
+from repro.queries.buckets import density_buckets
+from repro.queries.workload import WorkloadGenerator
+from repro.rng import RngLike, ensure_rng
+
+
+def _factories(walk_length, num_walks, rng):
+    return {
+        "ARRIVAL": lambda g: Arrival(
+            g, walk_length=walk_length, num_walks=num_walks, seed=rng
+        ),
+        "BBFS": lambda g: BBFSEngine(
+            g, max_expansions=100_000, time_budget=3.0
+        ),
+    }
+
+
+def run_density_buckets(
+    scale: float = 0.4,
+    n_queries: int = 12,
+    datasets: Sequence[str] = ("gplus", "dblp", "freebase"),
+    seed: RngLike = 23,
+) -> ExperimentResult:
+    """Fig. 6(a-d): recall and speedup per label-density bucket."""
+    rng = ensure_rng(seed)
+    rows = []
+    for key in datasets:
+        spec = DATASETS[key.lower()]
+        graph = snapshot_of(spec.build(scale=scale, seed=rng))
+        buckets = density_buckets(graph)
+        generator = WorkloadGenerator(graph, seed=rng)
+        walk_length = estimate_walk_length(graph, seed=rng)
+        num_walks = recommended_num_walks(graph.num_nodes)
+        for bucket in sorted(buckets):
+            if not buckets[bucket]:
+                continue
+            queries = generator.generate_bucketed(
+                n_queries, buckets, bucket, positive_bias=0.5
+            )
+            records = evaluate_static_workload(
+                graph, queries, _factories(walk_length, num_walks, rng)
+            )
+            metrics = workload_metrics(records["ARRIVAL"], records["BBFS"])
+            rows.append(
+                (
+                    spec.name,
+                    bucket,
+                    metrics.recall,
+                    metrics.speedup_positive,
+                    metrics.speedup_negative,
+                    metrics.n_positive,
+                    metrics.n_negative,
+                )
+            )
+    return ExperimentResult(
+        title="Fig. 6(a-d): recall and speedup per label-density bucket "
+        "(1 = most frequent labels, 5 = bottom 20%)",
+        headers=[
+            "Dataset",
+            "Bucket",
+            "Recall",
+            "Speedup (pos)",
+            "Speedup (neg)",
+            "# pos",
+            "# neg",
+        ],
+        rows=rows,
+        notes=[f"scale={scale}, {n_queries} queries per (dataset, bucket)"],
+    )
+
+
+def run_network_growth(
+    scale: float = 0.6,
+    fractions: Sequence[float] = (0.4, 0.6, 0.8, 1.0),
+    n_queries: int = 12,
+    datasets: Sequence[str] = ("dblp", "freebase", "gplus"),
+    seed: RngLike = 29,
+) -> ExperimentResult:
+    """Fig. 6(e-g): ARRIVAL running time vs network size, split into
+    positive and negative queries."""
+    rng = ensure_rng(seed)
+    rows = []
+    for key in datasets:
+        spec = DATASETS[key.lower()]
+        graph = snapshot_of(spec.build(scale=scale, seed=rng))
+        subs = nested_subgraphs(graph, list(fractions), seed=rng)
+        for fraction, (subgraph, _) in zip(fractions, subs):
+            generator = WorkloadGenerator(subgraph, seed=rng)
+            queries = generator.generate(n_queries, positive_bias=0.5)
+            walk_length = estimate_walk_length(subgraph, seed=rng)
+            num_walks = recommended_num_walks(subgraph.num_nodes)
+            records = evaluate_static_workload(
+                subgraph, queries, _factories(walk_length, num_walks, rng)
+            )
+            metrics = workload_metrics(records["ARRIVAL"])
+            rows.append(
+                (
+                    spec.name,
+                    f"{fraction:.0%}",
+                    subgraph.num_nodes,
+                    (metrics.mean_time_positive or 0) * 1000,
+                    (metrics.mean_time_negative or 0) * 1000,
+                )
+            )
+    return ExperimentResult(
+        title="Fig. 6(e-g): ARRIVAL query time (ms) vs network size",
+        headers=[
+            "Dataset",
+            "Fraction",
+            "|V|",
+            "Positive ms",
+            "Negative ms",
+        ],
+        rows=rows,
+        notes=[f"nested subgraphs at {list(fractions)} of scale={scale}"],
+    )
+
+
+def run_query_time_labels(
+    n_nodes: int = 600,
+    n_queries: int = 15,
+    seed: RngLike = 31,
+) -> ExperimentResult:
+    """Fig. 6(h-i): recall and speedup with the four DBLP query-time
+    label families instead of static labels."""
+    rng = ensure_rng(seed)
+    graph = dblp_like(n_nodes=n_nodes, seed=rng)
+    registry, thresholds = dblp_predicates(seed=rng)
+    predicates = [registry[name] for name in registry.names()]
+    generator = WorkloadGenerator(graph, seed=rng)
+    walk_length = estimate_walk_length(graph, seed=rng)
+    num_walks = recommended_num_walks(graph.num_nodes)
+    rows = []
+    for query_type in (1, 2, 3):
+        queries = generator.generate(
+            n_queries,
+            query_types=(query_type,),
+            symbols=predicates,
+            predicates=registry,
+            n_labels_range=(2, 4),
+            positive_bias=0.5,
+        )
+        records = evaluate_static_workload(
+            graph, queries, _factories(walk_length, num_walks, rng)
+        )
+        metrics = workload_metrics(records["ARRIVAL"], records["BBFS"])
+        rows.append(
+            (
+                f"Type {query_type}",
+                metrics.recall,
+                metrics.speedup_positive,
+                metrics.speedup_negative,
+                metrics.n_positive,
+                metrics.n_negative,
+            )
+        )
+    return ExperimentResult(
+        title="Fig. 6(h-i): query-time labels on DBLP "
+        "(highQuality/prolific/diverseAnd/diverseOr publishers)",
+        headers=[
+            "Query type",
+            "Recall",
+            "Speedup (pos)",
+            "Speedup (neg)",
+            "# pos",
+            "# neg",
+        ],
+        rows=rows,
+        notes=[f"predicate thresholds: {thresholds}"],
+    )

@@ -1,0 +1,225 @@
+"""Fig. 7 — negation, distance bounds, and the parameter K-sweeps.
+
+(a-b) negation queries: negation *enlarges* the compatible-path set, so
+recall approaches 1 and ARRIVAL's advantage concentrates on negative
+queries.
+(c-d) distance-bound queries: recall improves as the threshold grows
+(few bounded witnesses exist under tight thresholds).
+(e-f) number-of-walks sweep: recall and time both rise with
+K x numWalks.
+(g-h) walk-length sweep: recall rises; positive-query time can *drop*
+with longer walks (fewer restarts before a hit) — the paper's
+counter-intuitive observation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.core.arrival import Arrival
+from repro.core.parameters import estimate_walk_length, recommended_num_walks
+from repro.datasets.registry import DATASETS, snapshot_of
+from repro.experiments.harness import (
+    Oracle,
+    evaluate_static_workload,
+    evaluate_workload,
+    ground_truths,
+    workload_metrics,
+)
+from repro.experiments.report import ExperimentResult
+from repro.queries.workload import WorkloadGenerator
+from repro.rng import RngLike, ensure_rng
+
+
+def _factories(walk_length, num_walks, rng, **arrival_kwargs):
+    return {
+        "ARRIVAL": lambda g: Arrival(
+            g, walk_length=walk_length, num_walks=num_walks, seed=rng,
+            **arrival_kwargs,
+        ),
+        "BBFS": lambda g: BBFSEngine(
+            g, max_expansions=100_000, time_budget=3.0
+        ),
+    }
+
+
+def run_negation(
+    scale: float = 0.4,
+    n_queries: int = 12,
+    datasets: Sequence[str] = ("gplus", "dblp", "freebase"),
+    seed: RngLike = 37,
+) -> ExperimentResult:
+    """Fig. 7(a-b): negation queries."""
+    rng = ensure_rng(seed)
+    rows = []
+    for key in datasets:
+        spec = DATASETS[key.lower()]
+        graph = snapshot_of(spec.build(scale=scale, seed=rng))
+        generator = WorkloadGenerator(graph, seed=rng)
+        # negating a type-1 star gives the empty-complement corner case
+        # often; the paper generates all three types and negates them
+        queries = generator.generate(
+            n_queries, negate=True, n_labels_range=(2, 4)
+        )
+        walk_length = estimate_walk_length(graph, seed=rng)
+        num_walks = recommended_num_walks(graph.num_nodes)
+        records = evaluate_static_workload(
+            graph, queries, _factories(walk_length, num_walks, rng)
+        )
+        metrics = workload_metrics(records["ARRIVAL"], records["BBFS"])
+        rows.append(
+            (
+                spec.name,
+                metrics.recall,
+                metrics.speedup_positive,
+                metrics.speedup_negative,
+                metrics.n_positive,
+                metrics.n_negative,
+            )
+        )
+    return ExperimentResult(
+        title="Fig. 7(a-b): negation queries (recall and speedup)",
+        headers=[
+            "Dataset",
+            "Recall",
+            "Speedup (pos)",
+            "Speedup (neg)",
+            "# pos",
+            "# neg",
+        ],
+        rows=rows,
+        notes=["negation enlarges the compatible set; recall ~ 1 expected"],
+    )
+
+
+def run_distance_bounds(
+    scale: float = 0.4,
+    n_queries: int = 12,
+    thresholds: Sequence[int] = (2, 4, 8, 16),
+    datasets: Sequence[str] = ("dblp", "freebase"),
+    seed: RngLike = 41,
+) -> ExperimentResult:
+    """Fig. 7(c-d): distance-bounded queries."""
+    rng = ensure_rng(seed)
+    rows = []
+    for key in datasets:
+        spec = DATASETS[key.lower()]
+        graph = snapshot_of(spec.build(scale=scale, seed=rng))
+        generator = WorkloadGenerator(graph, seed=rng)
+        walk_length = estimate_walk_length(graph, seed=rng)
+        num_walks = recommended_num_walks(graph.num_nodes)
+        for threshold in thresholds:
+            queries = generator.generate(
+                n_queries, distance_bound=threshold, positive_bias=0.5
+            )
+            records = evaluate_static_workload(
+                graph, queries, _factories(walk_length, num_walks, rng)
+            )
+            metrics = workload_metrics(records["ARRIVAL"], records["BBFS"])
+            rows.append(
+                (
+                    spec.name,
+                    threshold,
+                    metrics.recall,
+                    metrics.speedup_positive,
+                    metrics.speedup_negative,
+                    metrics.n_positive,
+                    metrics.n_negative,
+                )
+            )
+    return ExperimentResult(
+        title="Fig. 7(c-d): distance-bounded queries "
+        "(recall vs threshold; speedup)",
+        headers=[
+            "Dataset",
+            "Threshold",
+            "Recall",
+            "Speedup (pos)",
+            "Speedup (neg)",
+            "# pos",
+            "# neg",
+        ],
+        rows=rows,
+    )
+
+
+def _parameter_sweep(
+    parameter: str,
+    ks: Sequence[float],
+    scale: float,
+    n_queries: int,
+    datasets: Sequence[str],
+    seed: RngLike,
+) -> ExperimentResult:
+    rng = ensure_rng(seed)
+    rows = []
+    for key in datasets:
+        spec = DATASETS[key.lower()]
+        graph = snapshot_of(spec.build(scale=scale, seed=rng))
+        generator = WorkloadGenerator(graph, seed=rng)
+        queries = generator.generate(n_queries, positive_bias=0.5)
+        walk_length = estimate_walk_length(graph, seed=rng)
+        num_walks = recommended_num_walks(graph.num_nodes)
+        # one oracle pass is shared by every K value
+        oracle = Oracle(graph)
+        truths = ground_truths(oracle, queries)
+        for k in ks:
+            if parameter == "num_walks":
+                engine = Arrival(
+                    graph,
+                    walk_length=walk_length,
+                    num_walks=max(1, round(k * num_walks)),
+                    seed=rng,
+                )
+            else:
+                engine = Arrival(
+                    graph,
+                    walk_length=max(2, round(k * walk_length)),
+                    num_walks=num_walks,
+                    seed=rng,
+                )
+            metrics = workload_metrics(
+                evaluate_workload(engine, queries, truths)
+            )
+            rows.append(
+                (
+                    spec.name,
+                    k,
+                    metrics.recall,
+                    (metrics.mean_time_positive or 0) * 1000,
+                    (metrics.mean_time_negative or 0) * 1000,
+                )
+            )
+    title = (
+        "Fig. 7(e-f): recall and time vs K x numWalks"
+        if parameter == "num_walks"
+        else "Fig. 7(g-h): recall and time vs K x walkLength"
+    )
+    return ExperimentResult(
+        title=title,
+        headers=["Dataset", "K", "Recall", "Positive ms", "Negative ms"],
+        rows=rows,
+    )
+
+
+def run_num_walks_sweep(
+    scale: float = 0.4,
+    n_queries: int = 12,
+    ks: Sequence[float] = (0.2, 0.5, 1.0, 1.5, 2.0),
+    datasets: Sequence[str] = ("dblp", "freebase"),
+    seed: RngLike = 43,
+) -> ExperimentResult:
+    """Fig. 7(e-f)."""
+    return _parameter_sweep("num_walks", ks, scale, n_queries, datasets, seed)
+
+
+def run_walk_length_sweep(
+    scale: float = 0.4,
+    n_queries: int = 12,
+    ks: Sequence[float] = (0.2, 0.5, 1.0, 1.5, 2.0),
+    datasets: Sequence[str] = ("dblp", "freebase"),
+    seed: RngLike = 47,
+) -> ExperimentResult:
+    """Fig. 7(g-h)."""
+    return _parameter_sweep("walk_length", ks, scale, n_queries, datasets, seed)

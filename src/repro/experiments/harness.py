@@ -1,0 +1,260 @@
+"""Shared experiment machinery: ground truth, timing, metrics.
+
+**Ground truth.**  RSPQ is NP-hard, so the oracle combines a polynomial
+shortcut with the exhaustive BBFS:
+
+1. product-graph search (arbitrary-path semantics): *unreachable* there
+   implies unreachable under simple-path semantics; a *simple* witness
+   implies reachable;
+2. only the ambiguous remainder (reachable by some walk, but no simple
+   witness found yet) falls through to exhaustive BBFS, with a budget.
+
+Queries whose truth stays undecided within budget are dropped from
+recall/precision aggregation (and counted, so experiments can report
+how many).
+
+**Metrics.**  Following Sec. 5.2.4: a query is *positive* if the target
+is truly reachable.  ARRIVAL has no false positives, so quality is
+recall = fraction of positive queries answered reachable (equivalently
+1 - false-negative rate); precision is asserted to be 1.  Efficiency is
+the per-query speedup ``t_baseline / t_engine`` averaged over the
+workload, as the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.product_bfs import product_reachability
+from repro.core.result import QueryResult
+from repro.graph.labeled_graph import LabeledGraph
+from repro.queries.query import RSPQuery
+from repro.regex.matcher import resolve_elements
+
+#: builds an engine for one (snapshot of a) graph
+EngineFactory = Callable[[LabeledGraph], object]
+
+
+class Oracle:
+    """Exact (budgeted) RSPQ ground truth for a static graph."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        elements: Optional[str] = None,
+        product_budget: int = 400_000,
+        bbfs_expansions: int = 300_000,
+        bbfs_time_budget: Optional[float] = 10.0,
+    ):
+        self.graph = graph
+        self.elements = resolve_elements(graph, elements)
+        self.product_budget = product_budget
+        self._bbfs = BBFSEngine(
+            graph,
+            elements=self.elements,
+            max_expansions=bbfs_expansions,
+            time_budget=bbfs_time_budget,
+        )
+        self.undecided = 0
+
+    def ground_truth(self, query: RSPQuery) -> Optional[bool]:
+        """True/False when provable within budget, else None."""
+        compiled = query.compiled()
+        bound = query.distance_bound
+        min_bound = query.min_distance
+        product = product_reachability(
+            self.graph,
+            query.source,
+            query.target,
+            compiled,
+            self.elements,
+            max_visits=self.product_budget,
+        )
+        if not product.reachable and product.exact:
+            return False  # no walk at all => no simple path either
+        if (
+            product.reachable
+            and product.path_is_simple
+            and (bound is None or len(product.path) - 1 <= bound)
+            and (min_bound is None or len(product.path) - 1 >= min_bound)
+        ):
+            return True
+        result = self._bbfs.query(query)
+        if result.reachable:
+            return True
+        if result.exact:
+            return False
+        self.undecided += 1
+        return None
+
+
+@dataclass
+class EvalRecord:
+    """One query's outcome under one engine."""
+
+    query: RSPQuery
+    truth: Optional[bool]
+    result: QueryResult
+    elapsed: float
+
+
+def time_query(engine, query: RSPQuery):
+    """Run one query, returning (result, wall seconds)."""
+    start = time.perf_counter()
+    result = engine.query(query)
+    return result, time.perf_counter() - start
+
+
+def evaluate_workload(
+    engine,
+    queries: Sequence[RSPQuery],
+    truths: Sequence[Optional[bool]],
+) -> List[EvalRecord]:
+    """Run a workload against one engine, timing each query."""
+    records = []
+    for query, truth in zip(queries, truths):
+        result, elapsed = time_query(engine, query)
+        records.append(EvalRecord(query, truth, result, elapsed))
+    return records
+
+
+def ground_truths(
+    oracle: Oracle, queries: Sequence[RSPQuery]
+) -> List[Optional[bool]]:
+    """Oracle truth per query."""
+    return [oracle.ground_truth(query) for query in queries]
+
+
+def evaluate_static_workload(
+    graph: LabeledGraph,
+    queries: Sequence[RSPQuery],
+    engine_factories: Dict[str, "EngineFactory"],
+    oracle: Optional[Oracle] = None,
+) -> Dict[str, List[EvalRecord]]:
+    """Run a workload against several engines on one static graph.
+
+    Returns per-engine record lists in workload order, all sharing the
+    same oracle truths, so :func:`workload_metrics` can pair any engine
+    with any baseline.
+    """
+    if oracle is None:
+        oracle = Oracle(graph)
+    truths = ground_truths(oracle, queries)
+    engines = {name: factory(graph) for name, factory in engine_factories.items()}
+    return {
+        name: evaluate_workload(engine, queries, truths)
+        for name, engine in engines.items()
+    }
+
+
+def evaluate_temporal_workload(
+    temporal,
+    queries: Sequence[RSPQuery],
+    engine_factories: Dict[str, "EngineFactory"],
+    oracle_kwargs: Optional[dict] = None,
+) -> Dict[str, List[EvalRecord]]:
+    """Per-query snapshot evaluation for dynamic graphs (Sec. 2).
+
+    Each query is answered against ``temporal.snapshot(query.time)``.
+    Queries are processed in time order so the snapshot cache replays
+    the event log once overall; engines are (cheaply — they are
+    index-free) rebuilt per snapshot.
+    """
+    oracle_kwargs = oracle_kwargs or {}
+    order = sorted(range(len(queries)), key=lambda i: queries[i].time or 0.0)
+    per_engine: Dict[str, List[Optional[EvalRecord]]] = {
+        name: [None] * len(queries) for name in engine_factories
+    }
+    for index in order:
+        query = queries[index]
+        snapshot = temporal.snapshot(
+            query.time if query.time is not None else float("inf")
+        )
+        truth = Oracle(snapshot, **oracle_kwargs).ground_truth(query)
+        for name, factory in engine_factories.items():
+            engine = factory(snapshot)
+            result, elapsed = time_query(engine, query)
+            per_engine[name][index] = EvalRecord(query, truth, result, elapsed)
+    return {name: list(records) for name, records in per_engine.items()}
+
+
+@dataclass
+class WorkloadMetrics:
+    """Aggregated quality/efficiency numbers for one engine on one
+    workload (the quantities the paper's tables and figures plot)."""
+
+    n_queries: int = 0
+    n_positive: int = 0
+    n_negative: int = 0
+    n_undecided: int = 0
+    recall: Optional[float] = None
+    precision: Optional[float] = None
+    mean_time: float = 0.0
+    mean_time_positive: Optional[float] = None
+    mean_time_negative: Optional[float] = None
+    #: mean per-query t_baseline / t_engine (None without a baseline)
+    speedup: Optional[float] = None
+    speedup_positive: Optional[float] = None
+    speedup_negative: Optional[float] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def workload_metrics(
+    records: Sequence[EvalRecord],
+    baseline_records: Optional[Sequence[EvalRecord]] = None,
+) -> WorkloadMetrics:
+    """Compute recall/precision/speedup following Sec. 5.2.4.
+
+    ``baseline_records`` must be the same workload in the same order
+    (typically BBFS) to produce speedups.
+    """
+    metrics = WorkloadMetrics(n_queries=len(records))
+    positive_hits: List[bool] = []
+    answered_positive_truths: List[bool] = []
+    times_positive: List[float] = []
+    times_negative: List[float] = []
+    speedups: List[float] = []
+    speedups_positive: List[float] = []
+    speedups_negative: List[float] = []
+
+    for index, record in enumerate(records):
+        if record.truth is None:
+            metrics.n_undecided += 1
+            continue
+        if record.truth:
+            metrics.n_positive += 1
+            positive_hits.append(record.result.reachable)
+            times_positive.append(record.elapsed)
+        else:
+            metrics.n_negative += 1
+            times_negative.append(record.elapsed)
+        if record.result.reachable:
+            answered_positive_truths.append(record.truth)
+        if baseline_records is not None:
+            baseline = baseline_records[index]
+            ratio = baseline.elapsed / max(record.elapsed, 1e-9)
+            speedups.append(ratio)
+            (speedups_positive if record.truth else speedups_negative).append(
+                ratio
+            )
+
+    if positive_hits:
+        metrics.recall = sum(positive_hits) / len(positive_hits)
+    if answered_positive_truths:
+        metrics.precision = sum(answered_positive_truths) / len(
+            answered_positive_truths
+        )
+    metrics.mean_time = _mean([r.elapsed for r in records]) or 0.0
+    metrics.mean_time_positive = _mean(times_positive)
+    metrics.mean_time_negative = _mean(times_negative)
+    metrics.speedup = _mean(speedups)
+    metrics.speedup_positive = _mean(speedups_positive)
+    metrics.speedup_negative = _mean(speedups_negative)
+    return metrics

@@ -1,0 +1,37 @@
+"""Memory accounting for the Fig. 4 comparison.
+
+LI's cost is its index (:meth:`LandmarkIndex.memory_bytes`, analytic).
+ARRIVAL is index-free: its only per-query storage is the two meeting
+hashmaps and walk stores, bounded by O(walkLength x numWalks) entries
+(Sec. 3.2.1).  :func:`arrival_peak_query_bytes` converts the measured
+entry counts of sample queries into bytes with the same per-entry
+constants the LI accounting uses, so the two series in Fig. 4 are
+comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.arrival import Arrival
+from repro.queries.query import RSPQuery
+
+# key tuple + hash bucket + list entry, mirroring landmark.py's constants
+_BYTES_PER_MEETING_ENTRY = 112
+
+
+def arrival_peak_query_bytes(
+    engine: Arrival, queries: Sequence[RSPQuery], limit: Optional[int] = None
+) -> int:
+    """Peak per-query working-set estimate over sample queries."""
+    peak = 0
+    for query in queries[:limit]:
+        result = engine.query(query)
+        stored = result.info.get("stored_keys", 0)
+        peak = max(peak, stored * _BYTES_PER_MEETING_ENTRY)
+    return peak
+
+
+def arrival_bound_bytes(walk_length: int, num_walks: int) -> int:
+    """The analytic O(walkLength x numWalks) storage bound."""
+    return walk_length * num_walks * _BYTES_PER_MEETING_ENTRY

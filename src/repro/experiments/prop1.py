@@ -1,0 +1,111 @@
+"""Empirical validation of Proposition 1 (Sec. 4.1).
+
+On strongly connected directed graphs, setting walkLength to the
+diameter and numWalks to ``(16 n² ln n / α²)^(1/3)`` makes forward and
+backward walk sets overlap with probability at least ``1 - 1/n``.  This
+experiment measures the overlap probability on random strongly
+connected graphs at the prescribed parameters and at fractions of them,
+showing (a) the bound holds with room to spare at K = 1 and (b) success
+decays as the walk budget is starved — the empirical justification for
+the paper's parameter choices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.parameters import (
+    StationaryOverlapEstimator,
+    recommended_num_walks,
+    theoretical_num_walks,
+)
+from repro.core.unlabeled import (
+    UnlabeledWalkReachability,
+    measure_overlap_probability,
+)
+from repro.experiments.report import ExperimentResult
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.stats import diameter_upper_bound
+from repro.rng import RngLike, ensure_rng
+
+
+def strongly_connected_random_graph(
+    n_nodes: int, extra_edges: int, seed: RngLike = None
+) -> LabeledGraph:
+    """A random digraph guaranteed strongly connected: a Hamiltonian
+    ring plus ``extra_edges`` random chords."""
+    rng = ensure_rng(seed)
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(n_nodes)
+    order = list(rng.permutation(n_nodes))
+    for index, node in enumerate(order):
+        graph.add_edge(int(node), int(order[(index + 1) % n_nodes]))
+    added = 0
+    while added < extra_edges:
+        u = int(rng.integers(n_nodes))
+        v = int(rng.integers(n_nodes))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def estimate_alpha(
+    graph: LabeledGraph, walk_length: int, samples: int, seed: RngLike
+) -> float:
+    """Robust undirectedness (Eq. 2) from walk-endpoint sampling."""
+    rng = ensure_rng(seed)
+    engine = UnlabeledWalkReachability(
+        graph, walk_length=walk_length, num_walks=0, seed=rng
+    )
+    estimator = StationaryOverlapEstimator()
+    nodes = list(graph.nodes())
+    for _ in range(samples):
+        start = nodes[int(rng.integers(len(nodes)))]
+        estimator.record_forward(engine._walk(start, forward=True)[-1])
+        start = nodes[int(rng.integers(len(nodes)))]
+        estimator.record_backward(engine._walk(start, forward=False)[-1])
+    return estimator.alpha(graph.num_nodes) or 0.0
+
+
+def run(
+    n_nodes: int = 600,
+    extra_edges: int = 1800,
+    ks: Sequence[float] = (0.02, 0.05, 0.1, 0.25, 1.0),
+    n_trials: int = 25,
+    seed: RngLike = 61,
+) -> ExperimentResult:
+    """Measure overlap probability at K x the prescribed numWalks."""
+    rng = ensure_rng(seed)
+    graph = strongly_connected_random_graph(n_nodes, extra_edges, seed=rng)
+    diameter = diameter_upper_bound(graph, sample_size=min(48, n_nodes),
+                                    seed=rng)
+    alpha = estimate_alpha(graph, walk_length=4 * diameter,
+                           samples=400, seed=rng)
+    if alpha > 0:
+        prescribed = theoretical_num_walks(n_nodes, alpha)
+    else:
+        prescribed = recommended_num_walks(n_nodes)
+
+    rows = []
+    for k in ks:
+        num_walks = max(2, round(k * prescribed))
+        probability = measure_overlap_probability(
+            graph,
+            walk_length=diameter,
+            num_walks=num_walks,
+            n_trials=n_trials,
+            seed=rng,
+        )
+        rows.append((k, num_walks, probability, 1 - 1 / n_nodes))
+    return ExperimentResult(
+        title="Proposition 1 validation: walk-overlap probability on a "
+        f"strongly connected digraph (n={n_nodes}, diameter~{diameter}, "
+        f"alpha~{alpha:.3f})",
+        headers=["K", "numWalks", "P(overlap)", "bound at K=1"],
+        rows=rows,
+        notes=[
+            "Proposition 1 guarantees P >= 1 - 1/n at K = 1; starving "
+            "the budget (K < 1) should visibly lower P",
+        ],
+    )

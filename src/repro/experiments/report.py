@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment outputs.
+
+Experiments return :class:`ExperimentResult` — a titled table plus
+free-form notes — and the benchmark harness prints its ``render()``
+output so each bench reproduces the paper's rows/series verbatim in the
+terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    for row in text_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure series."""
+
+    title: str
+    headers: List[str]
+    rows: List[Sequence[Any]]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full printable report."""
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one named column (for assertions in tests)."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]

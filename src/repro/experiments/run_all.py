@@ -1,0 +1,122 @@
+"""Run every experiment and write a combined report.
+
+The one-shot regeneration entry point behind
+``python -m repro.experiments.run_all [out_dir]`` — every table and
+figure of the paper plus the extension studies, rendered to one markdown
+file and individual text files.  The benchmark suite does the same work
+with timing (preferred for performance numbers); this module exists for
+environments without pytest and for quickly eyeballing all shapes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+    prop1,
+    scaling,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.report import ExperimentResult
+
+
+def default_runners(
+    scale: float = 0.25, n_queries: int = 8, seed: int = 7
+) -> Dict[str, Callable[[], ExperimentResult]]:
+    """All experiments at quick-look parameters, keyed by artifact name."""
+    return {
+        "table1": lambda: table1.run(),
+        "table2": lambda: table2.run(scale=scale, seed=seed),
+        "table3": lambda: table3.run(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig4_size": lambda: fig4.run_size_sweep(
+            n_nodes=600, n_queries=n_queries, seed=seed
+        ),
+        "fig4_labels": lambda: fig4.run_label_sweep(
+            n_nodes=400, n_queries=n_queries, seed=seed
+        ),
+        "fig5_query_types": lambda: fig5.run_query_types(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig5_label_sizes": lambda: fig5.run_label_set_size(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig6_buckets": lambda: fig6.run_density_buckets(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig6_growth": lambda: fig6.run_network_growth(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig6_query_time_labels": lambda: fig6.run_query_time_labels(
+            n_nodes=300, n_queries=n_queries, seed=seed
+        ),
+        "fig7_negation": lambda: fig7.run_negation(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig7_distance": lambda: fig7.run_distance_bounds(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig7_num_walks": lambda: fig7.run_num_walks_sweep(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig7_walk_length": lambda: fig7.run_walk_length_sweep(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+        "fig9": lambda: fig9.run(scale=scale, seed=seed),
+        "prop1": lambda: prop1.run(n_nodes=300, extra_edges=900,
+                                   n_trials=12, seed=seed),
+        "scaling": lambda: scaling.run(
+            sizes=(300, 600, 1200), n_queries=n_queries, seed=seed
+        ),
+        "ablations": lambda: ablations.run(
+            scale=scale, n_queries=n_queries, seed=seed
+        ),
+    }
+
+
+def run_all(
+    out_dir: str = "results",
+    scale: float = 0.25,
+    n_queries: int = 8,
+    seed: int = 7,
+    echo: bool = True,
+) -> Path:
+    """Run everything; returns the path of the combined markdown report."""
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    sections = []
+    for name, runner in default_runners(scale, n_queries, seed).items():
+        start = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - start
+        text = result.render()
+        (out_path / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        sections.append(f"## {name} ({elapsed:.1f}s)\n\n```\n{text}\n```\n")
+        if echo:
+            print(f"[{name}: {elapsed:.1f}s]")
+            print(text)
+            print()
+    report = out_path / "ALL_RESULTS.md"
+    report.write_text(
+        "# Regenerated tables and figures\n\n" + "\n".join(sections),
+        encoding="utf-8",
+    )
+    return report
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else "results"
+    report_path = run_all(target)
+    print(f"\ncombined report: {report_path}")

@@ -1,0 +1,108 @@
+"""Table 3 — average recall of ARRIVAL and running times of ARRIVAL,
+RL and BBFS on every dataset.
+
+The paper's headline numbers: recall >= 0.86 everywhere while ARRIVAL
+runs orders of magnitude faster than BBFS and at least ~30-40x faster
+than RL.  StackOverflow queries carry timestamps and are answered on
+per-query snapshots; the other four datasets are static.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.rare_labels import RareLabelsEngine
+from repro.core.arrival import Arrival
+from repro.core.parameters import estimate_walk_length, recommended_num_walks
+from repro.datasets.registry import DATASETS, snapshot_of
+from repro.experiments.harness import (
+    evaluate_static_workload,
+    evaluate_temporal_workload,
+    workload_metrics,
+)
+from repro.experiments.report import ExperimentResult
+from repro.graph.temporal import TemporalGraph
+from repro.queries.workload import WorkloadGenerator
+from repro.rng import RngLike, ensure_rng
+
+
+def _engine_factories(walk_length: int, num_walks: int, seed):
+    return {
+        "ARRIVAL": lambda g: Arrival(
+            g, walk_length=walk_length, num_walks=num_walks, seed=seed
+        ),
+        "RL": lambda g: RareLabelsEngine(g),
+        "BBFS": lambda g: BBFSEngine(
+            g, max_expansions=200_000, time_budget=5.0
+        ),
+    }
+
+
+def run(
+    scale: float = 0.5,
+    n_queries: int = 40,
+    seed: RngLike = 7,
+    datasets: Optional[Dict] = None,
+) -> ExperimentResult:
+    """Regenerate Table 3."""
+    rng = ensure_rng(seed)
+    specs = datasets or DATASETS
+    rows = []
+    for key, spec in specs.items():
+        built = spec.build(scale=scale, seed=rng)
+        if isinstance(built, TemporalGraph):
+            latest = snapshot_of(built)
+            generator = WorkloadGenerator(latest, seed=rng)
+            queries = generator.generate(
+                n_queries, time_range=built.time_range()
+            )
+            walk_length = estimate_walk_length(latest, seed=rng)
+            num_walks = recommended_num_walks(latest.num_nodes)
+            records = evaluate_temporal_workload(
+                built,
+                queries,
+                _engine_factories(walk_length, num_walks, rng),
+            )
+        else:
+            generator = WorkloadGenerator(built, seed=rng)
+            queries = generator.generate(n_queries)
+            walk_length = estimate_walk_length(built, seed=rng)
+            num_walks = recommended_num_walks(built.num_nodes)
+            records = evaluate_static_workload(
+                built,
+                queries,
+                _engine_factories(walk_length, num_walks, rng),
+            )
+        arrival = workload_metrics(records["ARRIVAL"], records["BBFS"])
+        rl = workload_metrics(records["RL"])
+        bbfs = workload_metrics(records["BBFS"])
+        rows.append(
+            (
+                spec.name,
+                arrival.recall,
+                arrival.precision,
+                arrival.mean_time * 1000,
+                rl.mean_time * 1000,
+                bbfs.mean_time * 1000,
+                arrival.speedup,
+            )
+        )
+    return ExperimentResult(
+        title="Table 3: recall and running times (ms)",
+        headers=[
+            "Dataset",
+            "Recall",
+            "Precision",
+            "ARRIVAL ms",
+            "RL ms",
+            "BBFS ms",
+            "Speedup vs BBFS",
+        ],
+        rows=rows,
+        notes=[
+            f"scale={scale}, {n_queries} mixed type-1/2/3 queries per "
+            "dataset, frequency-proportional labels (Sec. 5.2.2)",
+            "precision is 1 by construction (no false positives)",
+        ],
+    )

@@ -1,0 +1,21 @@
+"""Multi-labeled graph substrate.
+
+Provides the static :class:`~repro.graph.labeled_graph.LabeledGraph`, the
+dynamic :class:`~repro.graph.temporal.TemporalGraph`, the paper's nested
+BFS-tree subgraph extraction, statistics used by Table 2 / Fig. 9, and
+simple persistence.
+"""
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.temporal import TemporalGraph, GraphEvent
+from repro.graph.subgraph import extract_bfs_subgraph, nested_subgraphs
+
+__all__ = [
+    "LabeledGraph",
+    "GraphBuilder",
+    "TemporalGraph",
+    "GraphEvent",
+    "extract_bfs_subgraph",
+    "nested_subgraphs",
+]

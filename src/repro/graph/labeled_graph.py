@@ -1,0 +1,319 @@
+"""The multi-labeled graph of Definition 1.
+
+A :class:`LabeledGraph` is a triple ``G = (V, E, L)`` where nodes and edges
+each carry zero or more labels from a finite label set ``L``, plus optional
+attribute dictionaries that query-time labels (Definition 7) are evaluated
+against.  Graphs may be directed or undirected and make no structural
+assumptions (no acyclicity, no strong connectedness).
+
+Nodes are dense integer ids ``0..n-1`` — the representation every other
+subsystem (walks, BFS baselines, indexes) relies on for speed.  Use
+:class:`repro.graph.builder.GraphBuilder` when constructing from named
+entities.
+
+Deletion support exists for the dynamic-graph extension: deleted nodes keep
+their id (ids are never recycled) but disappear from adjacency and from
+``nodes()`` iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.labels import EMPTY_LABELS, LabelSet, as_label_set
+
+_EMPTY_ATTRS: Mapping[str, Any] = {}
+
+
+class LabeledGraph:
+    """A directed or undirected multi-labeled graph.
+
+    Parameters
+    ----------
+    directed:
+        If False, every edge is traversable both ways and ``(u, v)`` and
+        ``(v, u)`` denote the same edge (labels/attrs are shared).
+    """
+
+    def __init__(self, directed: bool = True):
+        self.directed = directed
+        #: which elements of a path contribute symbols to its label
+        #: sequence: "nodes", "edges", "both", or None (= infer from where
+        #: labels actually occur).  Datasets set this explicitly; e.g. the
+        #: DBLP-like graph consumes node symbols even though its "labels"
+        #: are query-time predicates over attributes.
+        self.labeled_elements: Optional[str] = None
+        self._out: List[List[int]] = []
+        self._in: List[List[int]] = []
+        self._node_labels: List[LabelSet] = []
+        self._node_attrs: List[Optional[Dict[str, Any]]] = []
+        self._edge_labels: Dict[Tuple[int, int], LabelSet] = {}
+        self._edge_attrs: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        self._alive: List[bool] = []
+        self._num_alive = 0
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, labels: Any = None, attrs: Optional[Dict[str, Any]] = None) -> int:
+        """Add a node and return its id."""
+        node = len(self._out)
+        self._out.append([])
+        self._in.append([])
+        self._node_labels.append(as_label_set(labels))
+        self._node_attrs.append(dict(attrs) if attrs else None)
+        self._alive.append(True)
+        self._num_alive += 1
+        return node
+
+    def add_nodes(self, count: int) -> range:
+        """Add ``count`` unlabeled nodes; returns their id range."""
+        first = len(self._out)
+        for _ in range(count):
+            self.add_node()
+        return range(first, first + count)
+
+    def add_edge(
+        self,
+        u: int,
+        v: int,
+        labels: Any = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Add edge ``u -> v`` (both directions when undirected).
+
+        Parallel edges are not supported: re-adding an existing edge
+        replaces its labels/attributes instead.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loops are not supported (node {u})")
+        key = self._edge_key(u, v)
+        if key not in self._edge_labels:
+            self._out[u].append(v)
+            self._in[v].append(u)
+            if not self.directed:
+                self._out[v].append(u)
+                self._in[u].append(v)
+            self._num_edges += 1
+        self._edge_labels[key] = as_label_set(labels)
+        if attrs:
+            self._edge_attrs[key] = dict(attrs)
+        elif key in self._edge_attrs:
+            del self._edge_attrs[key]
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``u -> v``; raises GraphError if absent."""
+        key = self._edge_key(u, v)
+        if key not in self._edge_labels:
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        del self._edge_labels[key]
+        self._edge_attrs.pop(key, None)
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        if not self.directed:
+            self._out[v].remove(u)
+            self._in[u].remove(v)
+        self._num_edges -= 1
+
+    def remove_node(self, node: int) -> None:
+        """Remove a node and all its incident edges.
+
+        The id is retired, not recycled, so existing references stay
+        meaningful in temporal replays.
+        """
+        self._check_node(node)
+        for v in list(self._out[node]):
+            self.remove_edge(node, v)
+        for u in list(self._in[node]):
+            if self.has_edge(u, node):
+                self.remove_edge(u, node)
+        self._alive[node] = False
+        self._num_alive -= 1
+
+    def set_node_labels(self, node: int, labels: Any) -> None:
+        """Replace a node's label set (an "information change")."""
+        self._check_node(node)
+        self._node_labels[node] = as_label_set(labels)
+
+    def set_node_attrs(self, node: int, attrs: Optional[Dict[str, Any]]) -> None:
+        """Replace a node's attribute dict."""
+        self._check_node(node)
+        self._node_attrs[node] = dict(attrs) if attrs else None
+
+    def set_edge_labels(self, u: int, v: int, labels: Any) -> None:
+        """Replace an edge's label set."""
+        key = self._edge_key(u, v)
+        if key not in self._edge_labels:
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        self._edge_labels[key] = as_label_set(labels)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of live nodes."""
+        return self._num_alive
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (each undirected edge counted once)."""
+        return self._num_edges
+
+    @property
+    def max_node_id(self) -> int:
+        """One past the largest node id ever allocated."""
+        return len(self._out)
+
+    def is_alive(self, node: int) -> bool:
+        """True if the node exists and has not been removed."""
+        return 0 <= node < len(self._alive) and self._alive[node]
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over live node ids."""
+        for node, alive in enumerate(self._alive):
+            if alive:
+                yield node
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as canonical ``(u, v)`` keys."""
+        return iter(self._edge_labels)
+
+    def out_neighbors(self, node: int) -> List[int]:
+        """Nodes reachable by one outgoing edge from ``node``."""
+        return self._out[node]
+
+    def in_neighbors(self, node: int) -> List[int]:
+        """Nodes with an edge into ``node``."""
+        return self._in[node]
+
+    def out_degree(self, node: int) -> int:
+        """Number of outgoing edges."""
+        return len(self._out[node])
+
+    def in_degree(self, node: int) -> int:
+        """Number of incoming edges."""
+        return len(self._in[node])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if edge ``u -> v`` exists."""
+        return self._edge_key(u, v) in self._edge_labels
+
+    def node_labels(self, node: int) -> LabelSet:
+        """The node's label set (possibly empty)."""
+        return self._node_labels[node]
+
+    def node_attrs(self, node: int) -> Mapping[str, Any]:
+        """The node's attribute dict (read-only empty dict if unset)."""
+        attrs = self._node_attrs[node]
+        return attrs if attrs is not None else _EMPTY_ATTRS
+
+    def edge_labels(self, u: int, v: int) -> LabelSet:
+        """The edge's label set (empty frozenset if edge has no labels)."""
+        return self._edge_labels.get(self._edge_key(u, v), EMPTY_LABELS)
+
+    def edge_attrs(self, u: int, v: int) -> Mapping[str, Any]:
+        """The edge's attribute dict."""
+        return self._edge_attrs.get(self._edge_key(u, v), _EMPTY_ATTRS)
+
+    # ------------------------------------------------------------------
+    # label-set level views
+    # ------------------------------------------------------------------
+    @property
+    def has_node_labels(self) -> bool:
+        """True if any live node carries at least one label."""
+        return any(
+            self._node_labels[n] for n, a in enumerate(self._alive) if a
+        )
+
+    @property
+    def has_edge_labels(self) -> bool:
+        """True if any edge carries at least one label."""
+        return any(self._edge_labels.values())
+
+    def label_alphabet(self) -> LabelSet:
+        """The set L of all labels appearing on live nodes or edges."""
+        labels = set()
+        for node, alive in enumerate(self._alive):
+            if alive:
+                labels.update(self._node_labels[node])
+        for edge_labels in self._edge_labels.values():
+            labels.update(edge_labels)
+        return frozenset(labels)
+
+    def node_label_counts(self) -> Dict[str, int]:
+        """label -> number of live nodes carrying it."""
+        counts: Dict[str, int] = {}
+        for node, alive in enumerate(self._alive):
+            if not alive:
+                continue
+            for label in self._node_labels[node]:
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def edge_label_counts(self) -> Dict[str, int]:
+        """label -> number of edges carrying it."""
+        counts: Dict[str, int] = {}
+        for edge_labels in self._edge_labels.values():
+            for label in edge_labels:
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "LabeledGraph":
+        """Deep-enough copy: structure and labels copied, attrs re-dicted."""
+        clone = LabeledGraph(directed=self.directed)
+        clone.labeled_elements = self.labeled_elements
+        clone._out = [list(adj) for adj in self._out]
+        clone._in = [list(adj) for adj in self._in]
+        clone._node_labels = list(self._node_labels)
+        clone._node_attrs = [
+            dict(a) if a is not None else None for a in self._node_attrs
+        ]
+        clone._edge_labels = dict(self._edge_labels)
+        clone._edge_attrs = {k: dict(v) for k, v in self._edge_attrs.items()}
+        clone._alive = list(self._alive)
+        clone._num_alive = self._num_alive
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"LabeledGraph({kind}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+    def _edge_key(self, u: int, v: int) -> Tuple[int, int]:
+        if self.directed or u <= v:
+            return (u, v)
+        return (v, u)
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < len(self._alive)) or not self._alive[node]:
+            raise GraphError(f"node {node} does not exist")
+
+
+def induced_subgraph(graph: LabeledGraph, nodes: Iterable[int]) -> Tuple[LabeledGraph, Dict[int, int]]:
+    """Subgraph induced by ``nodes``; returns (subgraph, old_id -> new_id)."""
+    mapping: Dict[int, int] = {}
+    sub = LabeledGraph(directed=graph.directed)
+    sub.labeled_elements = graph.labeled_elements
+    for old in nodes:
+        attrs = graph.node_attrs(old)
+        mapping[old] = sub.add_node(
+            graph.node_labels(old), dict(attrs) if attrs else None
+        )
+    for (u, v), labels in graph._edge_labels.items():
+        if u in mapping and v in mapping:
+            attrs = graph.edge_attrs(u, v)
+            sub.add_edge(
+                mapping[u], mapping[v], labels, dict(attrs) if attrs else None
+            )
+    return sub, mapping

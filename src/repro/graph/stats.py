@@ -1,0 +1,220 @@
+"""Graph statistics backing Table 2, Fig. 9 and walkLength estimation.
+
+* :func:`summarize` produces the per-dataset row of Table 2.
+* :func:`label_frequency_distribution` produces the Fig. 9 series: for
+  each label, the proportion of nodes (or edges) carrying it.
+* :func:`diameter_upper_bound` implements the Sec. 4.3 procedure — BFS
+  shortest-path trees from ``s`` sampled roots, taking the deepest leaf
+  over all trees (the graphs are unweighted, so BFS plays the role the
+  paper assigns to Dijkstra).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One row of Table 2."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_labels: int
+    directed: bool
+    node_labels: bool
+    edge_labels: bool
+    dynamic: bool = False
+
+    def as_row(self) -> Tuple:
+        """Tuple in the column order of Table 2."""
+        def mark(flag: bool) -> str:
+            return "yes" if flag else ""
+
+        return (
+            self.name,
+            self.num_nodes,
+            self.num_edges,
+            self.num_labels,
+            mark(self.directed),
+            mark(self.node_labels),
+            mark(self.edge_labels),
+            mark(self.dynamic),
+        )
+
+
+def summarize(
+    graph: LabeledGraph, name: str = "", dynamic: bool = False
+) -> GraphSummary:
+    """Compute the Table 2 row for a graph."""
+    return GraphSummary(
+        name=name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_labels=len(graph.label_alphabet()),
+        directed=graph.directed,
+        node_labels=graph.has_node_labels,
+        edge_labels=graph.has_edge_labels,
+        dynamic=dynamic,
+    )
+
+
+def degree_distribution(graph: LabeledGraph) -> Dict[int, int]:
+    """out-degree -> number of nodes with that out-degree."""
+    counts: Dict[int, int] = {}
+    for node in graph.nodes():
+        degree = graph.out_degree(node)
+        counts[degree] = counts.get(degree, 0) + 1
+    return counts
+
+
+def average_degree(graph: LabeledGraph) -> float:
+    """Mean out-degree over live nodes (0.0 for an empty graph)."""
+    n = graph.num_nodes
+    if n == 0:
+        return 0.0
+    return sum(graph.out_degree(node) for node in graph.nodes()) / n
+
+
+def average_labels_per_node(graph: LabeledGraph) -> float:
+    """Mean size of node label sets (the paper's parameter ``L``)."""
+    n = graph.num_nodes
+    if n == 0:
+        return 0.0
+    return sum(len(graph.node_labels(node)) for node in graph.nodes()) / n
+
+
+def label_frequency_distribution(
+    graph: LabeledGraph, kind: str = "auto"
+) -> Dict[str, float]:
+    """label -> fraction of elements carrying it (the Fig. 9 data).
+
+    ``kind`` selects node labels, edge labels, or ``auto`` (nodes when the
+    graph has node labels, else edges).
+    """
+    if kind == "auto":
+        kind = "node" if graph.has_node_labels else "edge"
+    if kind == "node":
+        counts = graph.node_label_counts()
+        total = graph.num_nodes
+    elif kind == "edge":
+        counts = graph.edge_label_counts()
+        total = graph.num_edges
+    else:
+        raise ValueError(f"kind must be 'node', 'edge' or 'auto', got {kind!r}")
+    if total == 0:
+        return {}
+    return {label: count / total for label, count in counts.items()}
+
+
+def labels_by_frequency(graph: LabeledGraph, kind: str = "auto") -> List[str]:
+    """All labels sorted by descending frequency (ties broken by name)."""
+    freq = label_frequency_distribution(graph, kind=kind)
+    return sorted(freq, key=lambda label: (-freq[label], label))
+
+
+def bfs_depths(graph: LabeledGraph, source: int) -> Dict[int, int]:
+    """Unweighted shortest-path distance from ``source`` to each reachable
+    node (following out-edges)."""
+    depths = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = depths[node] + 1
+        for neighbor in graph.out_neighbors(node):
+            if neighbor not in depths:
+                depths[neighbor] = depth
+                queue.append(neighbor)
+    return depths
+
+
+def eccentricity(graph: LabeledGraph, source: int) -> int:
+    """Depth of the BFS tree rooted at ``source`` (0 if isolated)."""
+    depths = bfs_depths(graph, source)
+    return max(depths.values()) if depths else 0
+
+
+def diameter_upper_bound(
+    graph: LabeledGraph,
+    sample_size: int = 32,
+    seed: RngLike = None,
+) -> int:
+    """Estimate an upper bound on the graph diameter (Sec. 4.3).
+
+    Samples ``sample_size`` roots, builds the shortest-path tree from each,
+    and returns the longest path seen across all trees.  The result lower-
+    bounds the true diameter of the largest component but, as the paper
+    notes, all accuracy guarantees only require walkLength >= diameter; in
+    practice the estimate is doubled by the caller (Sec. 5.2.3), which
+    absorbs the sampling slack.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0
+    rng = ensure_rng(seed)
+    if len(nodes) <= sample_size:
+        roots = nodes
+    else:
+        picks = rng.choice(len(nodes), size=sample_size, replace=False)
+        roots = [nodes[int(i)] for i in picks]
+    return max(eccentricity(graph, root) for root in roots)
+
+
+def strongly_connected_components(graph: LabeledGraph) -> List[List[int]]:
+    """Tarjan's SCC algorithm (iterative), over live nodes.
+
+    Used by tests and by the robust-undirectedness estimator to reason
+    about the strongly-connected case of Proposition 1.
+    """
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[int] = []
+    components: List[List[int]] = []
+    next_index = [0]
+
+    for root in graph.nodes():
+        if root in index_of:
+            continue
+        # iterative Tarjan with an explicit work stack of (node, iterator)
+        work = [(root, iter(graph.out_neighbors(root)))]
+        index_of[root] = lowlink[root] = next_index[0]
+        next_index[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, neighbors = work[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor not in index_of:
+                    index_of[neighbor] = lowlink[neighbor] = next_index[0]
+                    next_index[0] += 1
+                    stack.append(neighbor)
+                    on_stack[neighbor] = True
+                    work.append((neighbor, iter(graph.out_neighbors(neighbor))))
+                    advanced = True
+                    break
+                if on_stack.get(neighbor):
+                    lowlink[node] = min(lowlink[node], index_of[neighbor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

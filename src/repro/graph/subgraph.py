@@ -1,0 +1,134 @@
+"""Subgraph extraction exactly as in the paper's Sec. 5.3.
+
+To extract a subgraph containing X% of the nodes, a random node is
+selected and a breadth-first search tree is grown until the tree spans X%
+of nodes; then all edges with both endpoints in the tree are added.  The
+extraction is *nested*: growing the same BFS frontier further for a larger
+X guarantees the X% subgraph is a subgraph of the Y% one for X < Y — the
+property Figs. 4 and 6(e-g) rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph, induced_subgraph
+from repro.rng import RngLike, ensure_rng
+
+
+def _bfs_order(
+    graph: LabeledGraph, start: int, limit: int
+) -> List[int]:
+    """First ``limit`` nodes in BFS order from ``start`` (follows out-edges;
+    restarts from a random unvisited node if the component is exhausted)."""
+    visited = {start}
+    order = [start]
+    queue = deque([start])
+    while queue and len(order) < limit:
+        node = queue.popleft()
+        for neighbor in graph.out_neighbors(node):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                order.append(neighbor)
+                if len(order) >= limit:
+                    break
+                queue.append(neighbor)
+    return order
+
+
+def extract_bfs_subgraph(
+    graph: LabeledGraph,
+    fraction: float,
+    seed: RngLike = None,
+    start: Optional[int] = None,
+) -> Tuple[LabeledGraph, Dict[int, int]]:
+    """Extract a subgraph spanning ``fraction`` of the nodes.
+
+    Returns ``(subgraph, old_id -> new_id)``.  If the BFS tree exhausts its
+    component before reaching the target size, growth restarts from a fresh
+    random node (the real networks in the paper are large enough that this
+    rarely matters; synthetic ones can be more fragmented).
+    """
+    subs = nested_subgraphs(graph, [fraction], seed=seed, start=start)
+    return subs[0]
+
+
+def nested_subgraphs(
+    graph: LabeledGraph,
+    fractions: Sequence[float],
+    seed: RngLike = None,
+    start: Optional[int] = None,
+) -> List[Tuple[LabeledGraph, Dict[int, int]]]:
+    """Extract one subgraph per fraction, nested by construction.
+
+    The same BFS order is shared across all fractions, so the node set for
+    a smaller fraction is always a prefix of a larger one's.
+    """
+    if graph.num_nodes == 0:
+        raise GraphError("cannot extract a subgraph of an empty graph")
+    for fraction in fractions:
+        if not (0 < fraction <= 1):
+            raise GraphError(f"fraction must be in (0, 1], got {fraction}")
+    rng = ensure_rng(seed)
+    node_ids = list(graph.nodes())
+    if start is None:
+        start = node_ids[int(rng.integers(len(node_ids)))]
+
+    max_needed = max(1, round(max(fractions) * graph.num_nodes))
+    order = _bfs_order(graph, start, max_needed)
+    # restart from random unvisited nodes until the largest target is met
+    remaining = [n for n in node_ids if n not in set(order)]
+    while len(order) < max_needed and remaining:
+        restart = remaining[int(rng.integers(len(remaining)))]
+        extra = _bfs_order_excluding(graph, restart, max_needed - len(order),
+                                     set(order))
+        order.extend(extra)
+        taken = set(order)
+        remaining = [n for n in remaining if n not in taken]
+
+    results = []
+    for fraction in fractions:
+        count = max(1, round(fraction * graph.num_nodes))
+        results.append(induced_subgraph(graph, order[:count]))
+    return results
+
+
+def _bfs_order_excluding(
+    graph: LabeledGraph, start: int, limit: int, excluded: set
+) -> List[int]:
+    """BFS order from ``start`` skipping nodes in ``excluded``."""
+    if start in excluded:
+        return []
+    visited = set(excluded)
+    visited.add(start)
+    order = [start]
+    queue = deque([start])
+    while queue and len(order) < limit:
+        node = queue.popleft()
+        for neighbor in graph.out_neighbors(node):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                order.append(neighbor)
+                if len(order) >= limit:
+                    break
+                queue.append(neighbor)
+    return order
+
+
+def restrict_labels(
+    graph: LabeledGraph, keep: Sequence[str]
+) -> LabeledGraph:
+    """Copy of ``graph`` with label sets intersected with ``keep``.
+
+    Used by the Fig. 4 label sweep, where the paper retains only the top-k
+    labels of the Twitter subgraph to let LI fit in memory.
+    """
+    keep_set = frozenset(keep)
+    clone = graph.copy()
+    for node in clone.nodes():
+        clone.set_node_labels(node, clone.node_labels(node) & keep_set)
+    for u, v in list(clone.edges()):
+        clone.set_edge_labels(u, v, clone.edge_labels(u, v) & keep_set)
+    return clone

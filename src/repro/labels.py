@@ -1,0 +1,136 @@
+"""Label model: literal labels and query-time (predicate) labels.
+
+The paper's Definition 7 allows a query to introduce *query-time labels*:
+efficiently computable boolean functions over a node's (or edge's)
+attributes whose output acts like a virtual label.  The regex engine
+therefore matches two kinds of symbols:
+
+* a **literal label** — any hashable value (we use strings throughout) that
+  must be a member of the element's label set, and
+* a :class:`Predicate` — a named wrapper around ``f(attrs) -> bool`` that is
+  evaluated against the element's attribute dict at query time.
+
+Both are usable anywhere a symbol appears in a regex.  Predicates compare
+and hash by *name*, so the same predicate mentioned twice in a regex maps
+to one automaton symbol, and workloads can be serialised by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Union
+
+Label = str
+LabelSet = FrozenSet[str]
+
+EMPTY_LABELS: LabelSet = frozenset()
+
+
+class Predicate:
+    """A query-time label: a named boolean function of an attribute dict.
+
+    Example (the paper's Example 3)::
+
+        is_adult_female = Predicate(
+            "isAdultFemale",
+            lambda a: a.get("age", 0) >= 18 and a.get("gender") == "Female",
+        )
+
+    Evaluation failures are treated as "label absent" rather than crashing
+    the query, per the paper's practical-constraints discussion: a
+    query-time label function must "never crash and return a boolean value
+    across any possible label set".  We enforce that contract defensively.
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[Mapping[str, Any]], bool]):
+        if not name:
+            raise ValueError("predicate name must be non-empty")
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, attrs: Mapping[str, Any]) -> bool:
+        try:
+            return bool(self.fn(attrs))
+        except Exception:
+            return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Predicate) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Predicate", self.name))
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.name!r})"
+
+
+Symbol = Union[Label, Predicate]
+
+
+def symbol_matches(
+    symbol: Symbol, labels: LabelSet, attrs: Mapping[str, Any]
+) -> bool:
+    """Does ``symbol`` hold at an element with ``labels`` and ``attrs``?
+
+    Literal labels test set membership; predicates are evaluated against
+    the attributes.
+    """
+    if isinstance(symbol, Predicate):
+        return symbol(attrs)
+    return symbol in labels
+
+
+def as_label_set(labels: Any) -> LabelSet:
+    """Normalise ``labels`` (None, str, or iterable of str) to a frozenset.
+
+    A bare string is treated as a single label rather than a sequence of
+    characters — passing ``"actor"`` means one label, not five.
+    """
+    if labels is None:
+        return EMPTY_LABELS
+    if isinstance(labels, str):
+        return frozenset((labels,))
+    return frozenset(labels)
+
+
+class PredicateRegistry:
+    """A named collection of query-time label definitions.
+
+    Queries carry an optional registry (the paper's input ``Q``) so that a
+    regex parsed from text can reference predicates by name using the
+    ``{name}`` syntax understood by :mod:`repro.regex.parser`.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Predicate] = {}
+
+    def register(
+        self, name: str, fn: Callable[[Mapping[str, Any]], bool]
+    ) -> Predicate:
+        """Create, store and return a predicate; names must be unique."""
+        if name in self._by_name:
+            raise ValueError(f"predicate {name!r} already registered")
+        predicate = Predicate(name, fn)
+        self._by_name[name] = predicate
+        return predicate
+
+    def add(self, predicate: Predicate) -> Predicate:
+        """Store an existing predicate under its own name."""
+        if predicate.name in self._by_name:
+            raise ValueError(f"predicate {predicate.name!r} already registered")
+        self._by_name[predicate.name] = predicate
+        return predicate
+
+    def __getitem__(self, name: str) -> Predicate:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def names(self):
+        """Iterate over registered predicate names."""
+        return iter(self._by_name)

@@ -1,0 +1,24 @@
+"""Query model and workload generation (Sec. 2.1 and Sec. 5.2.2)."""
+
+from repro.queries.query import RSPQuery
+from repro.queries.query_types import (
+    type1_regex,
+    type2_regex,
+    type3_regex,
+    build_query_regex,
+)
+from repro.queries.workload import WorkloadGenerator
+from repro.queries.io import save_workload, load_workload
+from repro.queries.buckets import density_buckets
+
+__all__ = [
+    "RSPQuery",
+    "type1_regex",
+    "type2_regex",
+    "type3_regex",
+    "build_query_regex",
+    "WorkloadGenerator",
+    "save_workload",
+    "load_workload",
+    "density_buckets",
+]

@@ -1,0 +1,48 @@
+"""Label density buckets (Sec. 5.4.3).
+
+The paper partitions a dataset's labels into five buckets by frequency:
+
+1. bucket 1 — the top-10 most frequent labels,
+2. buckets 2, 3, 4 — the next 10 most frequent labels each,
+3. bucket 5 — the bottom 20% of labels,
+
+then builds query regexes from labels of a single bucket to measure how
+performance degrades as labels get rarer.  Small synthetic alphabets are
+handled by shrinking the bucket width proportionally so all five buckets
+stay non-empty whenever the alphabet has at least five labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.stats import labels_by_frequency
+
+N_BUCKETS = 5
+
+
+def density_buckets(
+    graph: LabeledGraph, kind: str = "auto", head_width: int = 10
+) -> Dict[int, List[str]]:
+    """Partition labels into the paper's five frequency buckets.
+
+    Returns ``{1: [...], ..., 5: [...]}`` with labels in descending
+    frequency inside each bucket.  ``head_width`` is the paper's 10; it
+    is shrunk automatically when the alphabet is too small to fill four
+    head buckets and a 20% tail.
+    """
+    ordered = labels_by_frequency(graph, kind=kind)
+    n_labels = len(ordered)
+    if n_labels == 0:
+        return {bucket: [] for bucket in range(1, N_BUCKETS + 1)}
+    tail_size = max(1, round(0.2 * n_labels))
+    head_total = n_labels - tail_size
+    width = min(head_width, max(1, head_total // (N_BUCKETS - 1)))
+    buckets: Dict[int, List[str]] = {}
+    position = 0
+    for bucket in range(1, N_BUCKETS):
+        buckets[bucket] = ordered[position:position + width]
+        position += width
+    buckets[N_BUCKETS] = ordered[n_labels - tail_size:]
+    return buckets

@@ -1,0 +1,105 @@
+"""Workload persistence.
+
+Experiments become reproducible across processes (and shareable as
+artifacts) when the exact query workload can be written to disk and read
+back.  Queries serialise to JSON with their regex in the textual syntax
+of :mod:`repro.regex.parser`; query-time predicates are stored *by name*
+and must be resolved against a :class:`~repro.labels.PredicateRegistry`
+at load time — predicate bodies are code and deliberately never
+serialised.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import QueryError
+from repro.labels import PredicateRegistry
+from repro.queries.query import RSPQuery
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def query_to_dict(query: RSPQuery) -> dict:
+    """Serialise one query (meta is kept, minus any compiled cache)."""
+    meta = {
+        key: value
+        for key, value in query.meta.items()
+        if not key.startswith("_")
+    }
+    payload = {
+        "source": query.source,
+        "target": query.target,
+        "regex": query.regex_text,
+        "meta": meta,
+    }
+    if query.distance_bound is not None:
+        payload["distance_bound"] = query.distance_bound
+    if query.min_distance is not None:
+        payload["min_distance"] = query.min_distance
+    if query.time is not None:
+        payload["time"] = query.time
+    if query.predicates is not None:
+        payload["predicates"] = sorted(query.predicates.names())
+    return payload
+
+
+def query_from_dict(
+    data: dict, predicates: Optional[PredicateRegistry] = None
+) -> RSPQuery:
+    """Inverse of :func:`query_to_dict`.
+
+    If the stored query references predicates, ``predicates`` must
+    contain every referenced name (a :class:`QueryError` explains which
+    one is missing otherwise).
+    """
+    needed = data.get("predicates", [])
+    if needed:
+        if predicates is None:
+            raise QueryError(
+                f"workload references predicates {needed} but no registry "
+                "was supplied"
+            )
+        missing = [name for name in needed if name not in predicates]
+        if missing:
+            raise QueryError(
+                f"predicate(s) {missing} not found in the supplied registry"
+            )
+    return RSPQuery(
+        source=int(data["source"]),
+        target=int(data["target"]),
+        regex=data["regex"],
+        predicates=predicates if needed else None,
+        distance_bound=data.get("distance_bound"),
+        min_distance=data.get("min_distance"),
+        time=data.get("time"),
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def save_workload(queries: List[RSPQuery], path: PathLike) -> None:
+    """Write a workload as one JSON document."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "queries": [query_to_dict(query) for query in queries],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_workload(
+    path: PathLike, predicates: Optional[PredicateRegistry] = None
+) -> List[RSPQuery]:
+    """Read a workload previously written by :func:`save_workload`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise QueryError(f"unsupported workload format version: {version!r}")
+    return [
+        query_from_dict(entry, predicates) for entry in payload["queries"]
+    ]

@@ -1,0 +1,64 @@
+"""The RSPQ object (Problem 1).
+
+An :class:`RSPQuery` carries the four problem inputs — source, target,
+regex constraint, optional query-time label definitions — plus the
+optional extensions: a distance bound (Sec. 5.5.2) and a timestamp for
+dynamic graphs (Sec. 2).  ``meta`` holds experiment bookkeeping (query
+type, label bucket, ...) that engines ignore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.labels import PredicateRegistry
+from repro.regex.ast_nodes import Regex
+from repro.regex.compiler import CompiledRegex, compile_regex
+
+
+@dataclass
+class RSPQuery:
+    """One regular simple path query."""
+
+    source: int
+    target: int
+    regex: Union[str, Regex, CompiledRegex]
+    predicates: Optional[PredicateRegistry] = None
+    #: maximum number of edges in the witness path (Sec. 5.5.2)
+    distance_bound: Optional[int] = None
+    #: minimum number of edges — together with ``distance_bound`` this
+    #: expresses the paper's "path length within a given range"
+    min_distance: Optional[int] = None
+    #: evaluation time for dynamic graphs; None means "latest snapshot"
+    time: Optional[float] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def compiled(self, negation_mode: str = "paper") -> CompiledRegex:
+        """Compile (and cache on the query object) the regex."""
+        cached = self.meta.get("_compiled")
+        if cached is None or cached.negation_mode != negation_mode:
+            cached = compile_regex(self.regex, self.predicates, negation_mode)
+            self.meta["_compiled"] = cached
+        return cached
+
+    @property
+    def regex_text(self) -> str:
+        """Printable regex source."""
+        if isinstance(self.regex, CompiledRegex):
+            return self.regex.source
+        return str(self.regex)
+
+    def __str__(self) -> str:
+        extras = []
+        if self.distance_bound is not None:
+            extras.append(f"<= {self.distance_bound} edges")
+        if self.min_distance is not None:
+            extras.append(f">= {self.min_distance} edges")
+        if self.time is not None:
+            extras.append(f"at t={self.time}")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return (
+            f"RSPQ({self.source} -> {self.target}, "
+            f"{self.regex_text!r}{suffix})"
+        )

@@ -1,0 +1,71 @@
+"""The three query-type regex families of Sec. 2.1.
+
+These cover more than 96% of property-path queries in real SPARQL
+workloads [Bonifati et al. 2017]:
+
+* **Type 1 — label-set restricted paths**: ``(l0|l1|...|lk)*``.  The LCR
+  fragment: every consumed element must carry one of the labels.
+* **Type 2 — repeated label-sequence paths**: ``(l0 l1 ... lk)+``.  A
+  strict repeating order; the class that makes RSPQ NP-hard.
+* **Type 3 — concatenated label-chains**: ``l0+ l1+ ... lk+`` with
+  adjacent labels distinct.
+
+Builders accept labels or :class:`~repro.labels.Predicate` query-time
+labels interchangeably (the Sec. 5.4.5 experiments substitute
+predicates for static labels with no other change).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.labels import Symbol
+from repro.regex.ast_nodes import Alt, Concat, Literal, Plus, Regex, Star
+
+
+def type1_regex(labels: Sequence[Symbol]) -> Regex:
+    """``(l0|l1|...|lk)*`` — label-set restricted paths."""
+    if not labels:
+        raise ValueError("type 1 needs at least one label")
+    literals = [Literal(label) for label in labels]
+    inner: Regex = literals[0] if len(literals) == 1 else Alt(literals)
+    return Star(inner)
+
+
+def type2_regex(labels: Sequence[Symbol]) -> Regex:
+    """``(l0 l1 ... lk)+`` — repeated label-sequence paths."""
+    if not labels:
+        raise ValueError("type 2 needs at least one label")
+    literals = [Literal(label) for label in labels]
+    inner: Regex = literals[0] if len(literals) == 1 else Concat(literals)
+    return Plus(inner)
+
+
+def type3_regex(labels: Sequence[Symbol]) -> Regex:
+    """``l0+ l1+ ... lk+`` — concatenated label-chains.
+
+    Adjacent labels must differ (the Sec. 2.1.3 side condition).
+    """
+    if not labels:
+        raise ValueError("type 3 needs at least one label")
+    for first, second in zip(labels, labels[1:]):
+        if first == second:
+            raise ValueError(
+                "type 3 requires adjacent labels to be distinct"
+            )
+    parts = [Plus(Literal(label)) for label in labels]
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(parts)
+
+
+_BUILDERS = {1: type1_regex, 2: type2_regex, 3: type3_regex}
+
+
+def build_query_regex(query_type: int, labels: Sequence[Symbol]) -> Regex:
+    """Dispatch to the type-``query_type`` builder."""
+    try:
+        builder = _BUILDERS[query_type]
+    except KeyError:
+        raise ValueError(f"query type must be 1, 2 or 3, got {query_type}")
+    return builder(labels)

@@ -1,0 +1,67 @@
+"""Regular-expression engine for label constraints (Definition 4).
+
+The pipeline is: text -> AST (:mod:`parser`) -> Thompson NFA
+(:mod:`thompson`) -> simulation / reversal / negation (:mod:`nfa`,
+:mod:`dfa`).  :func:`repro.regex.compiler.compile_regex` bundles the whole
+pipeline into a reusable :class:`~repro.regex.compiler.CompiledRegex`, and
+:mod:`repro.regex.matcher` applies it to graph paths (Algorithm 3).
+"""
+
+from repro.regex.ast_nodes import (
+    Alt,
+    Concat,
+    Epsilon,
+    EmptySet,
+    Literal,
+    Negation,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    alt,
+    concat,
+    literal,
+    plus,
+    star,
+)
+from repro.regex.parser import parse_regex
+from repro.regex.sparql import translate_property_path
+from repro.regex.compiler import CompiledRegex, compile_regex
+from repro.regex.matcher import (
+    COMPATIBLE,
+    DEAD,
+    POTENTIAL,
+    BackwardTracker,
+    ForwardTracker,
+    check_path,
+    resolve_elements,
+)
+
+__all__ = [
+    "Regex",
+    "Literal",
+    "Epsilon",
+    "EmptySet",
+    "Concat",
+    "Alt",
+    "Star",
+    "Plus",
+    "Optional",
+    "Negation",
+    "literal",
+    "concat",
+    "alt",
+    "star",
+    "plus",
+    "parse_regex",
+    "translate_property_path",
+    "compile_regex",
+    "CompiledRegex",
+    "ForwardTracker",
+    "BackwardTracker",
+    "check_path",
+    "resolve_elements",
+    "COMPATIBLE",
+    "POTENTIAL",
+    "DEAD",
+]

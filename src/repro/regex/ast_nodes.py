@@ -1,0 +1,398 @@
+"""Regex abstract syntax (Definition 4).
+
+The grammar of the paper: ``ε``, ``∅`` and every label are regexes;
+``(A|B)``, ``(AB)`` and ``A*`` are regexes; ``A+ = AA*`` is the positive
+closure.  We additionally model ``A?`` (a common convenience equal to
+``(A|ε)``) and ``~A`` (negation, Appendix A).
+
+AST nodes are immutable, compare structurally, and pretty-print to a form
+:func:`repro.regex.parser.parse_regex` can re-read (a round-trip tested
+property).  Symbols are either string labels or
+:class:`~repro.labels.Predicate` query-time labels.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.labels import Predicate, Symbol
+
+
+def _needs_quotes(label: str) -> bool:
+    """A bare token may contain word chars plus ``= : . < > - #``."""
+    if not label:
+        return True
+    special = set("()|*+?~{}'\" \t\n")
+    return any(ch in special for ch in label)
+
+
+def format_symbol(symbol: Symbol) -> str:
+    """Render a symbol the way the parser reads it back.
+
+    OtherSymbol (negated property sets from the SPARQL front-end) has no
+    native-syntax spelling; it renders in SPARQL's ``!(...)`` form,
+    which is intentionally not re-parseable by :mod:`repro.regex.parser`.
+    """
+    from repro.regex.nfa import OtherSymbol
+
+    if isinstance(symbol, Predicate):
+        return "{" + symbol.name + "}"
+    if isinstance(symbol, OtherSymbol):
+        return "!(" + " | ".join(sorted(symbol.known)) + ")"
+    if _needs_quotes(symbol):
+        escaped = symbol.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    return symbol
+
+
+class Regex:
+    """Base class for regex AST nodes.
+
+    Provides structural equality/hashing via :meth:`_key` and the shared
+    analyses (:meth:`symbols`, :meth:`mandatory_symbols`,
+    :meth:`matches_epsilon`) used by the baselines and the compiler.
+    """
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        """All symbols (labels and predicates) mentioned in the regex."""
+        raise NotImplementedError
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        """Symbols present in *every* word of the language (may
+        under-approximate under negation, where we claim nothing).
+
+        The Rare-Labels baseline keys its search on these: if a mandatory
+        symbol does not occur anywhere in the graph, no compatible path can
+        exist.
+        """
+        raise NotImplementedError
+
+    def matches_epsilon(self) -> bool:
+        """Does the language contain the empty word?"""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+    # convenience combinators -----------------------------------------
+    def __or__(self, other: "Regex") -> "Regex":
+        return Alt((self, other))
+
+    def then(self, other: "Regex") -> "Regex":
+        """Concatenation: ``a.then(b)`` is ``(ab)``."""
+        return Concat((self, other))
+
+    def star(self) -> "Regex":
+        """Kleene closure."""
+        return Star(self)
+
+    def plus(self) -> "Regex":
+        """Positive closure ``A+ = AA*``."""
+        return Plus(self)
+
+
+class Literal(Regex):
+    """A single symbol: a label or a query-time predicate."""
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: Symbol):
+        self.symbol = symbol
+
+    def _key(self) -> Tuple:
+        return (self.symbol,)
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset((self.symbol,))
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        return frozenset((self.symbol,))
+
+    def matches_epsilon(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return format_symbol(self.symbol)
+
+
+class Epsilon(Regex):
+    """The empty word."""
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def matches_epsilon(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "()"
+
+
+class EmptySet(Regex):
+    """The empty language ∅ (matches nothing, not even ε)."""
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        # vacuously, every symbol is in every word of the empty language;
+        # returning the empty set keeps downstream logic conservative
+        return frozenset()
+
+    def matches_epsilon(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "[]"
+
+
+class Concat(Regex):
+    """Concatenation of two or more parts."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Regex]):
+        flat = []
+        for part in parts:
+            if isinstance(part, Concat):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) < 2:
+            raise ValueError("Concat needs at least two parts")
+        self.parts: Tuple[Regex, ...] = tuple(flat)
+
+    def _key(self) -> Tuple:
+        return self.parts
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        out: FrozenSet[Symbol] = frozenset()
+        for part in self.parts:
+            out |= part.symbols()
+        return out
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        out: FrozenSet[Symbol] = frozenset()
+        for part in self.parts:
+            out |= part.mandatory_symbols()
+        return out
+
+    def matches_epsilon(self) -> bool:
+        return all(part.matches_epsilon() for part in self.parts)
+
+    def __str__(self) -> str:
+        rendered = []
+        for part in self.parts:
+            text = str(part)
+            if isinstance(part, Alt):
+                text = f"({text})"
+            rendered.append(text)
+        return " ".join(rendered)
+
+
+class Alt(Regex):
+    """Alternation of two or more branches."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Regex]):
+        flat = []
+        for part in parts:
+            if isinstance(part, Alt):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) < 2:
+            raise ValueError("Alt needs at least two branches")
+        self.parts: Tuple[Regex, ...] = tuple(flat)
+
+    def _key(self) -> Tuple:
+        return self.parts
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        out: FrozenSet[Symbol] = frozenset()
+        for part in self.parts:
+            out |= part.symbols()
+        return out
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        common = self.parts[0].mandatory_symbols()
+        for part in self.parts[1:]:
+            common &= part.mandatory_symbols()
+        return common
+
+    def matches_epsilon(self) -> bool:
+        return any(part.matches_epsilon() for part in self.parts)
+
+    def __str__(self) -> str:
+        return " | ".join(str(part) for part in self.parts)
+
+
+class _Unary(Regex):
+    """Shared behaviour of the postfix operators and negation."""
+
+    __slots__ = ("inner",)
+    _suffix = ""
+
+    def __init__(self, inner: Regex):
+        self.inner = inner
+
+    def _key(self) -> Tuple:
+        return (self.inner,)
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return self.inner.symbols()
+
+    def _inner_str(self) -> str:
+        text = str(self.inner)
+        if isinstance(self.inner, (Alt, Concat)):
+            text = f"({text})"
+        return text
+
+    def __str__(self) -> str:
+        return self._inner_str() + self._suffix
+
+
+class Star(_Unary):
+    """Kleene closure ``A*``."""
+
+    _suffix = "*"
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()  # zero repetitions are allowed
+
+    def matches_epsilon(self) -> bool:
+        return True
+
+
+class Plus(_Unary):
+    """Positive closure ``A+`` (= ``AA*``)."""
+
+    _suffix = "+"
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        return self.inner.mandatory_symbols()
+
+    def matches_epsilon(self) -> bool:
+        return self.inner.matches_epsilon()
+
+
+class Optional(_Unary):
+    """``A?`` — zero or one occurrence."""
+
+    _suffix = "?"
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+    def matches_epsilon(self) -> bool:
+        return True
+
+
+class Repeat(_Unary):
+    """Bounded repetition ``A{m}``, ``A{m,}``, ``A{m,n}``.
+
+    The "paths of bounded length recursion" device of Fletcher et al.
+    [10] (the paper's related work replaces Kleene closure with it).
+    ``max_count=None`` means unbounded (``A{m,}`` = m copies then A*).
+    """
+
+    __slots__ = ("inner", "min_count", "max_count")
+
+    def __init__(self, inner: Regex, min_count: int, max_count=None):
+        if min_count < 0:
+            raise ValueError("min_count must be non-negative")
+        if max_count is not None and max_count < min_count:
+            raise ValueError("max_count must be >= min_count")
+        super().__init__(inner)
+        self.min_count = min_count
+        self.max_count = max_count
+
+    def _key(self) -> Tuple:
+        return (self.inner, self.min_count, self.max_count)
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        if self.min_count == 0:
+            return frozenset()
+        return self.inner.mandatory_symbols()
+
+    def matches_epsilon(self) -> bool:
+        return self.min_count == 0 or self.inner.matches_epsilon()
+
+    def __str__(self) -> str:
+        if self.max_count is None:
+            bounds = f"{{{self.min_count},}}"
+        elif self.max_count == self.min_count:
+            bounds = f"{{{self.min_count}}}"
+        else:
+            bounds = f"{{{self.min_count},{self.max_count}}}"
+        return self._inner_str() + bounds
+
+
+class Negation(_Unary):
+    """``~A`` — the complement language (Appendix A restrictions apply
+    at compile time, not here)."""
+
+    def mandatory_symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()  # we cannot claim anything about a complement
+
+    def matches_epsilon(self) -> bool:
+        return not self.inner.matches_epsilon()
+
+    def __str__(self) -> str:
+        # negation binds tighter than the postfix operators in the
+        # parser, so anything but a plain symbol must be parenthesised
+        # for the print/parse round trip to hold
+        if isinstance(self.inner, (Literal, Epsilon, EmptySet)):
+            return "~" + str(self.inner)
+        return f"~({self.inner})"
+
+
+# ----------------------------------------------------------------------
+# convenience constructors
+# ----------------------------------------------------------------------
+def literal(symbol: Symbol) -> Literal:
+    """A one-symbol regex."""
+    return Literal(symbol)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenate; a single part passes through unchanged."""
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(parts)
+
+
+def alt(*parts: Regex) -> Regex:
+    """Alternate; a single branch passes through unchanged."""
+    if len(parts) == 1:
+        return parts[0]
+    return Alt(parts)
+
+
+def star(inner: Regex) -> Star:
+    """Kleene closure."""
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Plus:
+    """Positive closure."""
+    return Plus(inner)

@@ -1,0 +1,110 @@
+"""Compilation entry point: text or AST -> reusable automaton bundle.
+
+:class:`CompiledRegex` packages everything a query engine needs:
+
+* the forward NFA (for forward walks and Algorithm 3 checks),
+* the reversed NFA (for backward walks, Appendix C.3),
+* static analyses — symbol sets, mandatory symbols (used by the
+  Rare-Labels baseline), and the type-1 label-set form if the regex has
+  one (used by the Landmark-Index baseline, which only supports LCR).
+
+Compiled objects are immutable and safe to share across queries; the
+engines cache them keyed by source text.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Union
+
+from repro.labels import Predicate, PredicateRegistry, Symbol
+from repro.regex.ast_nodes import (
+    Alt,
+    Literal,
+    Regex,
+    Star,
+)
+from repro.regex.nfa import NFA, StateSet
+from repro.regex.parser import parse_regex
+from repro.regex.thompson import build_nfa
+
+RegexLike = Union[str, Regex, "CompiledRegex"]
+
+
+class CompiledRegex:
+    """A regex together with its forward and reversed automata."""
+
+    def __init__(self, ast: Regex, negation_mode: str = "paper"):
+        self.ast = ast
+        self.source = str(ast)
+        self.negation_mode = negation_mode
+        self.nfa: NFA = build_nfa(ast, negation_mode)
+        self.reversed_nfa: NFA = self.nfa.reverse()
+        self.symbols: FrozenSet[Symbol] = ast.symbols()
+        self.mandatory_symbols: FrozenSet[Symbol] = ast.mandatory_symbols()
+        self.has_predicates = any(
+            isinstance(symbol, Predicate) for symbol in self.symbols
+        )
+        self.matches_epsilon = ast.matches_epsilon()
+        self.label_set_form: Optional[FrozenSet[str]] = _label_set_form(ast)
+
+    # convenience pass-throughs ----------------------------------------
+    def initial_forward(self) -> StateSet:
+        """Initial state set of the forward simulation."""
+        return self.nfa.initial_states()
+
+    def initial_backward(self) -> StateSet:
+        """Initial state set of the backward (reversed) simulation."""
+        return self.reversed_nfa.initial_states()
+
+    def accepts_word(self, word, attrs_list=None) -> bool:
+        """Exact acceptance test over a word of labels / label sets."""
+        return self.nfa.accepts_word(word, attrs_list)
+
+    @property
+    def is_label_set_query(self) -> bool:
+        """True for query type 1, ``(l0|...|lk)*`` — the LCR fragment."""
+        return self.label_set_form is not None
+
+    def __repr__(self) -> str:
+        return f"CompiledRegex({self.source!r})"
+
+
+def _label_set_form(ast: Regex) -> Optional[FrozenSet[str]]:
+    """If ``ast`` is ``(l0|...|lk)*`` or ``(l0|...|lk)+`` over literal
+    labels, return the label set; else None.
+
+    This is the only regex family the LI baseline supports; detecting it
+    lets experiments route type-1 queries to LI and reject the rest, as
+    the paper does.
+    """
+    from repro.regex.ast_nodes import Plus
+
+    if isinstance(ast, (Star, Plus)):
+        inner = ast.inner
+        if isinstance(inner, Literal) and isinstance(inner.symbol, str):
+            return frozenset((inner.symbol,))
+        if isinstance(inner, Alt):
+            labels = []
+            for part in inner.parts:
+                if not (
+                    isinstance(part, Literal) and isinstance(part.symbol, str)
+                ):
+                    return None
+                labels.append(part.symbol)
+            return frozenset(labels)
+    return None
+
+
+def compile_regex(
+    regex: RegexLike,
+    predicates: Optional[PredicateRegistry] = None,
+    negation_mode: str = "paper",
+) -> CompiledRegex:
+    """Compile text, an AST, or pass through an already compiled regex."""
+    if isinstance(regex, CompiledRegex):
+        return regex
+    if isinstance(regex, str):
+        regex = parse_regex(regex, predicates)
+    if not isinstance(regex, Regex):
+        raise TypeError(f"cannot compile {regex!r} as a regex")
+    return CompiledRegex(regex, negation_mode)

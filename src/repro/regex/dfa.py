@@ -1,0 +1,161 @@
+"""Determinization and minimization.
+
+The paper restricts negation to regexes whose ε-free Thompson NFA is
+already deterministic, because NFA->DFA conversion "may take exponential
+time in the worst case" (Appendix A).  This module provides that
+conversion anyway, as the library's *extended* negation mode: callers who
+accept the worst case can negate arbitrary (predicate-free) regexes via
+subset construction.  Hopcroft-style minimization keeps the result small.
+
+Both functions return ordinary :class:`~repro.regex.nfa.NFA` instances
+that happen to be deterministic, so the rest of the pipeline (reversal,
+complement, simulation) applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import UnsupportedRegexError
+from repro.labels import Predicate
+from repro.regex.nfa import NFA, OtherSymbol
+
+
+def determinize(nfa: NFA) -> NFA:
+    """Subset construction over the NFA's literal alphabet plus OTHER.
+
+    The result is a complete deterministic automaton (every state has a
+    transition for every alphabet symbol and for OTHER), so
+    :meth:`NFA.complement` applies to it directly.  Predicate symbols are
+    rejected: a predicate can overlap any literal, which makes disjoint
+    deterministic transitions impossible to guarantee.
+    """
+    for transitions in nfa.symbol_transitions:
+        for symbol in transitions:
+            if isinstance(symbol, Predicate):
+                raise UnsupportedRegexError(
+                    "cannot determinize an automaton with query-time "
+                    "predicates"
+                )
+
+    alphabet: List[object] = sorted(nfa.literal_alphabet())
+    other = OtherSymbol(frozenset(nfa.literal_alphabet()))
+    symbols = alphabet + [other]
+
+    dfa = NFA()
+    subset_ids: Dict[FrozenSet[int], int] = {}
+
+    def state_for(subset: FrozenSet[int]) -> int:
+        if subset not in subset_ids:
+            subset_ids[subset] = dfa.add_state()
+        return subset_ids[subset]
+
+    initial = nfa.initial_states()
+    pending = [initial]
+    state_for(initial)
+    processed = set()
+    while pending:
+        subset = pending.pop()
+        if subset in processed:
+            continue
+        processed.add(subset)
+        src = state_for(subset)
+        for symbol in symbols:
+            targets: set = set()
+            for state in subset:
+                for sym, dsts in nfa.symbol_transitions[state].items():
+                    if _symbols_intersect(sym, symbol):
+                        targets.update(dsts)
+            target_subset = nfa.closure(targets) if targets else frozenset()
+            dst = state_for(target_subset)
+            dfa.add_transition(src, symbol, dst)
+            if target_subset not in processed:
+                pending.append(target_subset)
+
+    dfa.starts = frozenset((state_for(initial),))
+    dfa.accepts = frozenset(
+        state_id
+        for subset, state_id in subset_ids.items()
+        if subset & nfa.accepts
+    )
+    return dfa
+
+
+def _symbols_intersect(on_transition: object, consumed: object) -> bool:
+    """Can a single label fire both symbols?
+
+    ``consumed`` is always a literal from the alphabet or the OTHER
+    sentinel; ``on_transition`` is whatever the NFA carries.
+    """
+    if isinstance(consumed, str):
+        if isinstance(on_transition, str):
+            return on_transition == consumed
+        if isinstance(on_transition, OtherSymbol):
+            return consumed not in on_transition.known
+        return False
+    # consumed is OTHER: only OTHER-ish transitions can fire on an
+    # unmentioned label
+    return isinstance(on_transition, OtherSymbol)
+
+
+def minimize(dfa: NFA) -> NFA:
+    """Moore partition-refinement minimization of a complete DFA.
+
+    Expects the output shape of :func:`determinize` (complete and
+    deterministic); raises otherwise.  Moore's algorithm is O(n²·|Σ|)
+    against Hopcroft's O(n log n · |Σ|), but regex automata here have a
+    handful of states and the simpler refinement is easy to audit.
+    """
+    if not dfa.is_deterministic():
+        raise UnsupportedRegexError("minimize() requires a deterministic NFA")
+    n = dfa.n_states
+    symbols = sorted(
+        {sym for trans in dfa.symbol_transitions for sym in trans},
+        key=repr,
+    )
+    # successor table; completeness means every entry exists
+    successor: List[Dict[object, int]] = [
+        {sym: dsts[0] for sym, dsts in trans.items()}
+        for trans in dfa.symbol_transitions
+    ]
+    for state, table in enumerate(successor):
+        for sym in symbols:
+            if sym not in table:
+                raise UnsupportedRegexError(
+                    f"minimize() requires a complete DFA (state {state} "
+                    f"lacks {sym!r})"
+                )
+
+    # initial classes: accepting vs not; refine until stable
+    block_of = [1 if state in dfa.accepts else 0 for state in range(n)]
+    while True:
+        signatures: Dict[Tuple, int] = {}
+        new_block_of = [0] * n
+        for state in range(n):
+            signature = (
+                block_of[state],
+                tuple(block_of[successor[state][sym]] for sym in symbols),
+            )
+            if signature not in signatures:
+                signatures[signature] = len(signatures)
+            new_block_of[state] = signatures[signature]
+        if new_block_of == block_of:
+            break
+        block_of = new_block_of
+
+    n_blocks = max(block_of) + 1
+    minimized = NFA()
+    for _ in range(n_blocks):
+        minimized.add_state()
+    added: set = set()
+    for state, table in enumerate(successor):
+        src = block_of[state]
+        for sym, dst in table.items():
+            key = (src, sym)
+            if key not in added:
+                minimized.add_transition(src, sym, block_of[dst])
+                added.add(key)
+    (start,) = dfa.starts
+    minimized.starts = frozenset((block_of[start],))
+    minimized.accepts = frozenset(block_of[s] for s in dfa.accepts)
+    return minimized

@@ -1,0 +1,328 @@
+"""Nondeterministic finite automata over label symbols.
+
+The NFA is the engine behind every compatibility check in the system: the
+forward random walk simulates it left-to-right, the backward walk
+simulates its :meth:`reversal <NFA.reverse>` (Appendix C.3), and the
+negation pipeline (Appendix A) runs ε-elimination, a determinism check,
+completion and accept-flipping on it.
+
+Simulation is a *powerset* simulation: the walk state is the frozenset of
+NFA states reachable by **some** label sequence contained in the path so
+far.  Because a multi-labeled element contributes one symbol chosen from
+its label set (Definition 3), stepping takes the union over all matching
+labels — exact existential semantics.  The paper instead samples one
+label per element (Appendix C.1); ``mode="sampled"`` reproduces that.
+
+Completion of a deterministic automaton over an *open* label alphabet
+uses the :class:`OtherSymbol` sentinel: a transition that fires on any
+label not mentioned in the automaton's literal alphabet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import UnsupportedRegexError
+from repro.labels import LabelSet, Predicate, Symbol
+
+StateSet = FrozenSet[int]
+
+EMPTY_STATES: StateSet = frozenset()
+
+
+class OtherSymbol:
+    """Matches any label outside a known literal alphabet.
+
+    Used to complete a DFA over the (open-world) graph label set: the
+    paper notes the complement DFA "has outgoing edges for every label in
+    L associated with each state"; OTHER compresses the infinitely many
+    unmentioned labels into one transition.
+    """
+
+    __slots__ = ("known",)
+
+    def __init__(self, known: FrozenSet[str]):
+        self.known = known
+
+    def matches(self, labels: LabelSet) -> bool:
+        """True if the element carries some label not in ``known``."""
+        return any(label not in self.known for label in labels)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OtherSymbol) and other.known == self.known
+
+    def __hash__(self) -> int:
+        return hash(("OtherSymbol", self.known))
+
+    def __repr__(self) -> str:
+        return f"OtherSymbol(!{len(self.known)} known)"
+
+
+def match_symbol(
+    symbol: Any, labels: LabelSet, attrs: Mapping[str, Any]
+) -> bool:
+    """Does an automaton symbol fire at an element with ``labels``/``attrs``?"""
+    if isinstance(symbol, str):
+        return symbol in labels
+    if isinstance(symbol, Predicate):
+        return symbol(attrs)
+    if isinstance(symbol, OtherSymbol):
+        return symbol.matches(labels)
+    raise TypeError(f"unknown symbol type: {symbol!r}")
+
+
+class NFA:
+    """An NFA with ε-transitions, a start-state set and an accept set.
+
+    States are dense integers.  The structure is mutable during
+    construction (Thompson fragments write into one shared instance) and
+    treated as frozen afterwards; ε-closures are memoised on first use.
+    """
+
+    def __init__(self) -> None:
+        self.symbol_transitions: List[Dict[Any, Tuple[int, ...]]] = []
+        self.epsilon_transitions: List[List[int]] = []
+        self.starts: StateSet = EMPTY_STATES
+        self.accepts: StateSet = EMPTY_STATES
+        self._closure_cache: Dict[int, StateSet] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return len(self.symbol_transitions)
+
+    def add_state(self) -> int:
+        """Allocate a fresh state and return its id."""
+        self.symbol_transitions.append({})
+        self.epsilon_transitions.append([])
+        self._closure_cache.clear()
+        return self.n_states - 1
+
+    def add_transition(self, src: int, symbol: Any, dst: int) -> None:
+        """Add ``src --symbol--> dst``."""
+        existing = self.symbol_transitions[src].get(symbol, ())
+        if dst not in existing:
+            self.symbol_transitions[src][symbol] = existing + (dst,)
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        """Add ``src --ε--> dst``."""
+        if dst not in self.epsilon_transitions[src]:
+            self.epsilon_transitions[src].append(dst)
+            self._closure_cache.clear()
+
+    # ------------------------------------------------------------------
+    # closures and simulation
+    # ------------------------------------------------------------------
+    def closure_of(self, state: int) -> StateSet:
+        """ε-closure of one state (memoised)."""
+        cached = self._closure_cache.get(state)
+        if cached is not None:
+            return cached
+        seen = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for nxt in self.epsilon_transitions[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        result = frozenset(seen)
+        self._closure_cache[state] = result
+        return result
+
+    def closure(self, states) -> StateSet:
+        """ε-closure of a set of states."""
+        out: set = set()
+        for state in states:
+            out |= self.closure_of(state)
+        return frozenset(out)
+
+    def initial_states(self) -> StateSet:
+        """ε-closure of the start set — the simulation's initial value."""
+        return self.closure(self.starts)
+
+    def step(
+        self,
+        states: StateSet,
+        labels: LabelSet,
+        attrs: Mapping[str, Any],
+        mode: str = "exact",
+        rng: Optional[np.random.Generator] = None,
+    ) -> StateSet:
+        """Consume one path element from a set of states.
+
+        ``mode="exact"`` unions over every matching label (powerset
+        semantics).  ``mode="sampled"`` first samples one label uniformly
+        from the element's label set and only literal transitions on that
+        label fire (predicates still evaluate on the attributes) —
+        Appendix C.1.
+        """
+        if mode == "sampled" and labels:
+            if rng is None:
+                raise ValueError("sampled mode requires an rng")
+            ordered = sorted(labels)
+            labels = frozenset((ordered[int(rng.integers(len(ordered)))],))
+        out: set = set()
+        for state in states:
+            for symbol, dsts in self.symbol_transitions[state].items():
+                if match_symbol(symbol, labels, attrs):
+                    out.update(dsts)
+        if not out:
+            return EMPTY_STATES
+        return self.closure(out)
+
+    def is_accepting(self, states: StateSet) -> bool:
+        """Does the state set contain an accepting state?"""
+        return bool(states & self.accepts)
+
+    def accepts_word(
+        self, word, attrs_list=None, mode: str = "exact",
+        rng: Optional[np.random.Generator] = None,
+    ) -> bool:
+        """Run the automaton over a word of label sets (testing helper).
+
+        ``word`` is a sequence whose items are labels or label iterables;
+        ``attrs_list`` optionally supplies per-element attribute dicts for
+        predicate evaluation.
+        """
+        from repro.labels import as_label_set
+
+        states = self.initial_states()
+        for index, item in enumerate(word):
+            attrs = attrs_list[index] if attrs_list else {}
+            states = self.step(states, as_label_set(item), attrs, mode, rng)
+            if not states:
+                return False
+        return self.is_accepting(states)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def reverse(self) -> "NFA":
+        """The reversed automaton (Appendix C.3).
+
+        Simulating the reversal over a suffix read right-to-left yields
+        exactly the set ``{q : δ*(q, suffix) ∩ accepts ≠ ∅}`` — the
+        backward-walk state.  State ids are preserved, so forward and
+        backward state sets are directly intersectable.
+        """
+        reversed_nfa = NFA()
+        for _ in range(self.n_states):
+            reversed_nfa.add_state()
+        for src, transitions in enumerate(self.symbol_transitions):
+            for symbol, dsts in transitions.items():
+                for dst in dsts:
+                    reversed_nfa.add_transition(dst, symbol, src)
+        for src, dsts in enumerate(self.epsilon_transitions):
+            for dst in dsts:
+                reversed_nfa.add_epsilon(dst, src)
+        reversed_nfa.starts = self.accepts
+        reversed_nfa.accepts = self.starts
+        return reversed_nfa
+
+    def eliminate_epsilon(self) -> "NFA":
+        """Equivalent ε-free NFA (same language, possibly more
+        transitions; single start preserved as a start *set*)."""
+        stripped = NFA()
+        for _ in range(self.n_states):
+            stripped.add_state()
+        for state in range(self.n_states):
+            for reachable in self.closure_of(state):
+                for symbol, dsts in self.symbol_transitions[reachable].items():
+                    for dst in dsts:
+                        stripped.add_transition(state, symbol, dst)
+        stripped.starts = self.starts
+        stripped.accepts = frozenset(
+            state
+            for state in range(self.n_states)
+            if self.closure_of(state) & self.accepts
+        )
+        return stripped
+
+    def is_deterministic(self) -> bool:
+        """ε-free, single start, at most one successor per (state, symbol),
+        and no symbol overlap we cannot statically rule out (predicates
+        may overlap anything, so any predicate makes the answer False —
+        the conservative reading of Appendix A)."""
+        if len(self.starts) != 1:
+            return False
+        if any(self.epsilon_transitions[s] for s in range(self.n_states)):
+            return False
+        for transitions in self.symbol_transitions:
+            symbols = list(transitions)
+            if any(isinstance(symbol, Predicate) for symbol in symbols):
+                return False
+            for dsts in transitions.values():
+                if len(dsts) > 1:
+                    return False
+            # OTHER overlaps any literal outside its known alphabet
+            for symbol in symbols:
+                if isinstance(symbol, OtherSymbol):
+                    for other in symbols:
+                        if isinstance(other, str) and other not in symbol.known:
+                            return False
+        return True
+
+    def literal_alphabet(self) -> FrozenSet[str]:
+        """All literal (string) symbols appearing on transitions."""
+        alphabet = set()
+        for transitions in self.symbol_transitions:
+            for symbol in transitions:
+                if isinstance(symbol, str):
+                    alphabet.add(symbol)
+                elif isinstance(symbol, OtherSymbol):
+                    alphabet.update(symbol.known)
+        return frozenset(alphabet)
+
+    def complement(self) -> "NFA":
+        """Complement of a *deterministic* automaton (Appendix A).
+
+        Completes the automaton over its literal alphabet plus OTHER with
+        a dead sink, then flips accepting and non-accepting states.
+        Raises :class:`UnsupportedRegexError` when the automaton is not
+        deterministic — the paper rejects such negation queries.
+        """
+        if not self.is_deterministic():
+            raise UnsupportedRegexError(
+                "negation is supported only when the epsilon-free automaton "
+                "is deterministic (Appendix A)"
+            )
+        alphabet = self.literal_alphabet()
+        other = OtherSymbol(alphabet)
+        completed = NFA()
+        for _ in range(self.n_states):
+            completed.add_state()
+        sink = completed.add_state()
+        for symbol in alphabet:
+            completed.add_transition(sink, symbol, sink)
+        completed.add_transition(sink, other, sink)
+        for src in range(self.n_states):
+            transitions = self.symbol_transitions[src]
+            for symbol, dsts in transitions.items():
+                completed.add_transition(src, symbol, dsts[0])
+            for symbol in alphabet:
+                if symbol not in transitions:
+                    completed.add_transition(src, symbol, sink)
+            has_other = any(
+                isinstance(symbol, OtherSymbol) for symbol in transitions
+            )
+            if not has_other:
+                completed.add_transition(src, other, sink)
+        completed.starts = self.starts
+        completed.accepts = frozenset(
+            state
+            for state in range(completed.n_states)
+            if state not in self.accepts
+        )
+        return completed
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={self.n_states}, starts={sorted(self.starts)}, "
+            f"accepts={sorted(self.accepts)})"
+        )

@@ -1,0 +1,234 @@
+"""Recursive-descent parser for the textual regex syntax.
+
+Grammar (whitespace separates tokens; concatenation is juxtaposition)::
+
+    alt     := concat ('|' concat)*
+    concat  := postfix+
+    postfix := atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*
+    atom    := '(' alt ')' | '~' atom | symbol
+    symbol  := BARE | QUOTED | '{' NAME '}'
+
+``{...}`` containing only digits (optionally ``,`` and a second number)
+is bounded repetition; anything else is a predicate reference.
+
+* ``BARE`` labels may contain letters, digits and ``_ = : . < > - # /``
+  (covering labels like ``Age=26`` or ``Gender:Female``).
+* ``QUOTED`` labels are single-quoted with backslash escapes and may
+  contain anything (``'lives in'``).
+* ``{name}`` references a query-time predicate, resolved against the
+  :class:`~repro.labels.PredicateRegistry` supplied at parse time.
+* ``()`` denotes ε and ``[]`` denotes the empty language ∅.
+
+Examples::
+
+    parse_regex("a* b a*")
+    parse_regex("(friend | colleague)+")
+    parse_regex("{isAdultFemale}*", predicates=registry)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import re
+
+from repro.errors import RegexSyntaxError
+from repro.labels import PredicateRegistry
+from repro.regex.ast_nodes import (
+    Alt,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Literal,
+    Negation,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.ast_nodes import Optional as OptionalNode
+
+_BARE_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789"
+    "_=:.<>-#/"
+)
+
+# token kinds
+_SYMBOL = "symbol"
+_PREDICATE = "predicate"
+_REPEAT = "repeat"
+_OP = "op"
+_END = "end"
+
+_REPEAT_RE = re.compile(r"^(\d+)(,(\d*)?)?$")
+
+
+def _tokenize(source: str) -> List[Tuple[str, str, int]]:
+    """Produce (kind, text, position) tokens."""
+    tokens: List[Tuple[str, str, int]] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()|*+?~[]":
+            tokens.append((_OP, ch, i))
+            i += 1
+        elif ch == "{":
+            end = source.find("}", i + 1)
+            if end < 0:
+                raise RegexSyntaxError(
+                    "unterminated '{...}' construct", i
+                )
+            name = source[i + 1:end].strip()
+            if not name:
+                raise RegexSyntaxError("empty '{...}' construct", i)
+            if _REPEAT_RE.match(name):
+                tokens.append((_REPEAT, name, i))
+            else:
+                tokens.append((_PREDICATE, name, i))
+            i = end + 1
+        elif ch == "'":
+            chars = []
+            j = i + 1
+            while j < n and source[j] != "'":
+                if source[j] == "\\" and j + 1 < n:
+                    chars.append(source[j + 1])
+                    j += 2
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                raise RegexSyntaxError("unterminated quoted label", i)
+            tokens.append((_SYMBOL, "".join(chars), i))
+            i = j + 1
+        elif ch in _BARE_CHARS:
+            j = i
+            while j < n and source[j] in _BARE_CHARS:
+                j += 1
+            tokens.append((_SYMBOL, source[i:j], i))
+            i = j
+        else:
+            raise RegexSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append((_END, "", n))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str, int]],
+                 predicates: Optional[PredicateRegistry]):
+        self._tokens = tokens
+        self._pos = 0
+        self._predicates = predicates
+
+    def _peek(self) -> Tuple[str, str, int]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Tuple[str, str, int]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def parse(self) -> Regex:
+        node = self._alt()
+        kind, text, position = self._peek()
+        if kind != _END:
+            raise RegexSyntaxError(f"unexpected {text!r}", position)
+        return node
+
+    def _alt(self) -> Regex:
+        branches = [self._concat()]
+        while self._peek()[:2] == (_OP, "|"):
+            self._advance()
+            branches.append(self._concat())
+        if len(branches) == 1:
+            return branches[0]
+        return Alt(branches)
+
+    def _concat(self) -> Regex:
+        parts = [self._postfix()]
+        while self._starts_atom():
+            parts.append(self._postfix())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(parts)
+
+    def _starts_atom(self) -> bool:
+        kind, text, _ = self._peek()
+        if kind in (_SYMBOL, _PREDICATE):
+            return True
+        return kind == _OP and text in "(~["
+
+    def _postfix(self) -> Regex:
+        node = self._atom()
+        while True:
+            kind, text, position = self._peek()
+            if kind == _OP and text in "*+?":
+                self._advance()
+                if text == "*":
+                    node = Star(node)
+                elif text == "+":
+                    node = Plus(node)
+                else:
+                    node = OptionalNode(node)
+            elif kind == _REPEAT:
+                self._advance()
+                match = _REPEAT_RE.match(text)
+                low = int(match.group(1))
+                if match.group(2) is None:          # {m}
+                    high = low
+                elif not match.group(3):            # {m,}
+                    high = None
+                else:                               # {m,n}
+                    high = int(match.group(3))
+                try:
+                    node = Repeat(node, low, high)
+                except ValueError as error:
+                    raise RegexSyntaxError(str(error), position)
+            else:
+                return node
+
+    def _atom(self) -> Regex:
+        kind, text, position = self._advance()
+        if kind == _SYMBOL:
+            return Literal(text)
+        if kind == _PREDICATE:
+            if self._predicates is None or text not in self._predicates:
+                raise RegexSyntaxError(
+                    f"unknown predicate {text!r} (no registry supplied?)",
+                    position,
+                )
+            return Literal(self._predicates[text])
+        if kind == _OP and text == "~":
+            return Negation(self._atom())
+        if kind == _OP and text == "(":
+            if self._peek()[:2] == (_OP, ")"):  # "()" is epsilon
+                self._advance()
+                return Epsilon()
+            node = self._alt()
+            kind, text, position = self._advance()
+            if (kind, text) != (_OP, ")"):
+                raise RegexSyntaxError("expected ')'", position)
+            return node
+        if kind == _OP and text == "[":
+            kind, text, position = self._advance()
+            if (kind, text) != (_OP, "]"):
+                raise RegexSyntaxError("expected ']' after '['", position)
+            return EmptySet()
+        raise RegexSyntaxError(
+            f"expected a label, '(' or '~', got {text!r}", position
+        )
+
+
+def parse_regex(
+    source: str, predicates: Optional[PredicateRegistry] = None
+) -> Regex:
+    """Parse ``source`` into a regex AST.
+
+    ``predicates`` resolves ``{name}`` references to query-time labels.
+    Raises :class:`~repro.errors.RegexSyntaxError` on malformed input.
+    """
+    return _Parser(_tokenize(source), predicates).parse()

@@ -1,0 +1,170 @@
+"""Thompson's construction (the paper builds its NFA with it, Sec. 2).
+
+Each AST node compiles to a fragment with one entry and one exit state;
+fragments are wired with ε-transitions in the classical way.  ``A+`` and
+``A?`` are desugared structurally (``AA*`` and ``A|ε``) by building the
+corresponding fragment shapes directly, which keeps the automaton small.
+
+Negation is handled during construction: the negated sub-expression is
+compiled recursively to its own NFA, ε-eliminated, checked for
+determinism (Appendix A), complemented, and spliced in as a fragment —
+so ``~`` can appear anywhere inside a larger regex.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.regex.ast_nodes import (
+    Alt,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Literal,
+    Negation,
+    Optional,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.nfa import NFA
+
+
+def build_nfa(regex: Regex, negation_mode: str = "paper") -> NFA:
+    """Compile a regex AST to an NFA with one start and one accept state.
+
+    ``negation_mode`` controls how ``~A`` sub-expressions are handled:
+
+    * ``"paper"`` — Appendix A semantics: the negated sub-expression's
+      ε-free NFA must already be deterministic, else
+      :class:`~repro.errors.UnsupportedRegexError` is raised.
+    * ``"dfa"`` — extended mode: arbitrary (predicate-free) negations are
+      determinized by subset construction first, accepting the
+      exponential worst case the paper avoids.
+    """
+    if negation_mode not in ("paper", "dfa"):
+        raise ValueError(f"unknown negation_mode {negation_mode!r}")
+    nfa = NFA()
+    entry, exit_ = _fragment(nfa, regex, negation_mode)
+    nfa.starts = frozenset((entry,))
+    nfa.accepts = frozenset((exit_,))
+    return nfa
+
+
+def _fragment(nfa: NFA, regex: Regex, negation_mode: str) -> Tuple[int, int]:
+    """Build ``regex`` into ``nfa``; return its (entry, exit) states."""
+    if isinstance(regex, Literal):
+        entry = nfa.add_state()
+        exit_ = nfa.add_state()
+        nfa.add_transition(entry, regex.symbol, exit_)
+        return entry, exit_
+
+    if isinstance(regex, Epsilon):
+        entry = nfa.add_state()
+        exit_ = nfa.add_state()
+        nfa.add_epsilon(entry, exit_)
+        return entry, exit_
+
+    if isinstance(regex, EmptySet):
+        # two unconnected states: nothing is accepted
+        return nfa.add_state(), nfa.add_state()
+
+    if isinstance(regex, Concat):
+        entry, current_exit = _fragment(nfa, regex.parts[0], negation_mode)
+        for part in regex.parts[1:]:
+            next_entry, next_exit = _fragment(nfa, part, negation_mode)
+            nfa.add_epsilon(current_exit, next_entry)
+            current_exit = next_exit
+        return entry, current_exit
+
+    if isinstance(regex, Alt):
+        entry = nfa.add_state()
+        exit_ = nfa.add_state()
+        for part in regex.parts:
+            part_entry, part_exit = _fragment(nfa, part, negation_mode)
+            nfa.add_epsilon(entry, part_entry)
+            nfa.add_epsilon(part_exit, exit_)
+        return entry, exit_
+
+    if isinstance(regex, Star):
+        entry = nfa.add_state()
+        exit_ = nfa.add_state()
+        inner_entry, inner_exit = _fragment(nfa, regex.inner, negation_mode)
+        nfa.add_epsilon(entry, inner_entry)
+        nfa.add_epsilon(entry, exit_)
+        nfa.add_epsilon(inner_exit, inner_entry)
+        nfa.add_epsilon(inner_exit, exit_)
+        return entry, exit_
+
+    if isinstance(regex, Plus):
+        # AA*: one inner fragment with a loop-back, no ε bypass of entry
+        entry = nfa.add_state()
+        exit_ = nfa.add_state()
+        inner_entry, inner_exit = _fragment(nfa, regex.inner, negation_mode)
+        nfa.add_epsilon(entry, inner_entry)
+        nfa.add_epsilon(inner_exit, inner_entry)
+        nfa.add_epsilon(inner_exit, exit_)
+        return entry, exit_
+
+    if isinstance(regex, Optional):
+        entry = nfa.add_state()
+        exit_ = nfa.add_state()
+        inner_entry, inner_exit = _fragment(nfa, regex.inner, negation_mode)
+        nfa.add_epsilon(entry, inner_entry)
+        nfa.add_epsilon(entry, exit_)
+        nfa.add_epsilon(inner_exit, exit_)
+        return entry, exit_
+
+    if isinstance(regex, Repeat):
+        # structural expansion: min mandatory copies, then either a
+        # Kleene tail ({m,}) or max-min optional copies ({m,n})
+        parts = [regex.inner] * regex.min_count
+        if regex.max_count is None:
+            parts.append(Star(regex.inner))
+        else:
+            parts.extend([Optional(regex.inner)] *
+                         (regex.max_count - regex.min_count))
+        if not parts:
+            return _fragment(nfa, Epsilon(), negation_mode)
+        expanded = parts[0] if len(parts) == 1 else Concat(parts)
+        return _fragment(nfa, expanded, negation_mode)
+
+    if isinstance(regex, Negation):
+        inner_nfa = build_nfa(regex.inner, negation_mode).eliminate_epsilon()
+        if negation_mode == "dfa" and not inner_nfa.is_deterministic():
+            from repro.regex.dfa import determinize
+
+            inner_nfa = determinize(inner_nfa)
+        complemented = _single_accept(inner_nfa.complement())
+        return _splice(nfa, complemented)
+
+    raise TypeError(f"unknown regex node: {regex!r}")
+
+
+def _single_accept(nfa: NFA) -> NFA:
+    """Give ``nfa`` exactly one accept state (ε from each old accept)."""
+    if len(nfa.accepts) == 1:
+        return nfa
+    new_accept = nfa.add_state()
+    for state in nfa.accepts:
+        nfa.add_epsilon(state, new_accept)
+    nfa.accepts = frozenset((new_accept,))
+    return nfa
+
+
+def _splice(target: NFA, fragment_nfa: NFA) -> Tuple[int, int]:
+    """Copy ``fragment_nfa`` into ``target`` with renumbered states."""
+    offset = target.n_states
+    for _ in range(fragment_nfa.n_states):
+        target.add_state()
+    for src, transitions in enumerate(fragment_nfa.symbol_transitions):
+        for symbol, dsts in transitions.items():
+            for dst in dsts:
+                target.add_transition(src + offset, symbol, dst + offset)
+    for src, dsts in enumerate(fragment_nfa.epsilon_transitions):
+        for dst in dsts:
+            target.add_epsilon(src + offset, dst + offset)
+    (start,) = fragment_nfa.starts
+    (accept,) = fragment_nfa.accepts
+    return start + offset, accept + offset

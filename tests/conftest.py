@@ -1,0 +1,12 @@
+"""Shared pytest configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# one shared profile: experiment-grade code paths can be slow per example
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,143 @@
+"""Tests for regex AST analyses (symbols, mandatory symbols, epsilon)."""
+
+import pytest
+
+from repro.labels import Predicate
+from repro.regex.ast_nodes import (
+    Alt,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Literal,
+    Negation,
+    Optional,
+    Plus,
+    Star,
+    alt,
+    concat,
+    literal,
+    plus,
+    star,
+)
+from repro.regex.parser import parse_regex
+
+
+class TestStructuralEquality:
+    def test_literal_equality(self):
+        assert Literal("a") == Literal("a")
+        assert Literal("a") != Literal("b")
+        assert hash(Literal("a")) == hash(Literal("a"))
+
+    def test_different_types_unequal(self):
+        assert Star(Literal("a")) != Plus(Literal("a"))
+        assert Epsilon() != EmptySet()
+
+    def test_concat_flattens(self):
+        nested = Concat([Literal("a"), Concat([Literal("b"), Literal("c")])])
+        flat = Concat([Literal("a"), Literal("b"), Literal("c")])
+        assert nested == flat
+
+    def test_alt_flattens(self):
+        nested = Alt([Literal("a"), Alt([Literal("b"), Literal("c")])])
+        flat = Alt([Literal("a"), Literal("b"), Literal("c")])
+        assert nested == flat
+
+    def test_too_few_parts_rejected(self):
+        with pytest.raises(ValueError):
+            Concat([Literal("a")])
+        with pytest.raises(ValueError):
+            Alt([])
+
+
+class TestSymbols:
+    def test_collects_all_symbols(self):
+        regex = parse_regex("(a | b) c* ~d")
+        assert regex.symbols() == frozenset({"a", "b", "c", "d"})
+
+    def test_predicates_are_symbols(self):
+        predicate = Predicate("p", lambda a: True)
+        regex = Star(Literal(predicate))
+        assert regex.symbols() == frozenset({predicate})
+
+
+class TestMandatorySymbols:
+    def test_literal_is_mandatory(self):
+        assert Literal("a").mandatory_symbols() == frozenset({"a"})
+
+    def test_concat_unions(self):
+        assert parse_regex("a b").mandatory_symbols() == frozenset({"a", "b"})
+
+    def test_alt_intersects(self):
+        assert parse_regex("a b | a c").mandatory_symbols() == frozenset({"a"})
+        assert parse_regex("a | b").mandatory_symbols() == frozenset()
+
+    def test_star_and_optional_claim_nothing(self):
+        assert parse_regex("a*").mandatory_symbols() == frozenset()
+        assert parse_regex("a?").mandatory_symbols() == frozenset()
+
+    def test_plus_keeps_inner(self):
+        assert parse_regex("(a b)+").mandatory_symbols() == frozenset({"a", "b"})
+
+    def test_negation_claims_nothing(self):
+        assert parse_regex("~a").mandatory_symbols() == frozenset()
+
+    def test_query_type_examples(self):
+        # type 1 has no mandatory labels; types 2 and 3 have them all
+        assert parse_regex("(a | b | c)*").mandatory_symbols() == frozenset()
+        assert parse_regex("(a b c)+").mandatory_symbols() == frozenset(
+            {"a", "b", "c"}
+        )
+        assert parse_regex("a+ b+ c+").mandatory_symbols() == frozenset(
+            {"a", "b", "c"}
+        )
+
+
+class TestMatchesEpsilon:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("a", False),
+            ("()", True),
+            ("a*", True),
+            ("a+", False),
+            ("a?", True),
+            ("a* b*", True),
+            ("a* b", False),
+            ("a | b*", True),
+            ("~a", True),   # empty word is not in L(a)
+            ("~(a*)", False),
+        ],
+    )
+    def test_cases(self, source, expected):
+        assert parse_regex(source).matches_epsilon() is expected
+
+    def test_empty_set(self):
+        assert EmptySet().matches_epsilon() is False
+
+
+class TestConvenienceBuilders:
+    def test_builders_compose(self):
+        regex = concat(star(literal("a")), literal("b"), star(literal("a")))
+        assert regex == parse_regex("a* b a*")
+
+    def test_single_arg_passthrough(self):
+        assert concat(literal("a")) == Literal("a")
+        assert alt(literal("a")) == Literal("a")
+
+    def test_operator_overloads(self):
+        regex = (literal("a") | literal("b")).star()
+        assert regex == parse_regex("(a | b)*")
+        assert literal("a").then(literal("b")).plus() == parse_regex("(a b)+")
+
+
+class TestFormatting:
+    def test_quoted_rendering(self):
+        assert str(Literal("has space")) == "'has space'"
+
+    def test_predicate_rendering(self):
+        predicate = Predicate("isAdult", lambda a: True)
+        assert str(Literal(predicate)) == "{isAdult}"
+
+    def test_negation_wraps_compound(self):
+        assert str(Negation(Star(Literal("a")))) == "~(a*)"
+        assert str(Negation(Literal("a"))) == "~a"

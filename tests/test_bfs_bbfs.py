@@ -1,0 +1,173 @@
+"""Exhaustive baseline tests: Algorithm-1 BFS and bidirectional BBFS.
+
+The pillar property: on small random graphs, BFS and BBFS agree with
+each other on every query — and any positive answer carries a verified
+simple compatible witness.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.bfs import BFSEngine
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import COMPATIBLE, check_path, is_simple
+
+from strategies import small_edge_labeled_graphs, small_node_labeled_graphs
+
+REGEXES = ["(a | b)*", "a* b a*", "(a b)+", "a+ b+", "c", "(a | b | c | d)*"]
+
+
+class TestAgreement:
+    @given(
+        small_edge_labeled_graphs(),
+        st.sampled_from(REGEXES),
+        st.integers(0, 7),
+    )
+    def test_bfs_and_bbfs_agree_edge_labeled(self, graph, regex, target):
+        if target >= graph.num_nodes:
+            target = graph.num_nodes - 1
+        bfs = BFSEngine(graph).query(0, target, regex)
+        bbfs = BBFSEngine(graph).query(0, target, regex)
+        assert bfs.exact and bbfs.exact
+        assert bfs.reachable == bbfs.reachable
+
+    @given(
+        small_node_labeled_graphs(),
+        st.sampled_from(REGEXES),
+        st.integers(0, 7),
+    )
+    def test_bfs_and_bbfs_agree_node_labeled(self, graph, regex, target):
+        if target >= graph.num_nodes:
+            target = graph.num_nodes - 1
+        bfs = BFSEngine(graph).query(0, target, regex)
+        bbfs = BBFSEngine(graph).query(0, target, regex)
+        assert bfs.reachable == bbfs.reachable
+
+    @given(small_edge_labeled_graphs(), st.sampled_from(REGEXES))
+    def test_positive_witnesses_are_simple_and_compatible(self, graph, regex):
+        compiled = compile_regex(regex)
+        for engine in (BFSEngine(graph), BBFSEngine(graph)):
+            result = engine.query(0, graph.num_nodes - 1, compiled)
+            if result.reachable:
+                assert is_simple(result.path)
+                assert result.path[0] == 0
+                assert result.path[-1] == graph.num_nodes - 1
+                assert check_path(compiled, graph, result.path) == COMPATIBLE
+
+
+@pytest.fixture
+def simple_only_graph():
+    """A compatible walk exists but no compatible *simple* path:
+    matching 'a a b c' from 0 to 3 needs to revisit node 1."""
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(4)
+    graph.add_edge(0, 1, {"a"})
+    graph.add_edge(1, 2, {"a"})
+    graph.add_edge(2, 1, {"b"})
+    graph.add_edge(1, 3, {"c"})
+    return graph
+
+
+class TestSimplePathSemantics:
+    def test_non_simple_witness_rejected(self, simple_only_graph):
+        assert not BFSEngine(simple_only_graph).query(0, 3, "a a b c").reachable
+        assert not BBFSEngine(simple_only_graph).query(0, 3, "a a b c").reachable
+
+    def test_simple_route_found(self, simple_only_graph):
+        assert BFSEngine(simple_only_graph).query(0, 3, "a c").reachable
+        assert BBFSEngine(simple_only_graph).query(0, 3, "a c").reachable
+
+
+class TestTargetDropRule:
+    def test_paths_through_target_are_not_extended(self):
+        """Alg. 1 drops an incompatible path that reached the target:
+        extending it could never produce a simple accepting path."""
+        # 0 -a-> 1 -a-> 2, query 'a a a' to node 1: would need to pass
+        # through 1 twice
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        graph.add_edge(2, 1, {"a"})
+        result = BFSEngine(graph).query(0, 1, "a a a")
+        assert not result.reachable
+        assert result.exact
+
+
+class TestBudgets:
+    def _large_graph(self):
+        from repro.datasets.social import gplus_like
+
+        return gplus_like(n_nodes=200, seed=0)
+
+    def test_expansion_budget_flags_timeout(self):
+        graph = self._large_graph()
+        engine = BFSEngine(graph, max_expansions=5)
+        result = engine.query(0, 1, "(Gender:Male | Gender:Female)*")
+        if not result.reachable:
+            assert result.timed_out
+            assert not result.exact
+
+    def test_time_budget_flags_timeout(self):
+        graph = self._large_graph()
+        engine = BBFSEngine(graph, max_expansions=None, time_budget=1e-9)
+        result = engine.query(0, 1, "(Occ:o0 | Occ:o1 | Place:p0)*")
+        if not result.reachable:
+            assert result.timed_out
+
+    def test_exhaustive_negative_is_exact(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        result = BBFSEngine(graph).query(0, 2, "a*")
+        assert not result.reachable and result.exact and not result.timed_out
+
+
+class TestEdgeCases:
+    def test_source_equals_target(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(2)
+        graph.add_edge(0, 1, {"a"})
+        assert BBFSEngine(graph).query(0, 0, "a*").reachable
+        assert not BBFSEngine(graph).query(0, 0, "a+").reachable
+        assert BFSEngine(graph).query(0, 0, "a*").reachable
+
+    def test_unknown_nodes_raise(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(2)
+        for engine in (BFSEngine(graph), BBFSEngine(graph)):
+            with pytest.raises(QueryError):
+                engine.query(0, 9, "a")
+
+    def test_distance_bound(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(4)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        graph.add_edge(2, 3, {"a"})
+        for engine in (BFSEngine(graph), BBFSEngine(graph)):
+            assert engine.query(0, 3, "a+", distance_bound=3).reachable
+            assert not engine.query(0, 3, "a+", distance_bound=2).reachable
+
+    def test_rspquery_object(self):
+        from repro.queries.query import RSPQuery
+
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(2)
+        graph.add_edge(0, 1, {"a"})
+        query = RSPQuery(source=0, target=1, regex="a")
+        assert BFSEngine(graph).query(query).reachable
+        assert BBFSEngine(graph).query(query).reachable
+
+    def test_undirected_graph(self):
+        graph = LabeledGraph(directed=False)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(2, 1, {"a"})
+        # both directions traversable
+        assert BBFSEngine(graph).query(0, 2, "a a").reachable
+        assert BBFSEngine(graph).query(2, 0, "a a").reachable

@@ -1,0 +1,53 @@
+"""GraphBuilder / NamedGraph tests."""
+
+from repro.graph.builder import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_basic_build(self):
+        named = (
+            GraphBuilder(directed=True)
+            .node("alice", labels={"person"}, attrs={"age": 26})
+            .node("bob", labels={"person"})
+            .edge("alice", "bob", labels={"follows"})
+            .build()
+        )
+        graph = named.graph
+        assert graph.num_nodes == 2
+        alice = named.id_of("alice")
+        assert graph.node_labels(alice) == frozenset({"person"})
+        assert graph.node_attrs(alice)["age"] == 26
+        assert graph.has_edge(alice, named.id_of("bob"))
+
+    def test_edge_auto_creates_endpoints(self):
+        named = GraphBuilder().edge("x", "y").build()
+        assert named.graph.num_nodes == 2
+        assert named.graph.has_edge(named.id_of("x"), named.id_of("y"))
+
+    def test_redeclare_updates_in_place(self):
+        builder = GraphBuilder()
+        builder.node("n", labels={"old"})
+        builder.node("n", labels={"new"}, attrs={"k": 1})
+        named = builder.build()
+        node = named.id_of("n")
+        assert named.graph.node_labels(node) == frozenset({"new"})
+        assert named.graph.node_attrs(node)["k"] == 1
+        assert named.graph.num_nodes == 1
+
+    def test_bulk_edges(self):
+        named = GraphBuilder().edges([("a", "b"), ("b", "c")]).build()
+        assert named.graph.num_edges == 2
+
+    def test_name_mappings_are_inverses(self):
+        named = GraphBuilder().edge("a", "b").build()
+        for name in ("a", "b"):
+            assert named.name_of(named.id_of(name)) == name
+
+    def test_undirected(self):
+        named = GraphBuilder(directed=False).edge("a", "b").build()
+        graph = named.graph
+        assert graph.has_edge(named.id_of("b"), named.id_of("a"))
+
+    def test_non_string_names(self):
+        named = GraphBuilder().edge((1, 2), (3, 4)).build()
+        assert named.graph.num_nodes == 2

@@ -1,0 +1,66 @@
+"""Terminal chart rendering tests."""
+
+import pytest
+
+from repro.experiments.charts import bar_chart, chart_experiment, sparkline
+from repro.experiments.report import ExperimentResult
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "███"
+
+    def test_missing_points(self):
+        line = sparkline([1, None, 3])
+        assert line[1] == "·"
+
+    def test_all_missing(self):
+        assert sparkline([None, None]) == "··"
+
+
+class TestBarChart:
+    def test_bars_scale_to_maximum(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_values_printed(self):
+        text = bar_chart(["x"], [0.123456])
+        assert "0.123" in text
+
+    def test_missing_value_visible(self):
+        text = bar_chart(["x", "y"], [1.0, None])
+        assert "(no data)" in text
+
+    def test_title(self):
+        assert bar_chart(["x"], [1], title="T").startswith("T\n")
+
+    def test_zero_values(self):
+        text = bar_chart(["x"], [0.0])
+        assert "0" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_labels_aligned(self):
+        text = bar_chart(["long-label", "x"], [1, 2])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestChartExperiment:
+    def test_renders_columns(self):
+        result = ExperimentResult(
+            "Sweep", ["K", "Recall"], [[0.5, 0.6], [1.0, 0.9], [2.0, None]]
+        )
+        text = chart_experiment(result, "K", "Recall")
+        assert "Sweep — Recall" in text
+        assert "(no data)" in text
+        assert "0.9" in text

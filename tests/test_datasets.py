@@ -1,0 +1,185 @@
+"""Dataset generator tests: structure, determinism, scaling."""
+
+import pytest
+
+from repro.datasets import (
+    dblp_like,
+    dblp_predicates,
+    freebase_like,
+    gplus_like,
+    load_dataset,
+    stackoverflow_like,
+    twitter_like,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    snapshot_of,
+    table2_summary,
+)
+from repro.errors import ReproError
+from repro.graph.temporal import TemporalGraph
+
+
+class TestGPlus:
+    def test_structure(self):
+        graph = gplus_like(n_nodes=150, seed=0)
+        assert graph.directed
+        assert graph.labeled_elements == "nodes"
+        assert graph.num_nodes == 150
+        assert graph.num_edges > 150
+
+    def test_every_node_fully_featured(self):
+        graph = gplus_like(n_nodes=80, seed=1)
+        for node in graph.nodes():
+            labels = graph.node_labels(node)
+            prefixes = {label.split(":")[0] for label in labels}
+            assert prefixes == {"Gender", "Place", "Inst", "Occ"}
+            assert 13 <= graph.node_attrs(node)["age"] < 80
+
+    def test_deterministic(self):
+        first = gplus_like(n_nodes=60, seed=7)
+        second = gplus_like(n_nodes=60, seed=7)
+        assert set(first.edges()) == set(second.edges())
+        assert all(
+            first.node_labels(n) == second.node_labels(n)
+            for n in first.nodes()
+        )
+
+    def test_seed_changes_output(self):
+        first = gplus_like(n_nodes=60, seed=1)
+        second = gplus_like(n_nodes=60, seed=2)
+        assert set(first.edges()) != set(second.edges())
+
+
+class TestDBLP:
+    def test_structure(self):
+        graph = dblp_like(n_nodes=150, seed=0)
+        assert not graph.directed
+        assert graph.labeled_elements == "nodes"
+
+    def test_feature_vector_complete(self):
+        graph = dblp_like(n_nodes=80, seed=0)
+        for node in graph.nodes():
+            attrs = graph.node_attrs(node)
+            assert {"num_papers", "years_active", "n_venues",
+                    "n_subjects", "median_rank"} <= set(attrs)
+            assert 1 <= attrs["median_rank"] <= 5
+
+    def test_labels_mirror_features(self):
+        graph = dblp_like(n_nodes=80, seed=0)
+        labels = graph.node_labels(0)
+        kinds = {label.split(":")[0] for label in labels}
+        assert {"venue", "subject", "rank"} <= kinds
+
+    def test_predicates(self):
+        registry, thresholds = dblp_predicates(seed=3)
+        assert len(registry) == 4
+        prolific = registry["prolificPublisher"]
+        limit = thresholds["num_papers"]
+        assert prolific({"num_papers": limit + 1})
+        assert not prolific({"num_papers": limit})
+        both = registry["diverseAndExperienced"]
+        either = registry["diverseOrExperienced"]
+        rich = {
+            "years_active": thresholds["years_active"] + 1,
+            "n_subjects": thresholds["n_subjects"] + 1,
+        }
+        half = {"years_active": thresholds["years_active"] + 1, "n_subjects": 0}
+        assert both(rich) and either(rich)
+        assert not both(half) and either(half)
+
+
+class TestFreebase:
+    def test_both_label_kinds(self):
+        graph = freebase_like(n_nodes=150, seed=0)
+        assert graph.labeled_elements == "both"
+        assert graph.has_node_labels and graph.has_edge_labels
+
+    def test_every_edge_has_one_relation(self):
+        graph = freebase_like(n_nodes=100, seed=0)
+        for u, v in graph.edges():
+            labels = graph.edge_labels(u, v)
+            assert len(labels) == 1
+            assert next(iter(labels)).startswith("rel:")
+
+    def test_zipf_skew(self):
+        graph = freebase_like(n_nodes=400, seed=0)
+        counts = sorted(graph.node_label_counts().values(), reverse=True)
+        # heavy head: the most common category dwarfs the median one
+        assert counts[0] > 5 * counts[len(counts) // 2]
+
+
+class TestStackOverflow:
+    def test_temporal_structure(self):
+        temporal = stackoverflow_like(n_nodes=120, seed=0)
+        assert isinstance(temporal, TemporalGraph)
+        snapshot = snapshot_of(temporal)
+        assert snapshot.num_nodes == 120
+        assert snapshot.label_alphabet() <= {"a2q", "c2q", "c2a"}
+
+    def test_snapshots_grow_monotonically(self):
+        temporal = stackoverflow_like(n_nodes=100, seed=1)
+        start, end = temporal.time_range()
+        middle = temporal.snapshot((start + end) / 2)
+        final = temporal.snapshot(end)
+        assert middle.num_edges <= final.num_edges
+
+    def test_event_budget_scales_with_nodes(self):
+        small = stackoverflow_like(n_nodes=50, seed=0)
+        large = stackoverflow_like(n_nodes=200, seed=0)
+        assert large.num_events > small.num_events
+
+
+class TestTwitter:
+    def test_hub_labels_reflect_follow_edges(self):
+        graph = twitter_like(n_nodes=300, n_hubs=10, seed=0)
+        labels = {
+            label for node in graph.nodes()
+            for label in graph.node_labels(node)
+        }
+        hub_labels = {l for l in labels if l.startswith("follows:h")}
+        assert 1 <= len(hub_labels) <= 10
+
+    def test_label_frequency_equals_hub_popularity(self):
+        graph = twitter_like(n_nodes=300, n_hubs=10, seed=0)
+        counts = graph.node_label_counts()
+        # hub 0 is the most followed, so its tag must be the most common
+        hub_counts = {
+            label: count
+            for label, count in counts.items()
+            if label.startswith("follows:h")
+        }
+        assert max(hub_counts, key=hub_counts.get) == "follows:h0"
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == [
+            "gplus", "dblp", "freebase", "stackoverflow", "twitter"
+        ]
+
+    def test_load_by_name_case_insensitive(self):
+        graph = load_dataset("GPlus", scale=0.1, seed=0)
+        assert graph.num_nodes == round(0.1 * DATASETS["gplus"].default_nodes)
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            load_dataset("orkut")
+
+    def test_scale_floor(self):
+        graph = load_dataset("dblp", scale=0.0001)
+        assert graph.num_nodes >= 16
+
+    def test_table2_rows(self):
+        rows = table2_summary(scale=0.05, seed=0)
+        assert len(rows) == 5
+        by_name = {row.name: row for row in rows}
+        assert by_name["DBLP"].directed is False
+        assert by_name["StackOverflow"].dynamic is True
+        assert by_name["Freebase"].node_labels and by_name["Freebase"].edge_labels
+        assert by_name["StackOverflow"].num_labels == 3
+
+    def test_snapshot_of_passthrough(self):
+        graph = gplus_like(n_nodes=30, seed=0)
+        assert snapshot_of(graph) is graph

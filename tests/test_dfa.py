@@ -1,0 +1,72 @@
+"""Subset construction and minimization tests."""
+
+import re
+
+import pytest
+from hypothesis import given
+
+from repro.errors import UnsupportedRegexError
+from repro.labels import Predicate
+from repro.regex.ast_nodes import Literal
+from repro.regex.dfa import determinize, minimize
+from repro.regex.parser import parse_regex
+from repro.regex.thompson import build_nfa
+
+from strategies import regexes, to_python_re, words
+
+
+class TestDeterminize:
+    @given(regexes(), words)
+    def test_language_preserved(self, regex, word):
+        nfa = build_nfa(regex)
+        dfa = determinize(nfa)
+        assert dfa.accepts_word(word) == nfa.accepts_word(word)
+
+    @given(regexes())
+    def test_result_is_deterministic(self, regex):
+        assert determinize(build_nfa(regex)).is_deterministic()
+
+    def test_predicates_rejected(self):
+        predicate = Predicate("p", lambda a: True)
+        nfa = build_nfa(Literal(predicate))
+        with pytest.raises(UnsupportedRegexError):
+            determinize(nfa)
+
+    def test_classic_exponential_family_still_correct(self):
+        # (a|b)* a (a|b)^2: minimal DFA has 2^3 states
+        nfa = build_nfa(parse_regex("(a | b)* a (a | b) (a | b)"))
+        dfa = determinize(nfa)
+        pattern = re.compile("(?:a|b)*a(?:a|b)(?:a|b)")
+        for value in range(32):
+            word = [("ab"[int(bit)]) for bit in format(value, "05b")]
+            assert dfa.accepts_word(word) == bool(pattern.fullmatch("".join(word)))
+
+
+class TestMinimize:
+    @given(regexes(), words)
+    def test_language_preserved(self, regex, word):
+        dfa = determinize(build_nfa(regex))
+        assert minimize(dfa).accepts_word(word) == dfa.accepts_word(word)
+
+    @given(regexes())
+    def test_never_grows(self, regex):
+        dfa = determinize(build_nfa(regex))
+        assert minimize(dfa).n_states <= dfa.n_states
+
+    def test_known_minimal_size(self):
+        # minimal complete DFA for (a|b)* a (a|b): 4 live states + none
+        # dead (the language is suffix-testable); plus OTHER sink
+        dfa = determinize(build_nfa(parse_regex("(a | b)* a (a | b)")))
+        minimal = minimize(dfa)
+        assert minimal.n_states <= 5
+
+    def test_requires_deterministic_input(self):
+        nfa = build_nfa(parse_regex("a b | a c")).eliminate_epsilon()
+        with pytest.raises(UnsupportedRegexError):
+            minimize(nfa)
+
+    def test_idempotent(self):
+        dfa = determinize(build_nfa(parse_regex("(a b)+")))
+        once = minimize(dfa)
+        twice = minimize(once)
+        assert twice.n_states == once.n_states

@@ -1,0 +1,123 @@
+"""Path enumeration tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.arrival import Arrival
+from repro.core.enumeration import (
+    enumerate_compatible_paths,
+    sample_compatible_paths,
+)
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import COMPATIBLE, check_path, is_simple
+
+from strategies import small_edge_labeled_graphs
+
+
+@pytest.fixture
+def two_routes():
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(6)
+    graph.add_edge(0, 1, {"a"})
+    graph.add_edge(1, 3, {"a"})
+    graph.add_edge(0, 2, {"a"})
+    graph.add_edge(2, 4, {"a"})
+    graph.add_edge(4, 5, {"a"})
+    graph.add_edge(5, 3, {"a"})
+    return graph
+
+
+class TestExhaustiveEnumeration:
+    def test_finds_all_routes_shortest_first(self, two_routes):
+        paths = list(enumerate_compatible_paths(two_routes, 0, 3, "a+"))
+        assert paths == [[0, 1, 3], [0, 2, 4, 5, 3]]
+
+    def test_limit(self, two_routes):
+        paths = list(
+            enumerate_compatible_paths(two_routes, 0, 3, "a+", limit=1)
+        )
+        assert paths == [[0, 1, 3]]
+
+    def test_max_edges(self, two_routes):
+        paths = list(
+            enumerate_compatible_paths(two_routes, 0, 3, "a+", max_edges=2)
+        )
+        assert paths == [[0, 1, 3]]
+
+    def test_empty_when_unreachable(self, two_routes):
+        assert list(enumerate_compatible_paths(two_routes, 3, 0, "a+")) == []
+
+    def test_regex_filters_routes(self, two_routes):
+        two_routes.set_edge_labels(0, 1, {"b"})
+        paths = list(enumerate_compatible_paths(two_routes, 0, 3, "a+"))
+        assert paths == [[0, 2, 4, 5, 3]]
+        both = list(enumerate_compatible_paths(two_routes, 0, 3, "(a | b)+"))
+        assert len(both) == 2
+
+    def test_budget_raises_not_truncates(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(12)
+        for u in range(12):
+            for v in range(12):
+                if u != v:
+                    graph.add_edge(u, v, {"a"})
+        with pytest.raises(QueryError):
+            list(
+                enumerate_compatible_paths(
+                    graph, 0, 1, "a+", max_expansions=100
+                )
+            )
+
+    def test_unknown_nodes(self, two_routes):
+        with pytest.raises(QueryError):
+            list(enumerate_compatible_paths(two_routes, 0, 99, "a+"))
+
+    @given(small_edge_labeled_graphs())
+    def test_all_enumerated_paths_valid(self, graph):
+        compiled = compile_regex("a* b a*")
+        paths = list(
+            enumerate_compatible_paths(
+                graph, 0, graph.num_nodes - 1, compiled,
+                max_expansions=200_000,
+            )
+        )
+        seen = set()
+        for path in paths:
+            assert is_simple(path)
+            assert path[0] == 0 and path[-1] == graph.num_nodes - 1
+            assert check_path(compiled, graph, path) == COMPATIBLE
+            key = tuple(path)
+            assert key not in seen  # no duplicates
+            seen.add(key)
+
+    @given(small_edge_labeled_graphs())
+    def test_shortest_first_ordering(self, graph):
+        lengths = [
+            len(path)
+            for path in enumerate_compatible_paths(
+                graph, 0, graph.num_nodes - 1, "(a | b)*",
+                max_expansions=200_000,
+            )
+        ]
+        assert lengths == sorted(lengths)
+
+
+class TestSampledEnumeration:
+    def test_collects_distinct_witnesses(self, two_routes):
+        engine = Arrival(two_routes, walk_length=6, num_walks=60, seed=11)
+        paths = sample_compatible_paths(
+            engine, 0, 3, "a+", count=2, max_queries=60
+        )
+        assert 1 <= len(paths) <= 2
+        assert len({tuple(p) for p in paths}) == len(paths)
+        for path in paths:
+            assert check_path(
+                compile_regex("a+"), two_routes, path
+            ) == COMPATIBLE
+
+    def test_unreachable_gives_empty(self, two_routes):
+        engine = Arrival(two_routes, walk_length=6, num_walks=30, seed=11)
+        assert sample_compatible_paths(engine, 3, 0, "a+", count=3) == []

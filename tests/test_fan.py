@@ -1,0 +1,82 @@
+"""Fan et al. restricted-fragment baseline tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.fan import FanEngine, in_fan_fragment
+from repro.baselines.product_bfs import product_reachability
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import compile_regex
+from repro.regex.parser import parse_regex
+
+from strategies import small_edge_labeled_graphs
+
+
+class TestFragmentClassifier:
+    @pytest.mark.parametrize(
+        "source",
+        ["a", "a b", "a+ b", "a* b? c{1,3}", "a{2} b{0,}", "a+ b+ c+",
+         "(a b)"],
+    )
+    def test_inside(self, source):
+        assert in_fan_fragment(parse_regex(source))
+
+    @pytest.mark.parametrize(
+        "source",
+        ["a | b", "(a | b)*", "(a b)+", "~a", "(a b){1,2}", "a (b | c)"],
+    )
+    def test_outside(self, source):
+        assert not in_fan_fragment(parse_regex(source))
+
+    def test_predicates_outside(self):
+        from repro.labels import PredicateRegistry
+
+        registry = PredicateRegistry()
+        registry.register("p", lambda a: True)
+        assert not in_fan_fragment(parse_regex("{p}+", registry))
+
+
+@pytest.fixture
+def chain():
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(5)
+    graph.add_edge(0, 1, {"a"})
+    graph.add_edge(1, 2, {"a"})
+    graph.add_edge(2, 3, {"b"})
+    graph.add_edge(3, 4, {"c"})
+    return graph
+
+
+class TestQueries:
+    def test_fragment_queries(self, chain):
+        engine = FanEngine(chain)
+        assert engine.query(0, 4, "a+ b c").reachable
+        assert engine.query(0, 3, "a{2} b").reachable
+        assert not engine.query(0, 3, "a{1} b").reachable
+        assert engine.query(0, 2, "a{1,2} b?").reachable
+        assert not engine.query(4, 0, "c").reachable
+
+    def test_unsupported_fragment_raises(self, chain):
+        engine = FanEngine(chain)
+        with pytest.raises(UnsupportedQueryError):
+            engine.query(0, 4, "(a | b)+ c")
+
+    def test_unknown_nodes(self, chain):
+        with pytest.raises(QueryError):
+            FanEngine(chain).query(0, 99, "a")
+
+    def test_method_stamped(self, chain):
+        assert FanEngine(chain).query(0, 1, "a").method == "FAN"
+
+    @given(small_edge_labeled_graphs(), st.sampled_from(
+        ["a+ b", "a{1,3}", "a* b? c", "b+"]
+    ))
+    def test_agrees_with_product_search(self, graph, source):
+        compiled = compile_regex(source)
+        fan = FanEngine(graph).query(0, graph.num_nodes - 1, compiled)
+        product = product_reachability(
+            graph, 0, graph.num_nodes - 1, compiled
+        )
+        assert fan.reachable == product.reachable

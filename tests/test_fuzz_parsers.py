@@ -1,0 +1,67 @@
+"""Fuzz tests: parsers must fail *predictably* on arbitrary input.
+
+Random printable text thrown at the regex and SPARQL parsers must either
+parse to a valid AST (which then compiles and round-trips) or raise
+exactly the library's declared error types — never IndexError,
+RecursionError on reasonable sizes, or silent garbage.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RegexSyntaxError, UnsupportedRegexError
+from repro.regex.compiler import compile_regex
+from repro.regex.parser import parse_regex
+from repro.regex.sparql import translate_property_path
+
+# a text alphabet rich in the grammars' metacharacters
+_soup = st.text(
+    alphabet="ab(){}[]|*+?~!^/<>:' \t\\",
+    max_size=30,
+)
+
+
+class TestRegexParserFuzz:
+    @given(_soup)
+    def test_only_declared_errors(self, source):
+        try:
+            ast = parse_regex(source)
+        except RegexSyntaxError:
+            return
+        # successful parses must be stable under print/parse
+        assert parse_regex(str(ast)) == ast
+
+    @given(_soup)
+    def test_successful_parses_compile(self, source):
+        try:
+            ast = parse_regex(source)
+        except RegexSyntaxError:
+            return
+        try:
+            compiled = compile_regex(ast)
+        except UnsupportedRegexError:
+            return  # e.g. negation of a nondeterministic fragment
+        assert compiled.nfa.n_states >= 1
+
+    @given(st.text(max_size=40))
+    def test_fully_arbitrary_text(self, source):
+        try:
+            parse_regex(source)
+        except RegexSyntaxError:
+            pass
+
+
+class TestSparqlParserFuzz:
+    @given(_soup)
+    def test_only_declared_errors(self, source):
+        try:
+            translate_property_path(source)
+        except (RegexSyntaxError, UnsupportedRegexError):
+            pass
+
+    @given(st.text(max_size=40))
+    def test_fully_arbitrary_text(self, source):
+        try:
+            translate_property_path(source)
+        except (RegexSyntaxError, UnsupportedRegexError):
+            pass

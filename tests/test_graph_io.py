@@ -1,0 +1,160 @@
+"""Graph persistence round-trip tests."""
+
+import pytest
+
+from repro.datasets.knowledge import freebase_like
+from repro.errors import GraphError
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def graphs_equal(first: LabeledGraph, second: LabeledGraph) -> bool:
+    if first.directed != second.directed:
+        return False
+    if sorted(first.nodes()) != sorted(second.nodes()):
+        return False
+    if set(first.edges()) != set(second.edges()):
+        return False
+    for node in first.nodes():
+        if first.node_labels(node) != second.node_labels(node):
+            return False
+    for u, v in first.edges():
+        if first.edge_labels(u, v) != second.edge_labels(u, v):
+            return False
+    return True
+
+
+@pytest.fixture
+def sample():
+    graph = LabeledGraph(directed=True)
+    graph.add_node({"person"}, {"age": 30})
+    graph.add_node({"person", "admin"})
+    graph.add_node()
+    graph.add_edge(0, 1, {"follows"}, {"since": 2019})
+    graph.add_edge(1, 2)
+    return graph
+
+
+class TestJson:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(sample, path)
+        loaded = load_json(path)
+        assert graphs_equal(sample, loaded)
+        assert loaded.node_attrs(0)["age"] == 30
+        assert loaded.edge_attrs(0, 1)["since"] == 2019
+
+    def test_round_trip_with_deleted_nodes(self, sample, tmp_path):
+        sample.remove_node(1)
+        path = tmp_path / "graph.json"
+        save_json(sample, path)
+        loaded = load_json(path)
+        assert loaded.num_nodes == 2
+        assert loaded.num_edges == 0
+
+    def test_undirected_round_trip(self, tmp_path):
+        graph = LabeledGraph(directed=False)
+        graph.add_nodes(3)
+        graph.add_edge(2, 0, {"e"})
+        path = tmp_path / "u.json"
+        save_json(graph, path)
+        loaded = load_json(path)
+        assert not loaded.directed
+        assert loaded.has_edge(0, 2)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format_version": 999, "directed": True})
+
+    def test_dict_round_trip_of_dataset(self):
+        graph = freebase_like(n_nodes=60, seed=2)
+        assert graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
+
+
+class TestEdgeList:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(sample, path)
+        loaded = load_edge_list(path)
+        assert graphs_equal(sample, loaded)
+
+    def test_attrs_are_lossy(self, sample, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(sample, path)
+        loaded = load_edge_list(path)
+        assert loaded.node_attrs(0) == {}
+
+    def test_unlabeled_edges(self, tmp_path):
+        graph = LabeledGraph()
+        graph.add_nodes(2)
+        graph.add_edge(0, 1)
+        path = tmp_path / "bare.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.has_edge(0, 1)
+        assert loaded.edge_labels(0, 1) == frozenset()
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "messy.txt"
+        path.write_text(
+            "# directed=1\n# nodes=2\n\n# a stray comment\n0 1 x,y\n"
+        )
+        loaded = load_edge_list(path)
+        assert loaded.edge_labels(0, 1) == frozenset({"x", "y"})
+
+
+class TestPropertyRoundTrip:
+    """Hypothesis round-trips over random labeled graphs."""
+
+    def _random_graph(self, data):
+        from hypothesis import strategies as st
+
+        graph = LabeledGraph(
+            directed=data.draw(st.booleans(), label="directed")
+        )
+        n_nodes = data.draw(st.integers(1, 6), label="n_nodes")
+        for _ in range(n_nodes):
+            labels = data.draw(
+                st.sets(st.sampled_from("abc"), max_size=2), label="labels"
+            )
+            graph.add_node(labels or None)
+        n_edges = data.draw(st.integers(0, 8), label="n_edges")
+        for _ in range(n_edges):
+            u = data.draw(st.integers(0, n_nodes - 1), label="u")
+            v = data.draw(st.integers(0, n_nodes - 1), label="v")
+            if u != v and not graph.has_edge(u, v):
+                labels = data.draw(
+                    st.sets(st.sampled_from("xy"), max_size=2), label="el"
+                )
+                graph.add_edge(u, v, labels or None)
+        return graph
+
+    def test_json_round_trip_property(self, tmp_path):
+        from hypothesis import given, strategies as st
+
+        @given(st.data())
+        def check(data):
+            graph = self._random_graph(data)
+            assert graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
+
+        check()
+
+    def test_edge_list_round_trip_property(self, tmp_path):
+        from hypothesis import given, strategies as st
+
+        path = tmp_path / "fuzz.txt"
+
+        @given(st.data())
+        def check(data):
+            graph = self._random_graph(data)
+            save_edge_list(graph, path)
+            assert graphs_equal(graph, load_edge_list(path))
+
+        check()

@@ -1,0 +1,143 @@
+"""Experiment harness tests: oracle soundness and metric arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.bfs import BFSEngine
+from repro.core.result import QueryResult
+from repro.experiments.harness import (
+    EvalRecord,
+    Oracle,
+    evaluate_workload,
+    ground_truths,
+    workload_metrics,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.queries.query import RSPQuery
+
+from strategies import small_edge_labeled_graphs
+
+
+class TestOracle:
+    @given(small_edge_labeled_graphs(), st.sampled_from(
+        ["a* b a*", "(a | b)*", "(a b)+", "c"]
+    ))
+    def test_oracle_matches_exhaustive_bfs(self, graph, regex):
+        oracle = Oracle(graph)
+        query = RSPQuery(0, graph.num_nodes - 1, regex)
+        truth = oracle.ground_truth(query)
+        reference = BFSEngine(graph, max_expansions=500_000).query(query)
+        assert reference.exact
+        assert truth == reference.reachable
+
+    def test_distance_bound_respected(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(4)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        graph.add_edge(2, 3, {"a"})
+        oracle = Oracle(graph)
+        assert oracle.ground_truth(RSPQuery(0, 3, "a+", distance_bound=3))
+        assert not oracle.ground_truth(RSPQuery(0, 3, "a+", distance_bound=2))
+
+    def test_product_shortcut_negative(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        oracle = Oracle(graph)
+        assert oracle.ground_truth(RSPQuery(0, 2, "a+")) is False
+        assert oracle.undecided == 0
+
+    def test_simple_only_case_needs_bbfs(self):
+        # product search finds a non-simple witness; the truth is False
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(4)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        graph.add_edge(2, 1, {"b"})
+        graph.add_edge(1, 3, {"c"})
+        oracle = Oracle(graph)
+        assert oracle.ground_truth(RSPQuery(0, 3, "a a b c")) is False
+
+    def test_undecided_counted(self):
+        from repro.datasets.social import gplus_like
+
+        graph = gplus_like(n_nodes=150, seed=0)
+        oracle = Oracle(
+            graph, product_budget=1, bbfs_expansions=1, bbfs_time_budget=None
+        )
+        query = RSPQuery(0, 1, "(Gender:Male | Gender:Female | Place:p0)*")
+        truth = oracle.ground_truth(query)
+        # with starved budgets the oracle either proves it quickly or
+        # gives up; giving up must be visible
+        if truth is None:
+            assert oracle.undecided == 1
+
+
+def _record(truth, reachable, elapsed):
+    return EvalRecord(
+        query=RSPQuery(0, 1, "a"),
+        truth=truth,
+        result=QueryResult(reachable=reachable),
+        elapsed=elapsed,
+    )
+
+
+class TestMetrics:
+    def test_recall_and_precision(self):
+        records = [
+            _record(True, True, 0.01),
+            _record(True, False, 0.01),   # false negative
+            _record(False, False, 0.01),
+            _record(True, True, 0.01),
+        ]
+        metrics = workload_metrics(records)
+        assert metrics.recall == pytest.approx(2 / 3)
+        assert metrics.precision == 1.0
+        assert metrics.n_positive == 3
+        assert metrics.n_negative == 1
+
+    def test_no_positives_leaves_recall_none(self):
+        metrics = workload_metrics([_record(False, False, 0.01)])
+        assert metrics.recall is None
+        assert metrics.precision is None
+
+    def test_undecided_excluded(self):
+        metrics = workload_metrics(
+            [_record(None, True, 0.01), _record(True, True, 0.01)]
+        )
+        assert metrics.n_undecided == 1
+        assert metrics.recall == 1.0
+
+    def test_speedup_is_mean_of_ratios(self):
+        records = [_record(True, True, 0.001), _record(False, False, 0.002)]
+        baseline = [_record(True, True, 0.01), _record(False, False, 0.01)]
+        metrics = workload_metrics(records, baseline)
+        assert metrics.speedup == pytest.approx((10 + 5) / 2)
+        assert metrics.speedup_positive == pytest.approx(10)
+        assert metrics.speedup_negative == pytest.approx(5)
+
+    def test_mean_times_split_by_truth(self):
+        records = [
+            _record(True, True, 0.004),
+            _record(False, False, 0.002),
+        ]
+        metrics = workload_metrics(records)
+        assert metrics.mean_time_positive == pytest.approx(0.004)
+        assert metrics.mean_time_negative == pytest.approx(0.002)
+        assert metrics.mean_time == pytest.approx(0.003)
+
+
+class TestEvaluateWorkload:
+    def test_records_align_with_queries(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        queries = [RSPQuery(0, 1, "a"), RSPQuery(0, 2, "a")]
+        oracle = Oracle(graph)
+        truths = ground_truths(oracle, queries)
+        records = evaluate_workload(BFSEngine(graph), queries, truths)
+        assert [r.truth for r in records] == [True, False]
+        assert [r.result.reachable for r in records] == [True, False]
+        assert all(r.elapsed >= 0 for r in records)

@@ -1,0 +1,123 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the exact pipeline the paper's evaluation uses — dataset
+generator -> workload generator -> oracle -> engines -> metrics — and
+pin down the headline claims at miniature scale:
+
+* precision is exactly 1 (no false positives) on real workloads;
+* recall is high when parameters follow Sec. 5.2.3;
+* every engine pair agrees where their semantics coincide.
+"""
+
+import pytest
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.rare_labels import RareLabelsEngine
+from repro.core.arrival import Arrival
+from repro.core.parameters import estimate_walk_length, recommended_num_walks
+from repro.datasets import dblp_like, gplus_like, stackoverflow_like
+from repro.experiments.harness import (
+    Oracle,
+    evaluate_workload,
+    ground_truths,
+    workload_metrics,
+)
+from repro.queries.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def gplus_setup():
+    graph = gplus_like(n_nodes=250, seed=13)
+    generator = WorkloadGenerator(graph, seed=13)
+    queries = generator.generate(25, positive_bias=0.5)
+    oracle = Oracle(graph)
+    truths = ground_truths(oracle, queries)
+    return graph, queries, truths
+
+
+class TestHeadlineClaims:
+    def test_precision_is_one(self, gplus_setup):
+        graph, queries, truths = gplus_setup
+        engine = Arrival(
+            graph,
+            walk_length=estimate_walk_length(graph, seed=1),
+            num_walks=recommended_num_walks(graph.num_nodes),
+            seed=1,
+        )
+        metrics = workload_metrics(evaluate_workload(engine, queries, truths))
+        if metrics.precision is not None:
+            assert metrics.precision == 1.0
+
+    def test_recall_with_recommended_parameters(self, gplus_setup):
+        graph, queries, truths = gplus_setup
+        engine = Arrival(
+            graph,
+            walk_length=estimate_walk_length(graph, seed=1),
+            num_walks=recommended_num_walks(graph.num_nodes),
+            seed=1,
+        )
+        metrics = workload_metrics(evaluate_workload(engine, queries, truths))
+        assert metrics.n_positive >= 3, "workload produced too few positives"
+        assert metrics.recall >= 0.6
+
+    def test_arrival_positive_subset_of_rl(self, gplus_setup):
+        """Simple-path reachability implies arbitrary-path reachability."""
+        graph, queries, truths = gplus_setup
+        arrival = Arrival(graph, walk_length=12, num_walks=60, seed=2)
+        rare = RareLabelsEngine(graph)
+        for query in queries:
+            if arrival.query(query).reachable:
+                assert rare.query(query).reachable
+
+    def test_truth_consistent_with_bbfs(self, gplus_setup):
+        graph, queries, truths = gplus_setup
+        bbfs = BBFSEngine(graph, max_expansions=300_000, time_budget=5.0)
+        for query, truth in zip(queries, truths):
+            if truth is None:
+                continue
+            result = bbfs.query(query)
+            if result.exact or result.reachable:
+                assert result.reachable == truth
+
+
+class TestDynamicPipeline:
+    def test_temporal_snapshots_answer_consistently(self):
+        temporal = stackoverflow_like(n_nodes=150, seed=3)
+        start, end = temporal.time_range()
+        early = temporal.snapshot(start + 0.1 * (end - start))
+        late = temporal.snapshot(end)
+        generator = WorkloadGenerator(late, seed=3)
+        query = generator.sample_query(positive_bias=1.0)
+        late_truth = Oracle(late).ground_truth(query)
+        engine_late = Arrival(late, walk_length=10, num_walks=80, seed=4)
+        if late_truth:
+            # high-probability find on the late snapshot
+            result = engine_late.query(query)
+            # the early snapshot has ~10% of the edges; a positive there
+            # must also be positive later (edges only accumulate)
+            engine_early = Arrival(early, walk_length=10, num_walks=80, seed=4)
+            early_result = engine_early.query(
+                query.source, query.target, query.regex
+            )
+            if early_result.reachable:
+                assert Oracle(late).ground_truth(query)
+
+
+class TestQueryTimeLabelPipeline:
+    def test_predicate_workload_round_trip(self):
+        from repro.datasets import dblp_predicates
+
+        graph = dblp_like(n_nodes=200, seed=5)
+        registry, _ = dblp_predicates(seed=5)
+        predicates = [registry[name] for name in registry.names()]
+        generator = WorkloadGenerator(graph, seed=5)
+        queries = generator.generate(
+            10, symbols=predicates, predicates=registry,
+            n_labels_range=(2, 3), positive_bias=0.6,
+        )
+        oracle = Oracle(graph)
+        truths = ground_truths(oracle, queries)
+        engine = Arrival(graph, walk_length=12, num_walks=80, seed=5)
+        metrics = workload_metrics(evaluate_workload(engine, queries, truths))
+        if metrics.precision is not None:
+            assert metrics.precision == 1.0

@@ -1,0 +1,179 @@
+"""Zou-style label-closure index tests, incl. dynamic maintenance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.label_closure import LabelClosureIndex
+from repro.baselines.landmark import LandmarkIndex
+from repro.errors import IndexBuildError, QueryError, UnsupportedQueryError
+from repro.graph.labeled_graph import LabeledGraph
+
+from strategies import small_node_labeled_graphs
+
+
+@pytest.fixture
+def small_graph():
+    graph = LabeledGraph(directed=True)
+    graph.labeled_elements = "nodes"
+    for label_set in [{"x"}, {"y"}, {"x", "z"}, {"y"}, {"w"}]:
+        graph.add_node(label_set)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(0, 4)
+    graph.add_edge(4, 3)
+    return graph
+
+
+class TestCorrectness:
+    @given(
+        small_node_labeled_graphs(max_nodes=7),
+        st.sets(st.sampled_from("abcd"), min_size=1, max_size=3),
+        st.integers(0, 6),
+    )
+    def test_agrees_with_landmark_index(self, graph, labels, target):
+        """Two independent LCR implementations must agree everywhere."""
+        target = min(target, graph.num_nodes - 1)
+        closure = LabelClosureIndex(graph)
+        landmark = LandmarkIndex(graph, n_landmarks=3)
+        label_set = frozenset(labels)
+        assert (
+            closure.query_label_set(0, target, label_set).reachable
+            == landmark.query_label_set(0, target, label_set).reachable
+        )
+
+    def test_fixture_queries(self, small_graph):
+        index = LabelClosureIndex(small_graph)
+        assert index.query(0, 3, "(x|y|z)*").reachable
+        assert index.query(0, 3, "(x|y)*").reachable
+        assert not index.query(0, 3, "(x|w)*").reachable
+        assert not index.query(0, 3, "(z|w)*").reachable
+
+    def test_self_reachability(self, small_graph):
+        index = LabelClosureIndex(small_graph)
+        assert index.query_label_set(0, 0, frozenset({"x"})).reachable
+        assert not index.query_label_set(0, 0, frozenset({"w"})).reachable
+
+    def test_only_type1(self, small_graph):
+        index = LabelClosureIndex(small_graph)
+        with pytest.raises(UnsupportedQueryError):
+            index.query(0, 3, "x y")
+
+    def test_unknown_nodes(self, small_graph):
+        index = LabelClosureIndex(small_graph)
+        with pytest.raises(QueryError):
+            index.query_label_set(0, 99, frozenset({"x"}))
+
+    def test_query_before_build(self, small_graph):
+        index = LabelClosureIndex(small_graph, build=False)
+        with pytest.raises(IndexBuildError):
+            index.query_label_set(0, 3, frozenset({"x"}))
+
+
+class TestDynamics:
+    def test_incremental_edge_insertion(self, small_graph):
+        index = LabelClosureIndex(small_graph)
+        assert not index.query_label_set(
+            1, 4, frozenset({"y", "w"})
+        ).reachable
+        small_graph.add_edge(1, 4)
+        index.notify_edge_added(1, 4)
+        assert index.query_label_set(1, 4, frozenset({"y", "w"})).reachable
+        # transitive consequences propagate too: 0 -> 4 via the new edge
+        assert index.query_label_set(
+            0, 4, frozenset({"x", "y", "w"})
+        ).reachable
+
+    def test_incremental_equals_rebuild(self, small_graph):
+        incremental = LabelClosureIndex(small_graph)
+        small_graph.add_edge(3, 0)
+        incremental.notify_edge_added(3, 0)
+        rebuilt = LabelClosureIndex(small_graph)
+        for source in small_graph.nodes():
+            for target in small_graph.nodes():
+                for labels in [
+                    frozenset({"x", "y"}),
+                    frozenset({"x", "y", "z", "w"}),
+                    frozenset({"w"}),
+                ]:
+                    assert (
+                        incremental.query_label_set(source, target, labels).reachable
+                        == rebuilt.query_label_set(source, target, labels).reachable
+                    ), (source, target, labels)
+
+    def test_node_insertion(self, small_graph):
+        index = LabelClosureIndex(small_graph)
+        node = small_graph.add_node({"fresh"})
+        index.notify_node_added(node)
+        assert index.query_label_set(
+            node, node, frozenset({"fresh"})
+        ).reachable
+        small_graph.add_edge(3, node)
+        index.notify_edge_added(3, node)
+        assert index.query_label_set(
+            3, node, frozenset({"y", "fresh"})
+        ).reachable
+
+    def test_deletion_not_incremental(self, small_graph):
+        index = LabelClosureIndex(small_graph)
+        with pytest.raises(IndexBuildError):
+            index.notify_edge_removed(0, 1)
+
+
+class TestCosts:
+    def test_memory_grows_with_alphabet(self):
+        from repro.datasets.follower import twitter_like
+        from repro.graph.stats import labels_by_frequency
+        from repro.graph.subgraph import restrict_labels
+
+        graph = twitter_like(n_nodes=120, seed=5)
+        ordered = labels_by_frequency(graph)
+        sizes = []
+        for count in (2, 8):
+            restricted = restrict_labels(graph, ordered[:count])
+            restricted.labeled_elements = "nodes"
+            sizes.append(LabelClosureIndex(restricted).memory_bytes())
+        assert sizes[0] < sizes[1]
+
+    def test_memory_budget_aborts(self):
+        from repro.datasets.social import gplus_like
+
+        graph = gplus_like(n_nodes=60, seed=1)
+        with pytest.raises(IndexBuildError):
+            LabelClosureIndex(graph, memory_budget_bytes=500)
+
+    def test_closure_bigger_than_landmark_index(self, small_graph):
+        closure = LabelClosureIndex(small_graph)
+        landmark = LandmarkIndex(small_graph, n_landmarks=1)
+        assert closure.memory_bytes() >= landmark.memory_bytes()
+
+
+
+class TestThreeWayLcrAgreement:
+    @given(
+        small_node_labeled_graphs(max_nodes=6),
+        st.sets(st.sampled_from("abcd"), min_size=1, max_size=2),
+        st.integers(0, 5),
+    )
+    def test_closure_landmark_and_product_agree(self, graph, labels, target):
+        """Three independent implementations of LCR must agree: the two
+        indexes (closure / landmark) and the product-graph search with a
+        type-1 regex (for LCR, simple-path and arbitrary-path semantics
+        coincide, since label constraints are subset-closed)."""
+        from repro.baselines.product_bfs import product_reachability
+        from repro.queries.query_types import type1_regex
+        from repro.regex.compiler import compile_regex
+
+        target = min(target, graph.num_nodes - 1)
+        label_set = frozenset(labels)
+        closure = LabelClosureIndex(graph).query_label_set(
+            0, target, label_set
+        )
+        landmark = LandmarkIndex(graph, n_landmarks=2).query_label_set(
+            0, target, label_set
+        )
+        product = product_reachability(
+            graph, 0, target, compile_regex(type1_regex(sorted(label_set)))
+        )
+        assert closure.reachable == landmark.reachable == product.reachable

@@ -1,0 +1,195 @@
+"""Tests for the core multi-labeled graph store."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph, induced_subgraph
+
+
+@pytest.fixture
+def small_directed():
+    graph = LabeledGraph(directed=True)
+    graph.add_node({"x"}, {"age": 1})
+    graph.add_node({"y"})
+    graph.add_node()
+    graph.add_edge(0, 1, {"e1"}, {"weight": 2})
+    graph.add_edge(1, 2, {"e2"})
+    return graph
+
+
+class TestConstruction:
+    def test_add_node_returns_dense_ids(self):
+        graph = LabeledGraph()
+        assert [graph.add_node() for _ in range(3)] == [0, 1, 2]
+        assert graph.num_nodes == 3
+
+    def test_add_nodes_bulk(self):
+        graph = LabeledGraph()
+        assert list(graph.add_nodes(4)) == [0, 1, 2, 3]
+
+    def test_string_labels_not_split(self):
+        graph = LabeledGraph()
+        node = graph.add_node("actor")
+        assert graph.node_labels(node) == frozenset({"actor"})
+
+    def test_edge_to_missing_node_raises(self):
+        graph = LabeledGraph()
+        graph.add_node()
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 5)
+
+    def test_self_loop_rejected(self):
+        graph = LabeledGraph()
+        graph.add_node()
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 0)
+
+    def test_readding_edge_replaces_labels(self, small_directed):
+        small_directed.add_edge(0, 1, {"new"})
+        assert small_directed.edge_labels(0, 1) == frozenset({"new"})
+        assert small_directed.num_edges == 2  # not duplicated
+
+
+class TestDirectedAccess:
+    def test_neighbors(self, small_directed):
+        assert small_directed.out_neighbors(0) == [1]
+        assert small_directed.in_neighbors(1) == [0]
+        assert small_directed.out_degree(1) == 1
+        assert small_directed.in_degree(1) == 1
+
+    def test_has_edge_is_directional(self, small_directed):
+        assert small_directed.has_edge(0, 1)
+        assert not small_directed.has_edge(1, 0)
+
+    def test_edge_attrs(self, small_directed):
+        assert small_directed.edge_attrs(0, 1)["weight"] == 2
+        assert small_directed.edge_attrs(1, 2) == {}
+
+    def test_node_attrs_default_empty(self, small_directed):
+        assert small_directed.node_attrs(0)["age"] == 1
+        assert small_directed.node_attrs(1) == {}
+
+    def test_edges_iteration(self, small_directed):
+        assert set(small_directed.edges()) == {(0, 1), (1, 2)}
+
+
+class TestUndirected:
+    def test_edge_symmetric(self):
+        graph = LabeledGraph(directed=False)
+        graph.add_nodes(2)
+        graph.add_edge(0, 1, {"e"})
+        assert graph.has_edge(1, 0)
+        assert graph.out_neighbors(1) == [0]
+        assert graph.in_neighbors(0) == [1]
+        assert graph.edge_labels(1, 0) == frozenset({"e"})
+        assert graph.num_edges == 1
+
+    def test_remove_edge_both_ways(self):
+        graph = LabeledGraph(directed=False)
+        graph.add_nodes(2)
+        graph.add_edge(0, 1)
+        graph.remove_edge(1, 0)
+        assert not graph.has_edge(0, 1)
+        assert graph.out_neighbors(0) == []
+
+
+class TestMutation:
+    def test_remove_edge(self, small_directed):
+        small_directed.remove_edge(0, 1)
+        assert not small_directed.has_edge(0, 1)
+        assert small_directed.num_edges == 1
+        with pytest.raises(GraphError):
+            small_directed.remove_edge(0, 1)
+
+    def test_remove_node_retires_id(self, small_directed):
+        small_directed.remove_node(1)
+        assert not small_directed.is_alive(1)
+        assert small_directed.num_nodes == 2
+        assert list(small_directed.nodes()) == [0, 2]
+        assert small_directed.num_edges == 0
+        # the id is not recycled
+        assert small_directed.add_node() == 3
+
+    def test_set_node_labels(self, small_directed):
+        small_directed.set_node_labels(2, {"fresh"})
+        assert small_directed.node_labels(2) == frozenset({"fresh"})
+
+    def test_set_edge_labels_requires_edge(self, small_directed):
+        with pytest.raises(GraphError):
+            small_directed.set_edge_labels(0, 2, {"nope"})
+
+    def test_operations_on_dead_node_raise(self, small_directed):
+        small_directed.remove_node(1)
+        with pytest.raises(GraphError):
+            small_directed.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            small_directed.set_node_labels(1, {"x"})
+
+
+class TestLabelViews:
+    def test_alphabet(self, small_directed):
+        assert small_directed.label_alphabet() == frozenset(
+            {"x", "y", "e1", "e2"}
+        )
+
+    def test_label_placement_flags(self, small_directed):
+        assert small_directed.has_node_labels
+        assert small_directed.has_edge_labels
+        bare = LabeledGraph()
+        bare.add_nodes(2)
+        bare.add_edge(0, 1)
+        assert not bare.has_node_labels
+        assert not bare.has_edge_labels
+
+    def test_label_counts(self):
+        graph = LabeledGraph()
+        graph.add_node({"a", "b"})
+        graph.add_node({"a"})
+        graph.add_edge(0, 1, {"a"})
+        assert graph.node_label_counts() == {"a": 2, "b": 1}
+        assert graph.edge_label_counts() == {"a": 1}
+
+    def test_dead_nodes_excluded_from_counts(self):
+        graph = LabeledGraph()
+        graph.add_node({"a"})
+        graph.add_node({"a"})
+        graph.remove_node(0)
+        assert graph.node_label_counts() == {"a": 1}
+
+
+class TestCopy:
+    def test_copy_is_independent(self, small_directed):
+        clone = small_directed.copy()
+        clone.add_node({"z"})
+        clone.remove_edge(0, 1)
+        assert small_directed.num_nodes == 3
+        assert small_directed.has_edge(0, 1)
+
+    def test_copy_preserves_everything(self, small_directed):
+        small_directed.labeled_elements = "both"
+        clone = small_directed.copy()
+        assert clone.labeled_elements == "both"
+        assert clone.node_labels(0) == frozenset({"x"})
+        assert clone.edge_attrs(0, 1)["weight"] == 2
+        assert clone.directed
+
+    def test_copy_attrs_not_shared(self, small_directed):
+        clone = small_directed.copy()
+        clone.set_node_attrs(0, {"age": 99})
+        assert small_directed.node_attrs(0)["age"] == 1
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, small_directed):
+        sub, mapping = induced_subgraph(small_directed, [0, 1])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.has_edge(mapping[0], mapping[1])
+
+    def test_preserves_labels_and_attrs(self, small_directed):
+        sub, mapping = induced_subgraph(small_directed, [0, 1])
+        assert sub.node_labels(mapping[0]) == frozenset({"x"})
+        assert sub.edge_attrs(mapping[0], mapping[1])["weight"] == 2
+
+    def test_repr_smoke(self, small_directed):
+        assert "directed" in repr(small_directed)

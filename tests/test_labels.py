@@ -1,0 +1,99 @@
+"""Tests for the label model (literal labels + query-time predicates)."""
+
+import pytest
+
+from repro.labels import (
+    EMPTY_LABELS,
+    Predicate,
+    PredicateRegistry,
+    as_label_set,
+    symbol_matches,
+)
+
+
+class TestPredicate:
+    def test_evaluates_on_attrs(self):
+        adult = Predicate("adult", lambda a: a.get("age", 0) >= 18)
+        assert adult({"age": 26})
+        assert not adult({"age": 17})
+
+    def test_missing_attrs_do_not_crash(self):
+        adult = Predicate("adult", lambda a: a["age"] >= 18)
+        assert adult({}) is False  # KeyError swallowed per Sec. 2 contract
+
+    def test_crashing_function_returns_false(self):
+        bad = Predicate("bad", lambda a: 1 / 0 > 0)
+        assert bad({"x": 1}) is False
+
+    def test_result_coerced_to_bool(self):
+        count = Predicate("count", lambda a: a.get("n", 0))
+        assert count({"n": 5}) is True
+        assert count({"n": 0}) is False
+
+    def test_equality_and_hash_by_name(self):
+        first = Predicate("p", lambda a: True)
+        second = Predicate("p", lambda a: False)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Predicate("q", lambda a: True)
+
+    def test_not_equal_to_string(self):
+        assert Predicate("p", lambda a: True) != "p"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("", lambda a: True)
+
+    def test_repr_mentions_name(self):
+        assert "isAdult" in repr(Predicate("isAdult", lambda a: True))
+
+
+class TestSymbolMatches:
+    def test_literal_in_label_set(self):
+        assert symbol_matches("a", frozenset({"a", "b"}), {})
+        assert not symbol_matches("z", frozenset({"a", "b"}), {})
+
+    def test_predicate_uses_attrs_not_labels(self):
+        predicate = Predicate("p", lambda a: a.get("ok", False))
+        assert symbol_matches(predicate, frozenset(), {"ok": True})
+        assert not symbol_matches(predicate, frozenset({"p"}), {})
+
+
+class TestAsLabelSet:
+    def test_none_is_empty(self):
+        assert as_label_set(None) == EMPTY_LABELS
+
+    def test_bare_string_is_single_label(self):
+        assert as_label_set("actor") == frozenset({"actor"})
+
+    def test_iterables_accepted(self):
+        assert as_label_set(["a", "b"]) == frozenset({"a", "b"})
+        assert as_label_set({"a"}) == frozenset({"a"})
+        assert as_label_set(("a", "a")) == frozenset({"a"})
+
+
+class TestPredicateRegistry:
+    def test_register_and_lookup(self):
+        registry = PredicateRegistry()
+        predicate = registry.register("p", lambda a: True)
+        assert registry["p"] is predicate
+        assert "p" in registry
+        assert len(registry) == 1
+        assert list(registry.names()) == ["p"]
+
+    def test_duplicate_name_rejected(self):
+        registry = PredicateRegistry()
+        registry.register("p", lambda a: True)
+        with pytest.raises(ValueError):
+            registry.register("p", lambda a: False)
+
+    def test_add_existing_predicate(self):
+        registry = PredicateRegistry()
+        predicate = Predicate("q", lambda a: True)
+        assert registry.add(predicate) is predicate
+        with pytest.raises(ValueError):
+            registry.add(Predicate("q", lambda a: False))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            PredicateRegistry()["missing"]

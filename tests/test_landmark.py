@@ -1,0 +1,149 @@
+"""LI (Landmark Index) baseline tests.
+
+The LCR correctness property is checked against a brute-force
+label-constrained BFS on random node-labeled graphs.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.landmark import LandmarkIndex
+from repro.errors import IndexBuildError, QueryError, UnsupportedQueryError
+from repro.graph.labeled_graph import LabeledGraph
+
+from strategies import small_node_labeled_graphs
+
+
+def brute_force_lcr(graph, source, target, labels):
+    """Reference: BFS over nodes whose label set intersects ``labels``."""
+    if not (graph.node_labels(source) & labels):
+        return False
+    if not (graph.node_labels(target) & labels):
+        return False
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            return True
+        for neighbor in graph.out_neighbors(node):
+            if neighbor not in seen and (graph.node_labels(neighbor) & labels):
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return False
+
+
+@pytest.fixture
+def small_graph():
+    graph = LabeledGraph(directed=True)
+    graph.labeled_elements = "nodes"
+    for label_set in [{"x"}, {"y"}, {"x", "z"}, {"y"}, {"w"}]:
+        graph.add_node(label_set)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(0, 4)
+    graph.add_edge(4, 3)
+    return graph
+
+
+class TestCorrectness:
+    @given(
+        small_node_labeled_graphs(),
+        st.sets(st.sampled_from("abcd"), min_size=1, max_size=3),
+        st.integers(0, 7),
+        st.integers(1, 4),
+    )
+    def test_matches_brute_force(self, graph, labels, target, n_landmarks):
+        target = min(target, graph.num_nodes - 1)
+        index = LandmarkIndex(graph, n_landmarks=n_landmarks)
+        result = index.query_label_set(0, target, frozenset(labels))
+        assert result.reachable == brute_force_lcr(
+            graph, 0, target, frozenset(labels)
+        )
+        assert result.exact
+
+    def test_fixture_queries(self, small_graph):
+        index = LandmarkIndex(small_graph, n_landmarks=2)
+        assert index.query(0, 3, "(x|y|z)*").reachable
+        assert index.query(0, 3, "(x|y)*").reachable
+        assert not index.query(0, 3, "(x|w)*").reachable
+        assert not index.query(0, 3, "(z|w)*").reachable  # source blocked
+
+    def test_landmark_fast_path_used(self, small_graph):
+        # route every query through a landmark-rich index: node 0 has the
+        # highest degree, so it is a landmark; 0 -> 3 via 0 goes through
+        index = LandmarkIndex(small_graph, n_landmarks=5)
+        result = index.query(0, 3, "(x|y|z)*")
+        assert result.reachable
+        assert "via_landmark" in result.info
+
+    def test_fallback_bfs_still_exact(self, small_graph):
+        # zero landmarks: everything must fall back to the pruned BFS
+        index = LandmarkIndex(small_graph, n_landmarks=0)
+        assert index.query(0, 3, "(x|y|z)*").reachable
+        assert not index.query(0, 3, "(x|w)*").reachable
+
+    def test_source_equals_target(self, small_graph):
+        index = LandmarkIndex(small_graph, n_landmarks=1)
+        assert index.query_label_set(0, 0, frozenset({"x"})).reachable
+        assert not index.query_label_set(0, 0, frozenset({"w"})).reachable
+
+
+class TestLimitations:
+    def test_only_type1_supported(self, small_graph):
+        index = LandmarkIndex(small_graph, n_landmarks=1)
+        for regex in ["x y", "(x y)+", "x+ y+", "~x"]:
+            with pytest.raises(UnsupportedQueryError):
+                index.query(0, 3, regex)
+
+    def test_memory_budget_aborts_build(self):
+        from repro.datasets.social import gplus_like
+
+        graph = gplus_like(n_nodes=120, seed=1)
+        with pytest.raises(IndexBuildError):
+            LandmarkIndex(graph, n_landmarks=8, memory_budget_bytes=1000)
+
+    def test_memory_grows_with_label_alphabet(self):
+        """The Fig. 4 phenomenon at miniature scale: a richer alphabet
+        means strictly more minimal label-set combinations to store."""
+        from repro.datasets.follower import twitter_like
+        from repro.graph.subgraph import restrict_labels
+        from repro.graph.stats import labels_by_frequency
+
+        graph = twitter_like(n_nodes=250, seed=5)
+        ordered = labels_by_frequency(graph)
+        sizes = []
+        for count in (2, 6, 12):
+            restricted = restrict_labels(graph, ordered[:count])
+            restricted.labeled_elements = "nodes"
+            index = LandmarkIndex(restricted, n_landmarks=4)
+            sizes.append(index.memory_bytes())
+        assert sizes[0] < sizes[-1]
+
+    def test_query_before_build_raises(self, small_graph):
+        index = LandmarkIndex(small_graph, n_landmarks=1, build=False)
+        with pytest.raises(IndexBuildError):
+            index.query_label_set(0, 3, frozenset({"x"}))
+
+    def test_unknown_nodes(self, small_graph):
+        index = LandmarkIndex(small_graph, n_landmarks=1)
+        with pytest.raises(QueryError):
+            index.query_label_set(0, 77, frozenset({"x"}))
+
+
+class TestEdgeLabeledLCR:
+    def test_edge_constrained_queries(self):
+        graph = LabeledGraph(directed=True)
+        graph.labeled_elements = "edges"
+        graph.add_nodes(4)
+        graph.add_edge(0, 1, {"p"})
+        graph.add_edge(1, 2, {"q"})
+        graph.add_edge(2, 3, {"p"})
+        index = LandmarkIndex(graph, n_landmarks=2)
+        assert index.query(0, 3, "(p|q)*").reachable
+        assert not index.query(0, 3, "(p)*").reachable
+        assert index.query(0, 1, "p*").reachable

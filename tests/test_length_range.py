@@ -1,0 +1,99 @@
+"""Path-length range constraints (the Sec. 2 "length within a given
+range" extension) across every engine that supports them."""
+
+import pytest
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.bfs import BFSEngine
+from repro.core.arrival import Arrival
+from repro.errors import QueryError
+from repro.experiments.harness import Oracle
+from repro.graph.labeled_graph import LabeledGraph
+from repro.queries.query import RSPQuery
+
+
+@pytest.fixture
+def two_routes():
+    """0 -> 3 via a 2-edge route and a 4-edge route, both labeled a+."""
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(6)
+    graph.add_edge(0, 1, {"a"})
+    graph.add_edge(1, 3, {"a"})
+    graph.add_edge(0, 2, {"a"})
+    graph.add_edge(2, 4, {"a"})
+    graph.add_edge(4, 5, {"a"})
+    graph.add_edge(5, 3, {"a"})
+    return graph
+
+
+ENGINES = {
+    "bfs": lambda g: BFSEngine(g),
+    "bbfs": lambda g: BBFSEngine(g),
+    "arrival": lambda g: Arrival(g, walk_length=8, num_walks=200, seed=3),
+}
+
+
+class TestMinDistance:
+    @pytest.mark.parametrize("engine_name", list(ENGINES))
+    def test_min_excludes_short_route(self, two_routes, engine_name):
+        engine = ENGINES[engine_name](two_routes)
+        result = engine.query(0, 3, "a+", min_distance=3)
+        assert result.reachable, engine_name
+        assert len(result.path) - 1 >= 3
+
+    @pytest.mark.parametrize("engine_name", list(ENGINES))
+    def test_range_can_be_unsatisfiable(self, two_routes, engine_name):
+        engine = ENGINES[engine_name](two_routes)
+        result = engine.query(0, 3, "a+", min_distance=3, distance_bound=3)
+        assert not result.reachable, engine_name
+
+    @pytest.mark.parametrize("engine_name", list(ENGINES))
+    def test_exact_range_hits_the_long_route(self, two_routes, engine_name):
+        engine = ENGINES[engine_name](two_routes)
+        result = engine.query(0, 3, "a+", min_distance=4, distance_bound=4)
+        assert result.reachable, engine_name
+        assert result.path == [0, 2, 4, 5, 3]
+
+    @pytest.mark.parametrize("engine_name", list(ENGINES))
+    def test_short_route_within_plain_bound(self, two_routes, engine_name):
+        engine = ENGINES[engine_name](two_routes)
+        result = engine.query(0, 3, "a+", distance_bound=2)
+        assert result.reachable
+        assert result.path == [0, 1, 3]
+
+    def test_trivial_query_blocked_by_min(self, two_routes):
+        for engine_name, factory in ENGINES.items():
+            engine = factory(two_routes)
+            result = engine.query(0, 0, "a*", min_distance=1)
+            assert not result.reachable, engine_name
+
+    def test_inconsistent_range_rejected(self, two_routes):
+        engine = Arrival(two_routes, walk_length=8, num_walks=10, seed=1)
+        with pytest.raises(QueryError):
+            engine.query(0, 3, "a+", min_distance=5, distance_bound=2)
+
+
+class TestQueryObjectCarriesRange:
+    def test_fields_flow_through(self, two_routes):
+        query = RSPQuery(0, 3, "a+", min_distance=3, distance_bound=5)
+        for factory in ENGINES.values():
+            result = factory(two_routes).query(query)
+            assert result.reachable
+            assert 3 <= len(result.path) - 1 <= 5
+
+    def test_str_mentions_range(self):
+        query = RSPQuery(0, 3, "a+", min_distance=3, distance_bound=5)
+        assert ">= 3 edges" in str(query)
+        assert "<= 5 edges" in str(query)
+
+
+class TestOracleRespectsRange:
+    def test_oracle_agrees_with_bbfs(self, two_routes):
+        oracle = Oracle(two_routes)
+        assert oracle.ground_truth(RSPQuery(0, 3, "a+", min_distance=3))
+        assert not oracle.ground_truth(
+            RSPQuery(0, 3, "a+", min_distance=3, distance_bound=3)
+        )
+        assert oracle.ground_truth(
+            RSPQuery(0, 3, "a+", min_distance=4, distance_bound=4)
+        )

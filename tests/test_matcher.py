@@ -1,0 +1,217 @@
+"""Tracker and path-classification tests.
+
+The crown jewel here is the meeting-key invariant: for any path split at
+any node n, the forward set F(n) intersects the backward key set B(n)
+iff the whole path is regex-compatible.  The entire Case-3 machinery
+(Theorem 3) rests on it.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import (
+    COMPATIBLE,
+    DEAD,
+    POTENTIAL,
+    BackwardTracker,
+    ForwardTracker,
+    check_path,
+    is_simple,
+    join_paths,
+    resolve_elements,
+)
+
+from strategies import labels, regexes
+
+
+def line_graph(edge_labels_list, directed=True):
+    """Path graph 0 - 1 - ... - n with the given edge labels."""
+    graph = LabeledGraph(directed=directed)
+    graph.add_nodes(len(edge_labels_list) + 1)
+    for index, label in enumerate(edge_labels_list):
+        graph.add_edge(index, index + 1, {label})
+    return graph
+
+
+def node_line_graph(node_labels_list):
+    graph = LabeledGraph(directed=True)
+    graph.labeled_elements = "nodes"
+    for label in node_labels_list:
+        graph.add_node({label})
+    for index in range(len(node_labels_list) - 1):
+        graph.add_edge(index, index + 1)
+    return graph
+
+
+class TestResolveElements:
+    def test_explicit_wins(self):
+        graph = line_graph(["a"])
+        assert resolve_elements(graph, "both") == "both"
+
+    def test_graph_hint_wins_over_inference(self):
+        graph = line_graph(["a"])
+        graph.labeled_elements = "nodes"
+        assert resolve_elements(graph) == "nodes"
+
+    def test_inference(self):
+        assert resolve_elements(line_graph(["a"])) == "edges"
+        assert resolve_elements(node_line_graph(["a", "b"])) == "nodes"
+        both = line_graph(["a"])
+        both.set_node_labels(0, {"n"})
+        assert resolve_elements(both) == "both"
+        bare = LabeledGraph()
+        bare.add_nodes(2)
+        bare.add_edge(0, 1)
+        assert resolve_elements(bare) == "nodes"
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_elements(line_graph(["a"]), "everything")
+
+
+class TestCheckPath:
+    def test_edge_labeled_classification(self):
+        graph = line_graph(["a", "b", "a"])
+        compiled = compile_regex("a* b a*")
+        assert check_path(compiled, graph, [0, 1, 2, 3]) == COMPATIBLE
+        assert check_path(compiled, graph, [0, 1, 2]) == COMPATIBLE  # a b
+        assert check_path(compiled, graph, [0, 1]) == POTENTIAL     # a
+        graph2 = line_graph(["b", "b"])
+        assert check_path(compiled, graph2, [0, 1]) == COMPATIBLE
+        assert check_path(compiled, graph2, [0, 1, 2]) == DEAD
+
+    def test_node_labeled_classification(self):
+        graph = node_line_graph(["a", "b", "a"])
+        compiled = compile_regex("a b a")
+        assert check_path(compiled, graph, [0, 1, 2]) == COMPATIBLE
+        assert check_path(compiled, graph, [0, 1]) == POTENTIAL
+        assert check_path(compiled, graph, [1]) == DEAD  # b can't start
+
+    def test_single_node_path_edge_labeled(self):
+        graph = line_graph(["a"])
+        assert check_path(compile_regex("a*"), graph, [0]) == COMPATIBLE
+        assert check_path(compile_regex("a+"), graph, [0]) == POTENTIAL
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            check_path(compile_regex("a"), line_graph(["a"]), [])
+
+    def test_both_elements_interleave(self):
+        graph = line_graph(["e1", "e2"])
+        for node, label in enumerate(["n1", "n2", "n3"]):
+            graph.set_node_labels(node, {label})
+        graph.labeled_elements = "both"
+        compiled = compile_regex("n1 e1 n2 e2 n3")
+        assert check_path(compiled, graph, [0, 1, 2]) == COMPATIBLE
+        wrong = compile_regex("e1 n1 e2 n2 n3")
+        assert check_path(wrong, graph, [0, 1, 2]) == DEAD
+
+
+class TestMeetingKeyInvariant:
+    @given(
+        st.lists(labels, min_size=1, max_size=6),
+        regexes(),
+        st.data(),
+    )
+    def test_forward_backward_intersection_iff_compatible(
+        self, edge_labels_list, regex, data
+    ):
+        """F(n) ∩ B(n) != {} <=> the full path matches (edge-labeled)."""
+        graph = line_graph(edge_labels_list)
+        compiled = compile_regex(regex)
+        path = list(range(len(edge_labels_list) + 1))
+        split = data.draw(
+            st.integers(min_value=0, max_value=len(path) - 1), label="split"
+        )
+
+        forward = ForwardTracker(compiled, graph)
+        states = forward.start(path[0])
+        for index in range(split):
+            states = forward.extend(states, path[index], path[index + 1])
+
+        backward = BackwardTracker(compiled, graph)
+        key, current = backward.start(path[-1])
+        for index in range(len(path) - 1, split, -1):
+            key, current = backward.extend(current, path[index - 1], path[index])
+
+        compatible = check_path(compiled, graph, path) == COMPATIBLE
+        assert bool(states & key) == compatible
+
+    @given(
+        st.lists(labels, min_size=1, max_size=5),
+        regexes(),
+        st.data(),
+    )
+    def test_invariant_holds_for_node_labels(self, labels_list, regex, data):
+        graph = node_line_graph(labels_list)
+        compiled = compile_regex(regex)
+        path = list(range(len(labels_list)))
+        split = data.draw(
+            st.integers(min_value=0, max_value=len(path) - 1), label="split"
+        )
+
+        forward = ForwardTracker(compiled, graph)
+        states = forward.start(path[0])
+        for index in range(split):
+            states = forward.extend(states, path[index], path[index + 1])
+
+        backward = BackwardTracker(compiled, graph)
+        key, current = backward.start(path[-1])
+        for index in range(len(path) - 1, split, -1):
+            key, current = backward.extend(current, path[index - 1], path[index])
+
+        compatible = check_path(compiled, graph, path) == COMPATIBLE
+        assert bool(states & key) == compatible
+
+
+class TestTrackerModes:
+    def test_invalid_mode_rejected(self):
+        graph = line_graph(["a"])
+        compiled = compile_regex("a")
+        with pytest.raises(ValueError):
+            ForwardTracker(compiled, graph, mode="psychic")
+        with pytest.raises(ValueError):
+            BackwardTracker(compiled, graph, mode="psychic")
+
+    def test_dead_extension_returns_empty(self):
+        graph = line_graph(["a", "z"])
+        compiled = compile_regex("a b")
+        tracker = ForwardTracker(compiled, graph)
+        states = tracker.start(0)
+        states = tracker.extend(states, 0, 1)
+        assert tracker.extend(states, 1, 2) == frozenset()
+        assert tracker.extend(frozenset(), 0, 1) == frozenset()
+
+    def test_backward_dead_extension(self):
+        graph = line_graph(["z", "b"])
+        compiled = compile_regex("a b")
+        tracker = BackwardTracker(compiled, graph)
+        key, current = tracker.start(2)
+        key, current = tracker.extend(current, 1, 2)
+        assert key  # "b" consumed; waiting for "a"
+        key, current = tracker.extend(current, 0, 1)
+        assert key == frozenset() and current == frozenset()
+
+
+class TestJoinHelpers:
+    def test_is_simple(self):
+        assert is_simple([1, 2, 3])
+        assert not is_simple([1, 2, 1])
+        assert is_simple([])
+
+    def test_join_simple_paths(self):
+        joined = join_paths([0, 1, 2], [5, 4, 2])
+        assert joined == [0, 1, 2, 4, 5]
+
+    def test_join_rejects_overlap(self):
+        assert join_paths([0, 1, 2], [1, 3, 2]) is None
+
+    def test_join_trivial_backward(self):
+        assert join_paths([0, 1, 2], [2]) == [0, 1, 2]
+
+    def test_join_requires_shared_endpoint(self):
+        with pytest.raises(ValueError):
+            join_paths([0, 1], [2, 3])

@@ -1,0 +1,206 @@
+"""NFA tests: Thompson acceptance vs Python's re, reversal, ε-elimination,
+determinism, complement."""
+
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnsupportedRegexError
+from repro.labels import Predicate
+from repro.regex.nfa import NFA, OtherSymbol, match_symbol
+from repro.regex.parser import parse_regex
+from repro.regex.thompson import build_nfa
+
+from strategies import regexes, to_python_re, words
+
+
+def nfa_of(source: str) -> NFA:
+    return build_nfa(parse_regex(source))
+
+
+class TestThompsonAgainstPythonRe:
+    @given(regexes(), words)
+    def test_acceptance_matches_re_fullmatch(self, regex, word):
+        nfa = build_nfa(regex)
+        expected = re.fullmatch(to_python_re(regex), "".join(word)) is not None
+        assert nfa.accepts_word(word) is expected
+
+    @given(regexes(), words)
+    def test_epsilon_elimination_preserves_language(self, regex, word):
+        nfa = build_nfa(regex)
+        stripped = nfa.eliminate_epsilon()
+        assert stripped.accepts_word(word) == nfa.accepts_word(word)
+
+    @given(regexes(), words)
+    def test_reversal_accepts_reversed_words(self, regex, word):
+        nfa = build_nfa(regex)
+        assert nfa.reverse().accepts_word(list(reversed(word))) == \
+            nfa.accepts_word(word)
+
+
+class TestBasicAcceptance:
+    @pytest.mark.parametrize(
+        "source,accepted,rejected",
+        [
+            ("a", [["a"]], [[], ["b"], ["a", "a"]]),
+            ("a*", [[], ["a"], ["a"] * 5], [["b"], ["a", "b"]]),
+            ("a+", [["a"], ["a", "a"]], [[]]),
+            ("a? b", [["b"], ["a", "b"]], [["a"], ["a", "a", "b"]]),
+            ("a* b a*", [["b"], ["a", "b", "a"]], [["a"], ["b", "b"]]),
+            ("(a b)+", [["a", "b"], ["a", "b", "a", "b"]], [["a"], ["b", "a"]]),
+            ("[]", [], [[], ["a"]]),
+            ("()", [[]], [["a"]]),
+        ],
+    )
+    def test_fixture_words(self, source, accepted, rejected):
+        nfa = nfa_of(source)
+        for word in accepted:
+            assert nfa.accepts_word(word), (source, word)
+        for word in rejected:
+            assert not nfa.accepts_word(word), (source, word)
+
+    def test_multi_label_elements_use_existential_semantics(self):
+        nfa = nfa_of("a b")
+        assert nfa.accepts_word([{"a", "x"}, {"y", "b"}])
+        assert not nfa.accepts_word([{"x"}, {"b"}])
+
+    def test_predicate_transitions(self):
+        predicate = Predicate("big", lambda attrs: attrs.get("n", 0) > 5)
+        nfa = build_nfa(parse_regex("a") | _literal(predicate))
+        assert nfa.accepts_word([set()], attrs_list=[{"n": 9}])
+        assert not nfa.accepts_word([set()], attrs_list=[{"n": 1}])
+
+
+def _literal(symbol):
+    from repro.regex.ast_nodes import Literal
+
+    return Literal(symbol)
+
+
+class TestSampledMode:
+    def test_sampled_requires_rng(self):
+        nfa = nfa_of("a")
+        with pytest.raises(ValueError):
+            nfa.step(nfa.initial_states(), frozenset({"a"}), {}, mode="sampled")
+
+    def test_single_label_sampling_is_deterministic(self):
+        import numpy as np
+
+        nfa = nfa_of("a b")
+        rng = np.random.default_rng(0)
+        assert nfa.accepts_word(["a", "b"], mode="sampled", rng=rng)
+
+    def test_sampling_can_miss_multi_label_matches(self):
+        import numpy as np
+
+        nfa = nfa_of("a a a")
+        word = [{"a", "b"}] * 3  # exact accepts; sampling hits w.p. 1/8
+        hits = 0
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            if nfa.accepts_word(word, mode="sampled", rng=rng):
+                hits += 1
+        # exact mode always accepts; sampling only when all draws pick "a"
+        assert nfa.accepts_word(word)
+        assert 0 < hits < 40
+
+
+class TestDeterminism:
+    def test_thompson_nfa_with_epsilons_is_not_deterministic(self):
+        assert not nfa_of("a*").is_deterministic()
+
+    def test_epsilon_free_query_types_are_deterministic(self):
+        for source in ["(a | b | c)*", "(a b c)+", "a+ b+ c+"]:
+            assert nfa_of(source).eliminate_epsilon().is_deterministic(), source
+
+    def test_duplicate_literal_breaks_determinism(self):
+        # "a b | a c" has two distinct a-transitions from the start
+        assert not nfa_of("a b | a c").eliminate_epsilon().is_deterministic()
+
+    def test_predicates_never_deterministic(self):
+        predicate = Predicate("p", lambda a: True)
+        nfa = build_nfa(_literal(predicate)).eliminate_epsilon()
+        assert not nfa.is_deterministic()
+
+
+class TestComplement:
+    @pytest.mark.parametrize(
+        "source,in_complement,not_in_complement",
+        [
+            ("a a", [["a"], [], ["a", "a", "a"], ["b", "b"]], [["a", "a"]]),
+            ("(a | b)*", [["c"], ["a", "c"]], [[], ["a", "b"]]),
+            ("a+ b+", [[], ["a"], ["b", "a"]], [["a", "b"], ["a", "a", "b"]]),
+        ],
+    )
+    def test_complement_membership(self, source, in_complement, not_in_complement):
+        complemented = nfa_of(source).eliminate_epsilon().complement()
+        for word in in_complement:
+            assert complemented.accepts_word(word), (source, word)
+        for word in not_in_complement:
+            assert not complemented.accepts_word(word), (source, word)
+
+    def test_unknown_labels_fall_into_other(self):
+        complemented = nfa_of("a").eliminate_epsilon().complement()
+        assert complemented.accepts_word(["zebra"])
+        assert complemented.accepts_word(["zebra", "a"])
+
+    def test_nondeterministic_complement_rejected(self):
+        with pytest.raises(UnsupportedRegexError):
+            nfa_of("a b | a c").eliminate_epsilon().complement()
+
+    @given(regexes(max_depth=2), words)
+    def test_complement_flips_acceptance_when_supported(self, regex, word):
+        nfa = build_nfa(regex).eliminate_epsilon()
+        if not nfa.is_deterministic():
+            return  # the paper's restriction: skip unsupported shapes
+        complemented = nfa.complement()
+        assert complemented.accepts_word(word) != nfa.accepts_word(word)
+
+
+class TestOtherSymbol:
+    def test_matches_only_unknown_labels(self):
+        other = OtherSymbol(frozenset({"a", "b"}))
+        assert other.matches(frozenset({"z"}))
+        assert other.matches(frozenset({"a", "z"}))
+        assert not other.matches(frozenset({"a", "b"}))
+        assert not other.matches(frozenset())
+
+    def test_equality(self):
+        assert OtherSymbol(frozenset({"a"})) == OtherSymbol(frozenset({"a"}))
+        assert OtherSymbol(frozenset({"a"})) != OtherSymbol(frozenset())
+
+    def test_match_symbol_dispatch(self):
+        assert match_symbol("a", frozenset({"a"}), {})
+        assert match_symbol(
+            OtherSymbol(frozenset({"a"})), frozenset({"q"}), {}
+        )
+        predicate = Predicate("p", lambda a: a.get("ok"))
+        assert match_symbol(predicate, frozenset(), {"ok": True})
+        with pytest.raises(TypeError):
+            match_symbol(42, frozenset(), {})
+
+
+class TestNegationInContext:
+    def test_negation_inside_concat(self):
+        # a ~(b) c: middle element anything but b
+        nfa = nfa_of("a ~b c")
+        assert nfa.accepts_word(["a", "x", "c"])
+        assert nfa.accepts_word(["a", "c", "c"])
+        assert not nfa.accepts_word(["a", "b", "c"])
+
+    def test_negation_of_empty_word_language(self):
+        nfa = nfa_of("~()")
+        assert not nfa.accepts_word([])
+        assert nfa.accepts_word(["anything"])
+
+    def test_dfa_mode_supports_nondeterministic_inner(self):
+        regex = parse_regex("~(a b | a c)")
+        with pytest.raises(UnsupportedRegexError):
+            build_nfa(regex, negation_mode="paper")
+        nfa = build_nfa(regex, negation_mode="dfa")
+        assert nfa.accepts_word(["a", "a"])
+        assert nfa.accepts_word([])
+        assert not nfa.accepts_word(["a", "b"])
+        assert not nfa.accepts_word(["a", "c"])

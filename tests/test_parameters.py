@@ -1,0 +1,150 @@
+"""Parameter-selection tests (Sec. 4.3 / 5.2.3)."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    StationaryOverlapEstimator,
+    estimate_walk_length,
+    estimate_walk_length_labeled,
+    recommended_num_walks,
+    theoretical_num_walks,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import compile_regex
+
+
+def ring(n, label="a"):
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(n)
+    for index in range(n):
+        graph.add_edge(index, (index + 1) % n, {label})
+    return graph
+
+
+class TestNumWalks:
+    def test_formula_value(self):
+        n = 1000
+        expected = math.ceil((n * n * math.log(n)) ** (1 / 3))
+        assert recommended_num_walks(n) == expected
+
+    def test_monotone_in_n(self):
+        values = [recommended_num_walks(n) for n in (10, 100, 1000, 10000)]
+        assert values == sorted(values)
+
+    def test_tiny_graphs(self):
+        assert recommended_num_walks(0) == 1
+        assert recommended_num_walks(1) == 1
+
+    def test_theoretical_formula(self):
+        n, alpha = 500, 0.25
+        expected = math.ceil(
+            ((16 * n * n * math.log(n)) / alpha**2) ** (1 / 3)
+        )
+        assert theoretical_num_walks(n, alpha) == expected
+
+    def test_theoretical_grows_as_alpha_shrinks(self):
+        assert theoretical_num_walks(500, 0.01) > theoretical_num_walks(500, 0.5)
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ValueError):
+            theoretical_num_walks(100, 0.0)
+
+
+class TestWalkLength:
+    def test_ring_diameter(self):
+        # a directed n-ring has diameter n-1
+        graph = ring(12)
+        assert estimate_walk_length(graph, sample_size=12, multiplier=1.0,
+                                    seed=0) >= 11
+
+    def test_multiplier_applied(self):
+        graph = ring(12)
+        single = estimate_walk_length(graph, sample_size=12, multiplier=1.0, seed=0)
+        double = estimate_walk_length(graph, sample_size=12, multiplier=2.0, seed=0)
+        assert double >= 2 * single - 1
+
+    def test_floor_on_tiny_graphs(self):
+        graph = LabeledGraph()
+        graph.add_nodes(2)
+        graph.add_edge(0, 1)
+        assert estimate_walk_length(graph, seed=0) >= 4
+
+    def test_labeled_variant_respects_regex(self):
+        # ring labeled "a" except one "z" edge: a+ paths stop at the z edge
+        graph = ring(10)
+        graph.set_edge_labels(4, 5, {"z"})
+        compiled = compile_regex("a+")
+        bounded = estimate_walk_length_labeled(
+            graph, [compiled], sample_size=10, multiplier=1.0, seed=0
+        )
+        unlabeled = estimate_walk_length(
+            graph, sample_size=10, multiplier=1.0, seed=0
+        )
+        assert bounded <= unlabeled
+
+    def test_labeled_variant_falls_back_without_regexes(self):
+        graph = ring(6)
+        assert estimate_walk_length_labeled(graph, [], seed=0) >= 4
+
+
+class TestStationaryOverlapEstimator:
+    def test_alpha_none_without_both_sides(self):
+        estimator = StationaryOverlapEstimator()
+        assert estimator.alpha(10) is None
+        estimator.record_forward(0)
+        assert estimator.alpha(10) is None
+
+    def test_perfect_overlap(self):
+        # all walks end at the same vertex: alpha = n (1 - 1/2n)^2
+        estimator = StationaryOverlapEstimator()
+        for _ in range(50):
+            estimator.record_forward(3)
+            estimator.record_backward(3)
+        n = 10
+        expected = n * (1 - 1 / (2 * n)) ** 2
+        assert estimator.alpha(n) == pytest.approx(expected)
+
+    def test_disjoint_supports_give_zero(self):
+        estimator = StationaryOverlapEstimator()
+        for _ in range(50):
+            estimator.record_forward(1)
+            estimator.record_backward(2)
+        assert estimator.alpha(10) == 0.0
+
+    def test_uniform_overlap(self):
+        # both sides uniform over 4 of n=4 vertices:
+        # alpha = n * sum (1/4 - 1/8)^2 = 4 * 4 * (1/8)^2 = 0.25
+        estimator = StationaryOverlapEstimator()
+        for vertex in range(4):
+            for _ in range(25):
+                estimator.record_forward(vertex)
+                estimator.record_backward(vertex)
+        assert estimator.alpha(4) == pytest.approx(0.25)
+
+    def test_refined_needs_min_samples(self):
+        estimator = StationaryOverlapEstimator()
+        for _ in range(10):
+            estimator.record_forward(0)
+            estimator.record_backward(0)
+        assert estimator.refined_num_walks(100, min_samples=64) is None
+
+    def test_refined_capped(self):
+        estimator = StationaryOverlapEstimator()
+        # minuscule overlap -> huge theoretical value -> capped
+        for index in range(100):
+            estimator.record_forward(index % 50)
+            estimator.record_backward(50 + index % 49 if index % 49 else 0)
+        refined = estimator.refined_num_walks(1000, min_samples=10, cap_factor=4.0)
+        if refined is not None:
+            assert refined <= 4 * recommended_num_walks(1000)
+
+    def test_counters(self):
+        estimator = StationaryOverlapEstimator()
+        estimator.record_forward(1)
+        estimator.record_backward(2)
+        estimator.record_backward(3)
+        assert estimator.n_forward == 1
+        assert estimator.n_backward == 2
+        assert estimator.n_samples == 3

@@ -1,0 +1,89 @@
+"""Product-graph search tests, cross-checked against networkx."""
+
+import networkx as nx
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.product_bfs import product_distances, product_reachability
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import COMPATIBLE, check_path
+
+from strategies import small_edge_labeled_graphs
+
+
+def to_networkx(graph):
+    out = nx.DiGraph()
+    out.add_nodes_from(graph.nodes())
+    out.add_edges_from(graph.edges())
+    return out
+
+
+class TestAgainstNetworkx:
+    @given(small_edge_labeled_graphs())
+    def test_unconstrained_regex_equals_plain_reachability(self, graph):
+        """(a|b|c|d)* imposes nothing, so the product search must equal
+        ordinary digraph reachability."""
+        compiled = compile_regex("(a | b | c | d)*")
+        reference = to_networkx(graph)
+        reachable_set = nx.descendants(reference, 0) | {0}
+        for target in graph.nodes():
+            result = product_reachability(graph, 0, target, compiled)
+            assert result.reachable == (target in reachable_set)
+
+    @given(small_edge_labeled_graphs())
+    def test_distances_match_networkx_when_unconstrained(self, graph):
+        compiled = compile_regex("(a | b | c | d)*")
+        distances = product_distances(graph, 0, compiled)
+        expected = nx.single_source_shortest_path_length(to_networkx(graph), 0)
+        assert distances == dict(expected)
+
+
+class TestConstrainedSearch:
+    @given(small_edge_labeled_graphs(), st.sampled_from(
+        ["a* b a*", "(a b)+", "a+ b+", "(a | b)* c"]
+    ))
+    def test_witness_is_compatible(self, graph, regex):
+        compiled = compile_regex(regex)
+        result = product_reachability(graph, 0, graph.num_nodes - 1, compiled)
+        if result.reachable:
+            path = result.path
+            assert path[0] == 0 and path[-1] == graph.num_nodes - 1
+            assert check_path(compiled, graph, path) == COMPATIBLE
+
+    def test_non_simple_witness_found(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(4)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        graph.add_edge(2, 1, {"b"})
+        graph.add_edge(1, 3, {"c"})
+        result = product_reachability(graph, 0, 3, compile_regex("a a b c"))
+        assert result.reachable
+        assert result.path == [0, 1, 2, 1, 3]
+        assert result.path_is_simple is False
+
+    def test_source_equals_target(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(2)
+        graph.add_edge(0, 1, {"a"})
+        assert product_reachability(graph, 0, 0, compile_regex("a*")).reachable
+        assert not product_reachability(graph, 0, 0, compile_regex("a+")).reachable
+
+    def test_budget_truncation_flagged(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(20)
+        for index in range(19):
+            graph.add_edge(index, index + 1, {"a"})
+        result = product_reachability(
+            graph, 0, 19, compile_regex("a+"), max_visits=3
+        )
+        assert not result.reachable
+        assert result.timed_out and not result.exact
+
+    def test_exact_negative(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        result = product_reachability(graph, 0, 2, compile_regex("a+"))
+        assert not result.reachable and result.exact

@@ -1,0 +1,111 @@
+"""Public-surface conformance: exports exist, engines share the
+informal protocol, capability flags stay coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graph", "repro.regex", "repro.core", "repro.baselines",
+            "repro.queries", "repro.datasets", "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_submodules_import(self, module):
+        importlib.import_module(module)
+
+    def test_subpackage_all_names_resolve(self):
+        for module_name in (
+            "repro.graph", "repro.regex", "repro.core",
+            "repro.baselines", "repro.queries", "repro.datasets",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def _engines(graph):
+    from repro import (
+        Arrival, AutoEngine, BBFSEngine, BFSEngine, LabelClosureIndex,
+        LandmarkIndex, RareLabelsEngine,
+    )
+
+    return [
+        Arrival(graph, walk_length=4, num_walks=20, seed=1),
+        AutoEngine(graph, walk_length=4, num_walks=20, seed=1),
+        BBFSEngine(graph),
+        BFSEngine(graph),
+        LandmarkIndex(graph, n_landmarks=2),
+        LabelClosureIndex(graph),
+        RareLabelsEngine(graph),
+    ]
+
+
+@pytest.fixture
+def probe_graph():
+    from repro import LabeledGraph
+
+    graph = LabeledGraph(directed=True)
+    graph.labeled_elements = "nodes"
+    graph.add_node({"a"})
+    graph.add_node({"a"})
+    graph.add_edge(0, 1)
+    return graph
+
+
+class TestEngineProtocol:
+    def test_every_engine_has_name_and_query(self, probe_graph):
+        for engine in _engines(probe_graph):
+            assert isinstance(engine.name, str) and engine.name
+            assert callable(engine.query)
+
+    def test_every_engine_answers_the_lcr_probe(self, probe_graph):
+        from repro.queries.query import RSPQuery
+
+        query = RSPQuery(0, 1, "a*")
+        for engine in _engines(probe_graph):
+            result = engine.query(query)
+            assert result.reachable, engine.name
+            assert result.method  # engines stamp their identity
+
+    def test_capability_flags_exist_on_comparison_engines(self, probe_graph):
+        flags = (
+            "supports_full_regex",
+            "supports_query_time_labels",
+            "supports_dynamic",
+            "index_free",
+            "enforces_simple_paths",
+        )
+        from repro import (
+            Arrival, BBFSEngine, BFSEngine, LabelClosureIndex,
+            LandmarkIndex, RareLabelsEngine,
+        )
+
+        for engine_class in (
+            Arrival, BBFSEngine, BFSEngine, LandmarkIndex,
+            LabelClosureIndex, RareLabelsEngine,
+        ):
+            for flag in flags:
+                assert isinstance(getattr(engine_class, flag), bool), (
+                    engine_class.__name__, flag,
+                )
+
+    def test_index_free_flag_matches_reality(self, probe_graph):
+        # index-free engines must answer without a build() phase;
+        # index-based ones expose memory accounting
+        from repro import LabelClosureIndex, LandmarkIndex
+
+        for engine_class in (LandmarkIndex, LabelClosureIndex):
+            assert not engine_class.index_free
+            engine = engine_class(probe_graph)
+            assert engine.memory_bytes() > 0

@@ -1,0 +1,103 @@
+"""Workload persistence tests."""
+
+import pytest
+
+from repro.datasets.collaboration import dblp_like, dblp_predicates
+from repro.datasets.social import gplus_like
+from repro.errors import QueryError
+from repro.queries.io import (
+    load_workload,
+    query_from_dict,
+    query_to_dict,
+    save_workload,
+)
+from repro.queries.query import RSPQuery
+from repro.queries.workload import WorkloadGenerator
+
+
+class TestRoundTrip:
+    def test_plain_workload(self, tmp_path):
+        graph = gplus_like(n_nodes=120, seed=1)
+        generator = WorkloadGenerator(graph, seed=1)
+        queries = generator.generate(12, distance_bound=6)
+        path = tmp_path / "workload.json"
+        save_workload(queries, path)
+        loaded = load_workload(path)
+        assert len(loaded) == len(queries)
+        for original, restored in zip(queries, loaded):
+            assert restored.source == original.source
+            assert restored.target == original.target
+            assert restored.regex_text == original.regex_text
+            assert restored.distance_bound == original.distance_bound
+            assert restored.meta["query_type"] == original.meta["query_type"]
+
+    def test_regexes_stay_equivalent(self, tmp_path):
+        query = RSPQuery(0, 1, "(a | b)* 'weird label'+ ~c")
+        restored = query_from_dict(query_to_dict(query))
+        assert restored.compiled().source == query.compiled().source
+
+    def test_compiled_cache_not_serialised(self):
+        query = RSPQuery(0, 1, "a+")
+        query.compiled()  # populates meta["_compiled"]
+        payload = query_to_dict(query)
+        assert "_compiled" not in payload["meta"]
+
+    def test_temporal_and_range_fields(self, tmp_path):
+        query = RSPQuery(3, 4, "a+", distance_bound=7, min_distance=2,
+                         time=123.5)
+        restored = query_from_dict(query_to_dict(query))
+        assert restored.distance_bound == 7
+        assert restored.min_distance == 2
+        assert restored.time == 123.5
+
+
+class TestPredicates:
+    def test_round_trip_with_registry(self, tmp_path):
+        graph = dblp_like(n_nodes=100, seed=2)
+        registry, _ = dblp_predicates(seed=2)
+        predicates = [registry[name] for name in registry.names()]
+        generator = WorkloadGenerator(graph, seed=2)
+        queries = generator.generate(
+            5, symbols=predicates, predicates=registry, n_labels_range=(2, 3)
+        )
+        path = tmp_path / "predicate_workload.json"
+        save_workload(queries, path)
+        loaded = load_workload(path, predicates=registry)
+        for original, restored in zip(queries, loaded):
+            assert restored.compiled().has_predicates
+            assert restored.regex_text == original.regex_text
+
+    def test_missing_registry_rejected(self, tmp_path):
+        graph = dblp_like(n_nodes=100, seed=2)
+        registry, _ = dblp_predicates(seed=2)
+        predicates = [registry[name] for name in registry.names()]
+        generator = WorkloadGenerator(graph, seed=2)
+        queries = generator.generate(
+            2, symbols=predicates, predicates=registry, n_labels_range=(2, 2)
+        )
+        path = tmp_path / "w.json"
+        save_workload(queries, path)
+        with pytest.raises(QueryError):
+            load_workload(path)
+
+    def test_incomplete_registry_names_missing(self, tmp_path):
+        from repro.labels import PredicateRegistry
+
+        registry, _ = dblp_predicates(seed=2)
+        query = RSPQuery(
+            0, 1, "{prolificPublisher}+", predicates=registry
+        )
+        path = tmp_path / "w.json"
+        save_workload([query], path)
+        partial = PredicateRegistry()
+        with pytest.raises(QueryError) as excinfo:
+            load_workload(path, predicates=partial)
+        assert "prolificPublisher" in str(excinfo.value)
+
+
+class TestVersioning:
+    def test_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "queries": []}')
+        with pytest.raises(QueryError):
+            load_workload(path)

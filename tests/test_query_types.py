@@ -1,0 +1,117 @@
+"""Query-type regex builder tests (Sec. 2.1)."""
+
+import pytest
+
+from repro.labels import Predicate
+from repro.queries.query import RSPQuery
+from repro.queries.query_types import (
+    build_query_regex,
+    type1_regex,
+    type2_regex,
+    type3_regex,
+)
+from repro.regex.compiler import compile_regex
+
+
+class TestType1:
+    def test_language(self):
+        compiled = compile_regex(type1_regex(["a", "b"]))
+        assert compiled.accepts_word([])
+        assert compiled.accepts_word(["a", "b", "b", "a"])
+        assert not compiled.accepts_word(["a", "c"])
+
+    def test_single_label(self):
+        compiled = compile_regex(type1_regex(["a"]))
+        assert compiled.accepts_word(["a", "a"])
+        assert not compiled.accepts_word(["b"])
+
+    def test_is_lcr_fragment(self):
+        assert compile_regex(type1_regex(["a", "b"])).label_set_form == \
+            frozenset({"a", "b"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            type1_regex([])
+
+
+class TestType2:
+    def test_language(self):
+        compiled = compile_regex(type2_regex(["a", "b"]))
+        assert compiled.accepts_word(["a", "b"])
+        assert compiled.accepts_word(["a", "b", "a", "b"])
+        assert not compiled.accepts_word([])
+        assert not compiled.accepts_word(["a"])
+        assert not compiled.accepts_word(["b", "a"])
+
+    def test_single_label_is_plus(self):
+        compiled = compile_regex(type2_regex(["a"]))
+        assert compiled.accepts_word(["a"])
+        assert compiled.accepts_word(["a", "a"])
+        assert not compiled.accepts_word([])
+
+    def test_mandatory_labels(self):
+        regex = type2_regex(["a", "b", "c"])
+        assert regex.mandatory_symbols() == frozenset({"a", "b", "c"})
+
+
+class TestType3:
+    def test_language(self):
+        compiled = compile_regex(type3_regex(["a", "b"]))
+        assert compiled.accepts_word(["a", "b"])
+        assert compiled.accepts_word(["a", "a", "b", "b", "b"])
+        assert not compiled.accepts_word(["a"])
+        assert not compiled.accepts_word(["a", "b", "a"])
+
+    def test_adjacent_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            type3_regex(["a", "a", "b"])
+
+    def test_non_adjacent_duplicates_allowed(self):
+        compiled = compile_regex(type3_regex(["a", "b", "a"]))
+        assert compiled.accepts_word(["a", "b", "a", "a"])
+
+    def test_single_label(self):
+        compiled = compile_regex(type3_regex(["a"]))
+        assert compiled.accepts_word(["a", "a", "a"])
+
+
+class TestDispatch:
+    def test_build_query_regex(self):
+        assert build_query_regex(1, ["a"]) == type1_regex(["a"])
+        assert build_query_regex(2, ["a", "b"]) == type2_regex(["a", "b"])
+        assert build_query_regex(3, ["a", "b"]) == type3_regex(["a", "b"])
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            build_query_regex(4, ["a"])
+
+    def test_predicates_usable_as_labels(self):
+        predicate = Predicate("p", lambda attrs: attrs.get("ok", False))
+        compiled = compile_regex(type2_regex([predicate, "a"]))
+        assert compiled.has_predicates
+        assert compiled.nfa.accepts_word(
+            [set(), {"a"}], attrs_list=[{"ok": True}, {}]
+        )
+
+
+class TestRSPQueryObject:
+    def test_string_rendering(self):
+        query = RSPQuery(1, 2, "a* b", distance_bound=5, time=3.0)
+        text = str(query)
+        assert "1 -> 2" in text and "a* b" in text
+        assert "5 edges" in text and "t=3.0" in text
+
+    def test_compiled_cached(self):
+        query = RSPQuery(0, 1, "a+")
+        first = query.compiled()
+        assert query.compiled() is first
+
+    def test_compiled_mode_change_recompiles(self):
+        query = RSPQuery(0, 1, "a+")
+        paper = query.compiled("paper")
+        dfa = query.compiled("dfa")
+        assert dfa is not paper
+
+    def test_regex_text(self):
+        assert RSPQuery(0, 1, "a | b").regex_text == "a | b"
+        assert RSPQuery(0, 1, compile_regex("a | b")).regex_text == "a | b"

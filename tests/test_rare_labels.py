@@ -1,0 +1,128 @@
+"""RL (Rare Labels) baseline tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.bfs import BFSEngine
+from repro.baselines.product_bfs import product_reachability
+from repro.baselines.rare_labels import RareLabelsEngine
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import COMPATIBLE, check_path
+
+from strategies import small_edge_labeled_graphs
+
+
+@pytest.fixture
+def fixture_graph():
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(5)
+    graph.add_edge(0, 1, {"a"})
+    graph.add_edge(1, 2, {"b"})
+    graph.add_edge(2, 3, {"a"})
+    graph.add_edge(0, 4, {"rare"})
+    return graph
+
+
+class TestRareLabelShortcut:
+    def test_absent_mandatory_label_is_instant_negative(self, fixture_graph):
+        engine = RareLabelsEngine(fixture_graph)
+        result = engine.query(0, 3, "a ghost a")
+        assert not result.reachable
+        assert result.exact
+        assert result.info.get("shortcut") is True
+        assert result.info.get("rare_label") == "ghost"
+
+    def test_rarest_mandatory_label_identified(self, fixture_graph):
+        engine = RareLabelsEngine(fixture_graph)
+        compiled = compile_regex("(a rare)+")
+        label, count = engine.rarest_mandatory_label(compiled)
+        assert label == "rare" and count == 1
+
+    def test_no_mandatory_labels(self, fixture_graph):
+        engine = RareLabelsEngine(fixture_graph)
+        assert engine.rarest_mandatory_label(compile_regex("(a | b)*")) is None
+
+    def test_label_frequency_counts_nodes_and_edges(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_node({"x"})
+        graph.add_node()
+        graph.add_edge(0, 1, {"x"})
+        engine = RareLabelsEngine(graph, elements="both")
+        assert engine.label_frequency("x") == 2
+        assert engine.label_frequency("nope") == 0
+
+
+class TestArbitraryPathSemantics:
+    def test_non_simple_witness_accepted(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(4)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        graph.add_edge(2, 1, {"b"})
+        graph.add_edge(1, 3, {"c"})
+        result = RareLabelsEngine(graph).query(0, 3, "a a b c")
+        assert result.reachable
+        assert result.path_is_simple is False
+        assert result.info["semantics"] == "arbitrary-path"
+
+    @given(small_edge_labeled_graphs(), st.sampled_from(
+        ["a* b a*", "(a b)+", "(a | b)* c", "a+ b+"]
+    ))
+    def test_agrees_with_product_search(self, graph, regex):
+        compiled = compile_regex(regex)
+        rl = RareLabelsEngine(graph).query(0, graph.num_nodes - 1, compiled)
+        product = product_reachability(
+            graph, 0, graph.num_nodes - 1, compiled
+        )
+        assert rl.reachable == product.reachable
+
+    @given(small_edge_labeled_graphs())
+    def test_superset_of_simple_path_semantics(self, graph):
+        """Whatever BFS (simple) reaches, RL (arbitrary) must also reach."""
+        compiled = compile_regex("a* b a*")
+        simple = BFSEngine(graph).query(0, graph.num_nodes - 1, compiled)
+        if simple.reachable:
+            assert RareLabelsEngine(graph).query(
+                0, graph.num_nodes - 1, compiled
+            ).reachable
+
+    @given(small_edge_labeled_graphs(), st.sampled_from(["a* b a*", "(a b)+"]))
+    def test_witness_is_compatible(self, graph, regex):
+        compiled = compile_regex(regex)
+        result = RareLabelsEngine(graph).query(
+            0, graph.num_nodes - 1, compiled
+        )
+        if result.reachable:
+            assert result.path[0] == 0
+            assert result.path[-1] == graph.num_nodes - 1
+            assert check_path(compiled, graph, result.path) == COMPATIBLE
+
+
+class TestMisc:
+    def test_unknown_nodes_raise(self, fixture_graph):
+        engine = RareLabelsEngine(fixture_graph)
+        with pytest.raises(QueryError):
+            engine.query(0, 42, "a")
+
+    def test_source_equals_target(self, fixture_graph):
+        engine = RareLabelsEngine(fixture_graph)
+        assert engine.query(2, 2, "a*").reachable
+
+    def test_budget_truncation(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(30)
+        for index in range(29):
+            graph.add_edge(index, index + 1, {"a"})
+        engine = RareLabelsEngine(graph, max_visits=2)
+        result = engine.query(0, 29, "a+")
+        if not result.reachable:
+            assert result.timed_out
+
+    def test_rspquery_object(self, fixture_graph):
+        from repro.queries.query import RSPQuery
+
+        engine = RareLabelsEngine(fixture_graph)
+        assert engine.query(RSPQuery(0, 3, "a b a")).reachable

@@ -1,0 +1,119 @@
+"""Parser tests, including the print/parse round-trip property."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import RegexSyntaxError
+from repro.labels import PredicateRegistry
+from repro.regex.ast_nodes import (
+    Alt,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Literal,
+    Negation,
+    Optional,
+    Plus,
+    Star,
+)
+from repro.regex.parser import parse_regex
+
+from strategies import regexes
+
+
+class TestAtoms:
+    def test_bare_label(self):
+        assert parse_regex("friend") == Literal("friend")
+
+    def test_bare_label_with_punctuation(self):
+        assert parse_regex("Age=26") == Literal("Age=26")
+        assert parse_regex("Gender:Female") == Literal("Gender:Female")
+
+    def test_quoted_label(self):
+        assert parse_regex("'lives in'") == Literal("lives in")
+
+    def test_quoted_label_with_escapes(self):
+        assert parse_regex(r"'it\'s'") == Literal("it's")
+
+    def test_epsilon(self):
+        assert parse_regex("()") == Epsilon()
+
+    def test_empty_set(self):
+        assert parse_regex("[]") == EmptySet()
+
+    def test_predicate_reference(self):
+        registry = PredicateRegistry()
+        predicate = registry.register("isAdult", lambda a: True)
+        assert parse_regex("{isAdult}", registry) == Literal(predicate)
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("{mystery}", PredicateRegistry())
+
+    def test_predicate_without_registry_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("{mystery}")
+
+
+class TestOperators:
+    def test_concatenation_by_juxtaposition(self):
+        assert parse_regex("a b c") == Concat(
+            [Literal("a"), Literal("b"), Literal("c")]
+        )
+
+    def test_alternation(self):
+        assert parse_regex("a | b") == Alt([Literal("a"), Literal("b")])
+
+    def test_alternation_binds_weaker_than_concat(self):
+        assert parse_regex("a b | c") == Alt(
+            [Concat([Literal("a"), Literal("b")]), Literal("c")]
+        )
+
+    def test_postfix_operators(self):
+        assert parse_regex("a*") == Star(Literal("a"))
+        assert parse_regex("a+") == Plus(Literal("a"))
+        assert parse_regex("a?") == Optional(Literal("a"))
+
+    def test_stacked_postfix(self):
+        assert parse_regex("a*+") == Plus(Star(Literal("a")))
+
+    def test_parentheses_group(self):
+        assert parse_regex("(a | b)*") == Star(
+            Alt([Literal("a"), Literal("b")])
+        )
+
+    def test_negation(self):
+        assert parse_regex("~a") == Negation(Literal("a"))
+        assert parse_regex("~(a b)") == Negation(
+            Concat([Literal("a"), Literal("b")])
+        )
+
+    def test_paper_example(self):
+        # the a*ba* regex from Fig. 2
+        assert parse_regex("a* b a*") == Concat(
+            [Star(Literal("a")), Literal("b"), Star(Literal("a"))]
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        ["", "(", "(a", "a |", "| a", "*", "a )", "'oops", "{", "{}", "[", "a ^ b"],
+    )
+    def test_malformed_inputs(self, source):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(source)
+
+    def test_error_carries_position(self):
+        try:
+            parse_regex("a ^")
+        except RegexSyntaxError as error:
+            assert error.position == 2
+        else:
+            pytest.fail("expected a syntax error")
+
+
+class TestRoundTrip:
+    @given(regexes())
+    def test_str_then_parse_is_identity(self, regex):
+        assert parse_regex(str(regex)) == regex

@@ -1,0 +1,55 @@
+"""Seedable-randomness helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    choice_index,
+    ensure_rng,
+    maybe_seed_from,
+    spawn,
+    weighted_index,
+)
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(7).integers(1000) == ensure_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        first = spawn(ensure_rng(1), 3)
+        second = spawn(ensure_rng(1), 3)
+        draws_first = [g.integers(10**9) for g in first]
+        draws_second = [g.integers(10**9) for g in second]
+        assert draws_first == draws_second
+        assert len(set(draws_first)) == 3
+
+
+class TestSampling:
+    def test_choice_index_range(self):
+        rng = ensure_rng(0)
+        for _ in range(50):
+            assert 0 <= choice_index(rng, 5) < 5
+
+    def test_weighted_index_respects_zero_weights(self):
+        rng = ensure_rng(0)
+        for _ in range(50):
+            assert weighted_index(rng, [0.0, 1.0, 0.0]) == 1
+
+    def test_weighted_index_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            weighted_index(ensure_rng(0), [0.0, 0.0])
+
+    def test_maybe_seed_from(self):
+        assert maybe_seed_from(None) is None
+        seed = maybe_seed_from(ensure_rng(0))
+        assert isinstance(seed, int) and seed >= 0

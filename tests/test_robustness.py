@@ -1,0 +1,142 @@
+"""Failure-injection and hostile-input tests across the engines.
+
+The paper's practical-constraints discussion (Sec. 2) requires that
+query-time label functions "never crash"; we enforce that contract
+defensively, so a hostile predicate must degrade to label-absent — in
+*every* engine, mid-walk and mid-search — never raise.
+"""
+
+import pytest
+
+from repro.baselines.bbfs import BBFSEngine
+from repro.baselines.bfs import BFSEngine
+from repro.core.arrival import Arrival
+from repro.graph.labeled_graph import LabeledGraph
+from repro.labels import PredicateRegistry
+
+
+@pytest.fixture
+def attr_graph():
+    graph = LabeledGraph(directed=True)
+    graph.labeled_elements = "nodes"
+    graph.add_node(None, {"score": 5})
+    graph.add_node(None, {"score": "not-a-number"})  # hostile attribute
+    graph.add_node(None, {})                          # missing attribute
+    graph.add_node(None, {"score": 9})
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 3)
+    graph.add_edge(0, 2)
+    graph.add_edge(2, 3)
+    return graph
+
+
+class TestHostilePredicates:
+    def engines(self, graph):
+        return [
+            Arrival(graph, walk_length=5, num_walks=40, seed=1),
+            BFSEngine(graph),
+            BBFSEngine(graph),
+        ]
+
+    def test_type_error_predicate_never_raises(self, attr_graph):
+        registry = PredicateRegistry()
+        # crashes with TypeError on node 1, KeyError on node 2
+        registry.register("big", lambda a: a["score"] > 3)
+        for engine in self.engines(attr_graph):
+            result = engine.query(0, 3, "{big}+", predicates=registry)
+            # the only all-crash-free route is 0 -> ??? : node 1 and 2
+            # both fail the predicate (crash => absent), so no route
+            assert not result.reachable, engine.name
+
+    def test_crashing_node_treated_as_label_absent(self, attr_graph):
+        registry = PredicateRegistry()
+        registry.register("any", lambda a: True)
+        registry.register("big", lambda a: a["score"] > 3)
+        # route through one intermediate that may crash: {big} {any} {big}
+        for engine in self.engines(attr_graph):
+            result = engine.query(0, 3, "{big} {any} {big}",
+                                  predicates=registry)
+            assert result.reachable, engine.name  # any route works
+        # but requiring the middle node to satisfy {big} rules out both
+        for engine in self.engines(attr_graph):
+            result = engine.query(0, 3, "{big} {big} {big}",
+                                  predicates=registry)
+            assert not result.reachable, engine.name
+
+    def test_predicate_returning_junk_is_coerced(self, attr_graph):
+        registry = PredicateRegistry()
+        registry.register("weird", lambda a: {"truthy": "dict"})
+        engine = BFSEngine(attr_graph)
+        result = engine.query(0, 3, "{weird}+", predicates=registry)
+        assert result.reachable  # truthy coerces to True everywhere
+
+
+class TestDegenerateGraphs:
+    def test_single_node_graph(self):
+        graph = LabeledGraph(directed=True)
+        graph.labeled_elements = "nodes"
+        graph.add_node({"a"})
+        for engine in (
+            Arrival(graph, walk_length=4, num_walks=5, seed=1),
+            BFSEngine(graph),
+            BBFSEngine(graph),
+        ):
+            assert engine.query(0, 0, "a").reachable
+
+    def test_deleted_nodes_are_invisible(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        graph.remove_node(1)
+        engine = Arrival(graph, walk_length=4, num_walks=20, seed=1)
+        assert not engine.query(0, 2, "a+").reachable
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            engine.query(1, 2, "a+")
+
+    def test_no_edges_at_all(self):
+        graph = LabeledGraph(directed=True)
+        graph.labeled_elements = "edges"
+        graph.add_nodes(3)
+        for engine in (
+            Arrival(graph, walk_length=4, num_walks=5, seed=1),
+            BFSEngine(graph),
+            BBFSEngine(graph),
+        ):
+            assert not engine.query(0, 2, "a*").reachable
+
+    def test_undirected_arrival(self):
+        graph = LabeledGraph(directed=False)
+        graph.add_nodes(4)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        graph.add_edge(2, 3, {"a"})
+        engine = Arrival(graph, walk_length=6, num_walks=60, seed=1)
+        assert engine.query(0, 3, "a+").reachable
+        assert engine.query(3, 0, "a+").reachable  # symmetric
+
+    def test_empty_label_nodes_block_literal_walks(self):
+        graph = LabeledGraph(directed=True)
+        graph.labeled_elements = "nodes"
+        graph.add_node({"a"})
+        graph.add_node()          # zero labels: no sequence through it
+        graph.add_node({"a"})
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        for engine in (BFSEngine(graph), BBFSEngine(graph)):
+            assert not engine.query(0, 2, "a+").reachable
+
+
+class TestMutationBetweenQueries:
+    def test_index_free_engines_see_mutations_immediately(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        engine = Arrival(graph, walk_length=4, num_walks=30, seed=1)
+        assert not engine.query(0, 2, "a+").reachable
+        graph.add_edge(1, 2, {"a"})
+        assert engine.query(0, 2, "a+").reachable
+        graph.remove_edge(0, 1)
+        assert not engine.query(0, 2, "a+").reachable

@@ -1,0 +1,96 @@
+"""AutoEngine routing tests."""
+
+import pytest
+
+from repro.core.router import AutoEngine
+from repro.datasets.follower import twitter_like
+from repro.datasets.social import gplus_like
+from repro.queries.query import RSPQuery
+
+
+@pytest.fixture(scope="module")
+def small_alphabet_graph():
+    # twitter-like with few hubs => small alphabet, LI territory
+    return twitter_like(n_nodes=200, n_hubs=6, seed=2)
+
+
+@pytest.fixture(scope="module")
+def large_alphabet_graph():
+    # gplus-like has > 100 labels => ARRIVAL territory
+    return gplus_like(n_nodes=200, seed=2)
+
+
+class TestRouting:
+    def test_type1_small_alphabet_goes_to_li(self, small_alphabet_graph):
+        engine = AutoEngine(small_alphabet_graph, seed=1)
+        query = RSPQuery(0, 5, "(follows:h0 | follows:h1)*")
+        assert engine.route(query) == "LI"
+        result = engine.query(query)
+        assert result.info["routed_to"] == "LI"
+
+    def test_type1_large_alphabet_goes_to_arrival(self, large_alphabet_graph):
+        engine = AutoEngine(large_alphabet_graph, seed=1)
+        query = RSPQuery(0, 5, "(Gender:Male | Gender:Female)*")
+        assert engine.route(query) == "ARRIVAL"
+
+    def test_general_regex_goes_to_arrival(self, small_alphabet_graph):
+        engine = AutoEngine(small_alphabet_graph, seed=1)
+        query = RSPQuery(0, 5, "follows:h0+ follows:h1+")
+        assert engine.route(query) == "ARRIVAL"
+        result = engine.query(query)
+        assert result.info["routed_to"] == "ARRIVAL"
+
+    def test_bounded_type1_goes_to_arrival(self, small_alphabet_graph):
+        # LI cannot answer distance-bounded queries
+        engine = AutoEngine(small_alphabet_graph, seed=1)
+        query = RSPQuery(0, 5, "(follows:h0 | follows:h1)*", distance_bound=4)
+        assert engine.route(query) == "ARRIVAL"
+
+    def test_dynamic_flag_disables_li(self, small_alphabet_graph):
+        engine = AutoEngine(small_alphabet_graph, dynamic=True, seed=1)
+        query = RSPQuery(0, 5, "(follows:h0 | follows:h1)*")
+        assert engine.route(query) == "ARRIVAL"
+
+    def test_li_memory_failure_falls_back(self, small_alphabet_graph):
+        engine = AutoEngine(
+            small_alphabet_graph, li_memory_budget_bytes=100, seed=1
+        )
+        query = RSPQuery(0, 5, "(follows:h0 | follows:h1)*")
+        assert engine.route(query) == "ARRIVAL"
+        # the failed build is remembered, not retried
+        assert engine._landmark_failed
+        assert engine.route(query) == "ARRIVAL"
+
+
+class TestAnswers:
+    def test_li_and_arrival_agree_on_positive(self, small_alphabet_graph):
+        engine = AutoEngine(small_alphabet_graph, seed=1)
+        graph = small_alphabet_graph
+        labels = sorted(graph.label_alphabet())
+        regex = "(" + " | ".join(labels) + ")*"
+        # only probe reachable targets: exact BBFS exits fast on
+        # positives but is exponential on unconstrained negatives
+        from collections import deque
+
+        reachable = []
+        queue = deque([0])
+        seen = {0}
+        while queue and len(reachable) < 6:
+            node = queue.popleft()
+            for neighbor in graph.out_neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    reachable.append(neighbor)
+                    queue.append(neighbor)
+        for target in reachable[:5]:
+            routed = engine.query(0, target, regex)
+            assert routed.reachable  # every label allowed, target reachable
+            exact = engine.query(0, target, regex, exact=True)
+            assert exact.info["routed_to"] == "BBFS"
+            assert exact.reachable
+
+    def test_positional_and_object_forms(self, small_alphabet_graph):
+        engine = AutoEngine(small_alphabet_graph, seed=1)
+        by_args = engine.query(0, 5, "follows:h0*")
+        by_object = engine.query(RSPQuery(0, 5, "follows:h0*"))
+        assert by_args.reachable == by_object.reachable

@@ -1,0 +1,105 @@
+"""SPARQL property-path translation tests."""
+
+import pytest
+
+from repro.errors import RegexSyntaxError, UnsupportedRegexError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.ast_nodes import Alt, Concat, Literal, Plus, Star
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import COMPATIBLE, check_path
+from repro.regex.nfa import OtherSymbol
+from repro.regex.sparql import translate_property_path
+
+
+class TestTranslation:
+    def test_prefixed_name(self):
+        assert translate_property_path("foaf:knows") == Literal("foaf:knows")
+
+    def test_full_iri(self):
+        regex = translate_property_path("<http://example.org/knows>")
+        assert regex == Literal("http://example.org/knows")
+
+    def test_rdf_type_shorthand(self):
+        assert translate_property_path("a") == Literal("rdf:type")
+
+    def test_sequence(self):
+        regex = translate_property_path("foaf:knows / foaf:memberOf")
+        assert regex == Concat(
+            [Literal("foaf:knows"), Literal("foaf:memberOf")]
+        )
+
+    def test_alternation_binds_weaker_than_sequence(self):
+        regex = translate_property_path("p:a / p:b | p:c")
+        assert isinstance(regex, Alt)
+        assert isinstance(regex.parts[0], Concat)
+
+    def test_closures(self):
+        assert translate_property_path("p:a*") == Star(Literal("p:a"))
+        assert translate_property_path("p:a+") == Plus(Literal("p:a"))
+        optional = translate_property_path("p:a?")
+        assert optional.matches_epsilon()
+
+    def test_grouping(self):
+        regex = translate_property_path("(p:a | p:b)+")
+        assert regex == Plus(Alt([Literal("p:a"), Literal("p:b")]))
+
+    def test_negated_property_set(self):
+        regex = translate_property_path("!(rdf:type | rdfs:label)")
+        assert isinstance(regex, Literal)
+        symbol = regex.symbol
+        assert isinstance(symbol, OtherSymbol)
+        assert symbol.known == frozenset({"rdf:type", "rdfs:label"})
+
+    def test_negated_single_property(self):
+        regex = translate_property_path("!p:a")
+        assert regex.symbol.known == frozenset({"p:a"})
+
+
+class TestErrors:
+    def test_inverse_rejected(self):
+        with pytest.raises(UnsupportedRegexError):
+            translate_property_path("^foaf:knows")
+        with pytest.raises(UnsupportedRegexError):
+            translate_property_path("!(^p:a)")
+
+    @pytest.mark.parametrize(
+        "source",
+        ["", "(", "p:a /", "| p:a", "<oops", "knows", "!()", "! / p:a",
+         "p:a @"],
+    )
+    def test_malformed(self, source):
+        with pytest.raises(RegexSyntaxError):
+            translate_property_path(source)
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def rdf_graph(self):
+        graph = LabeledGraph(directed=True)
+        graph.labeled_elements = "edges"
+        graph.add_nodes(5)
+        graph.add_edge(0, 1, {"foaf:knows"})
+        graph.add_edge(1, 2, {"foaf:knows"})
+        graph.add_edge(2, 3, {"foaf:memberOf"})
+        graph.add_edge(0, 4, {"rdf:type"})
+        return graph
+
+    def test_property_path_query(self, rdf_graph):
+        regex = translate_property_path("foaf:knows+ / foaf:memberOf")
+        compiled = compile_regex(regex)
+        assert check_path(compiled, rdf_graph, [0, 1, 2, 3]) == COMPATIBLE
+
+    def test_negated_set_matches_other_edges(self, rdf_graph):
+        regex = translate_property_path("!(foaf:knows | foaf:memberOf)")
+        compiled = compile_regex(regex)
+        assert check_path(compiled, rdf_graph, [0, 4]) == COMPATIBLE
+        assert check_path(compiled, rdf_graph, [0, 1]) != COMPATIBLE
+
+    def test_with_arrival_engine(self, rdf_graph):
+        from repro.core.arrival import Arrival
+
+        engine = Arrival(rdf_graph, walk_length=5, num_walks=40, seed=1)
+        regex = translate_property_path("foaf:knows+ / foaf:memberOf?")
+        assert engine.query(0, 3, regex).reachable
+        assert engine.query(0, 2, regex).reachable
+        assert not engine.query(3, 0, regex).reachable

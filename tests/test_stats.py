@@ -1,0 +1,137 @@
+"""Graph statistics tests, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.stats import (
+    average_degree,
+    average_labels_per_node,
+    bfs_depths,
+    degree_distribution,
+    diameter_upper_bound,
+    eccentricity,
+    label_frequency_distribution,
+    labels_by_frequency,
+    strongly_connected_components,
+    summarize,
+)
+
+from strategies import small_edge_labeled_graphs
+
+
+def to_networkx(graph: LabeledGraph) -> nx.DiGraph:
+    out = nx.DiGraph()
+    out.add_nodes_from(graph.nodes())
+    out.add_edges_from(graph.edges())
+    return out
+
+
+@pytest.fixture
+def labeled():
+    graph = LabeledGraph(directed=True)
+    graph.add_node({"a", "b"})
+    graph.add_node({"a"})
+    graph.add_node({"c"})
+    graph.add_node()
+    graph.add_edge(0, 1, {"x"})
+    graph.add_edge(1, 2, {"x"})
+    graph.add_edge(2, 0, {"y"})
+    graph.add_edge(2, 3)
+    return graph
+
+
+class TestSummaries:
+    def test_summarize_row(self, labeled):
+        summary = summarize(labeled, name="Toy", dynamic=True)
+        assert summary.num_nodes == 4
+        assert summary.num_edges == 4
+        assert summary.num_labels == 5
+        assert summary.directed
+        assert summary.node_labels and summary.edge_labels
+        row = summary.as_row()
+        assert row[0] == "Toy" and row[-1] == "yes"
+
+    def test_degree_distribution(self, labeled):
+        assert degree_distribution(labeled) == {0: 1, 1: 2, 2: 1}
+
+    def test_average_degree(self, labeled):
+        assert average_degree(labeled) == 1.0
+        assert average_degree(LabeledGraph()) == 0.0
+
+    def test_average_labels_per_node(self, labeled):
+        assert average_labels_per_node(labeled) == 1.0
+
+
+class TestLabelFrequencies:
+    def test_node_frequencies(self, labeled):
+        freq = label_frequency_distribution(labeled, kind="node")
+        assert freq == {"a": 0.5, "b": 0.25, "c": 0.25}
+
+    def test_edge_frequencies(self, labeled):
+        freq = label_frequency_distribution(labeled, kind="edge")
+        assert freq == {"x": 0.5, "y": 0.25}
+
+    def test_auto_prefers_nodes(self, labeled):
+        assert "a" in label_frequency_distribution(labeled, kind="auto")
+
+    def test_ordering(self, labeled):
+        assert labels_by_frequency(labeled, kind="node") == ["a", "b", "c"]
+
+    def test_invalid_kind(self, labeled):
+        with pytest.raises(ValueError):
+            label_frequency_distribution(labeled, kind="vibes")
+
+    def test_empty_graph(self):
+        assert label_frequency_distribution(LabeledGraph()) == {}
+
+
+class TestDistances:
+    @given(small_edge_labeled_graphs())
+    def test_bfs_depths_match_networkx(self, graph):
+        reference = to_networkx(graph)
+        depths = bfs_depths(graph, 0)
+        expected = nx.single_source_shortest_path_length(reference, 0)
+        assert depths == dict(expected)
+
+    @given(small_edge_labeled_graphs())
+    def test_eccentricity_matches_networkx(self, graph):
+        reference = to_networkx(graph)
+        expected = max(
+            nx.single_source_shortest_path_length(reference, 0).values()
+        )
+        assert eccentricity(graph, 0) == expected
+
+    def test_diameter_upper_bound_on_path(self):
+        graph = LabeledGraph()
+        graph.add_nodes(6)
+        for index in range(5):
+            graph.add_edge(index, index + 1)
+        # sampling every node must find the full path length
+        assert diameter_upper_bound(graph, sample_size=6, seed=0) == 5
+
+    def test_diameter_empty_graph(self):
+        assert diameter_upper_bound(LabeledGraph()) == 0
+
+
+class TestStronglyConnectedComponents:
+    @given(small_edge_labeled_graphs())
+    def test_matches_networkx(self, graph):
+        ours = {frozenset(c) for c in strongly_connected_components(graph)}
+        reference = {
+            frozenset(c)
+            for c in nx.strongly_connected_components(to_networkx(graph))
+        }
+        assert ours == reference
+
+    def test_two_cycles(self):
+        graph = LabeledGraph()
+        graph.add_nodes(5)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 4)
+        graph.add_edge(4, 2)
+        components = {frozenset(c) for c in strongly_connected_components(graph)}
+        assert components == {frozenset({0, 1}), frozenset({2, 3, 4})}

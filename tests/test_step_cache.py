@@ -1,0 +1,123 @@
+"""Transition-memoisation tests: caching must be invisible except in
+step counts, and must disable itself where it would be unsound."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.labels import PredicateRegistry
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import (
+    BackwardTracker,
+    ForwardTracker,
+    _StepCache,
+    check_path,
+)
+
+from strategies import labels, regexes, small_edge_labeled_graphs
+
+
+class TestSoundnessGuards:
+    def test_exact_predicate_free_gets_cache(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(2)
+        graph.add_edge(0, 1, {"a"})
+        tracker = ForwardTracker(compile_regex("a+"), graph)
+        assert tracker.cache is not None
+
+    def test_sampled_mode_disables_cache(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(2)
+        graph.add_edge(0, 1, {"a"})
+        tracker = ForwardTracker(
+            compile_regex("a+"), graph, mode="sampled",
+            rng=np.random.default_rng(0),
+        )
+        assert tracker.cache is None
+
+    def test_predicates_disable_cache(self):
+        registry = PredicateRegistry()
+        registry.register("p", lambda a: a.get("ok", False))
+        compiled = compile_regex("{p}+", registry)
+        graph = LabeledGraph(directed=True)
+        graph.labeled_elements = "nodes"
+        graph.add_node(None, {"ok": True})
+        graph.add_node(None, {"ok": False})
+        graph.add_edge(0, 1)
+        forward = ForwardTracker(compiled, graph)
+        backward = BackwardTracker(compiled, graph)
+        assert forward.cache is None and backward.cache is None
+        # and the predicate genuinely differentiates the two nodes —
+        # which is exactly why label-keyed caching would be wrong here
+        assert forward.start(0)
+        assert not forward.start(1)
+
+
+class TestEquivalence:
+    @given(
+        st.lists(labels, min_size=1, max_size=6),
+        regexes(),
+    )
+    def test_cached_and_uncached_agree(self, edge_labels_list, regex):
+        graph = LabeledGraph(directed=True)
+        graph.labeled_elements = "edges"
+        graph.add_nodes(len(edge_labels_list) + 1)
+        for index, label in enumerate(edge_labels_list):
+            graph.add_edge(index, index + 1, {label})
+        compiled = compile_regex(regex)
+        cached = ForwardTracker(compiled, graph)
+        uncached = ForwardTracker(compiled, graph)
+        uncached.cache = None
+        states_cached = cached.start(0)
+        states_uncached = uncached.start(0)
+        assert states_cached == states_uncached
+        for u in range(len(edge_labels_list)):
+            states_cached = cached.extend(states_cached, u, u + 1)
+            states_uncached = uncached.extend(states_uncached, u, u + 1)
+            assert states_cached == states_uncached
+
+    @given(small_edge_labeled_graphs())
+    def test_engine_answers_unchanged_by_shared_cache(self, graph):
+        from repro.core.arrival import Arrival
+
+        compiled = compile_regex("a* b a*")
+        first = Arrival(graph, walk_length=5, num_walks=30, seed=42)
+        second = Arrival(graph, walk_length=5, num_walks=30, seed=42)
+        assert (
+            first.query(0, graph.num_nodes - 1, compiled).reachable
+            == second.query(0, graph.num_nodes - 1, compiled).reachable
+        )
+
+
+class TestCacheBehaviour:
+    def test_hits_accumulate_on_repetition(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(10)
+        for index in range(9):
+            graph.add_edge(index, index + 1, {"a"})
+        compiled = compile_regex("a+")
+        cache = _StepCache()
+        tracker = ForwardTracker(compiled, graph, cache=cache)
+        states = tracker.start(0)
+        for u in range(9):
+            states = tracker.extend(states, u, u + 1)
+        assert cache.misses >= 1
+        assert cache.hits >= 7  # the same (set, {a}) transition repeats
+
+    def test_cache_shared_between_trackers(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(1, 2, {"a"})
+        compiled = compile_regex("a+")
+        cache = _StepCache()
+        first = ForwardTracker(compiled, graph, cache=cache)
+        second = ForwardTracker(compiled, graph, cache=cache)
+        states = first.start(0)
+        first.extend(states, 0, 1)
+        before = cache.misses
+        states = second.start(0)
+        second.extend(states, 0, 1)
+        assert cache.misses == before  # all served from the shared cache

@@ -1,0 +1,96 @@
+"""BFS-subgraph extraction tests (the Sec. 5.3 protocol)."""
+
+import pytest
+
+from repro.datasets.follower import twitter_like
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.subgraph import (
+    extract_bfs_subgraph,
+    nested_subgraphs,
+    restrict_labels,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return twitter_like(n_nodes=300, seed=3)
+
+
+class TestExtraction:
+    def test_target_size(self, base):
+        subgraph, mapping = extract_bfs_subgraph(base, 0.5, seed=1)
+        assert subgraph.num_nodes == round(0.5 * base.num_nodes)
+        assert len(mapping) == subgraph.num_nodes
+
+    def test_edges_are_induced(self, base):
+        subgraph, mapping = extract_bfs_subgraph(base, 0.3, seed=1)
+        inverse = {new: old for old, new in mapping.items()}
+        for u, v in subgraph.edges():
+            assert base.has_edge(inverse[u], inverse[v])
+
+    def test_full_fraction_recovers_graph(self, base):
+        subgraph, _ = extract_bfs_subgraph(base, 1.0, seed=1)
+        assert subgraph.num_nodes == base.num_nodes
+        assert subgraph.num_edges == base.num_edges
+
+    def test_labels_preserved(self, base):
+        subgraph, mapping = extract_bfs_subgraph(base, 0.4, seed=2)
+        for old, new in mapping.items():
+            assert subgraph.node_labels(new) == base.node_labels(old)
+
+    def test_invalid_fraction(self, base):
+        with pytest.raises(GraphError):
+            extract_bfs_subgraph(base, 0.0)
+        with pytest.raises(GraphError):
+            extract_bfs_subgraph(base, 1.5)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            extract_bfs_subgraph(LabeledGraph(), 0.5)
+
+
+class TestNesting:
+    def test_smaller_fraction_is_subgraph_of_larger(self, base):
+        """The paper's guarantee: X% subgraph ⊆ Y% subgraph for X < Y."""
+        results = nested_subgraphs(base, [0.2, 0.5, 0.9], seed=7)
+        node_sets = [set(mapping) for _, mapping in results]
+        assert node_sets[0] <= node_sets[1] <= node_sets[2]
+
+    def test_deterministic_under_seed(self, base):
+        first = nested_subgraphs(base, [0.3], seed=11)[0][1]
+        second = nested_subgraphs(base, [0.3], seed=11)[0][1]
+        assert set(first) == set(second)
+
+    def test_explicit_start(self, base):
+        start = next(iter(base.nodes()))
+        _, mapping = nested_subgraphs(base, [0.1], seed=1, start=start)[0]
+        assert start in mapping
+
+    def test_fragmented_graph_restarts(self):
+        # two disconnected halves: a 60% extraction must span both
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(10)
+        for index in range(4):
+            graph.add_edge(index, index + 1)
+        for index in range(5, 9):
+            graph.add_edge(index, index + 1)
+        subgraph, _ = extract_bfs_subgraph(graph, 0.8, seed=3)
+        assert subgraph.num_nodes == 8
+
+
+class TestRestrictLabels:
+    def test_keeps_only_requested_labels(self, base):
+        keep = sorted(base.label_alphabet())[:3]
+        restricted = restrict_labels(base, keep)
+        assert restricted.label_alphabet() <= frozenset(keep)
+
+    def test_structure_untouched(self, base):
+        restricted = restrict_labels(base, [])
+        assert restricted.num_nodes == base.num_nodes
+        assert restricted.num_edges == base.num_edges
+
+    def test_original_not_modified(self, base):
+        alphabet_before = base.label_alphabet()
+        restrict_labels(base, [])
+        assert base.label_alphabet() == alphabet_before

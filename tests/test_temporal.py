@@ -1,0 +1,118 @@
+"""Dynamic graph (event log + snapshot) tests."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.temporal import (
+    GraphEvent,
+    TemporalGraph,
+    from_timestamped_edges,
+)
+
+
+@pytest.fixture
+def log():
+    temporal = TemporalGraph(directed=True)
+    temporal.add_node_at(0.0, {"a"})          # node 0
+    temporal.add_node_at(0.0, {"b"})          # node 1
+    temporal.add_node_at(1.0, {"c"})          # node 2
+    temporal.add_edge_at(2.0, 0, 1, {"e"})
+    temporal.add_edge_at(3.0, 1, 2, {"f"})
+    temporal.remove_edge_at(4.0, 0, 1)
+    temporal.set_node_labels_at(5.0, 0, {"a2"})
+    temporal.remove_node_at(6.0, 2)
+    return temporal
+
+
+class TestSnapshots:
+    def test_before_everything(self, log):
+        snapshot = log.snapshot(-1.0)
+        assert snapshot.num_nodes == 0
+
+    def test_structural_growth(self, log):
+        assert log.snapshot(0.5).num_nodes == 2
+        assert log.snapshot(1.5).num_nodes == 3
+        assert log.snapshot(2.5).num_edges == 1
+        assert log.snapshot(3.5).num_edges == 2
+
+    def test_edge_deletion(self, log):
+        snapshot = log.snapshot(4.5)
+        assert not snapshot.has_edge(0, 1)
+        assert snapshot.has_edge(1, 2)
+
+    def test_information_change(self, log):
+        assert log.snapshot(4.5).node_labels(0) == frozenset({"a"})
+        assert log.snapshot(5.5).node_labels(0) == frozenset({"a2"})
+
+    def test_node_deletion(self, log):
+        snapshot = log.snapshot(10.0)
+        assert snapshot.num_nodes == 2
+        assert not snapshot.is_alive(2)
+        assert snapshot.num_edges == 0
+
+    def test_snapshot_inclusive_of_timestamp(self, log):
+        assert log.snapshot(2.0).has_edge(0, 1)
+
+    def test_snapshots_are_independent_copies(self, log):
+        first = log.snapshot(3.5)
+        first.remove_edge(1, 2)
+        second = log.snapshot(3.5)
+        assert second.has_edge(1, 2)
+
+    def test_forward_then_backward_queries(self, log):
+        # moving backward in time forces a replay and must stay correct
+        assert log.snapshot(6.0).num_nodes == 2
+        assert log.snapshot(0.5).num_nodes == 2
+        assert log.snapshot(1.5).num_nodes == 3
+
+
+class TestEventLog:
+    def test_out_of_order_events_are_sorted(self):
+        temporal = TemporalGraph()
+        temporal.add_node_at(5.0)
+        temporal.add_node_at(1.0)
+        temporal.add_edge_at(6.0, 0, 1)
+        # node ids are assigned in replay (time) order
+        snapshot = temporal.snapshot(10.0)
+        assert snapshot.num_nodes == 2
+        assert snapshot.num_edges == 1
+
+    def test_late_event_invalidates_cache(self):
+        temporal = TemporalGraph()
+        temporal.add_node_at(0.0)
+        temporal.add_node_at(0.0)
+        assert temporal.snapshot(10.0).num_edges == 0
+        temporal.add_edge_at(1.0, 0, 1)  # lands inside the applied prefix
+        assert temporal.snapshot(10.0).num_edges == 1
+
+    def test_time_range(self, log):
+        assert log.time_range() == (0.0, 6.0)
+        with pytest.raises(GraphError):
+            TemporalGraph().time_range()
+
+    def test_num_events(self, log):
+        assert log.num_events == 8
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(GraphError):
+            GraphEvent(0.0, "paint_it_blue")
+
+    def test_repeated_edge_merges_labels(self):
+        temporal = TemporalGraph()
+        temporal.add_node_at(0.0)
+        temporal.add_node_at(0.0)
+        temporal.add_edge_at(1.0, 0, 1, {"a2q"})
+        temporal.add_edge_at(2.0, 0, 1, {"c2q"})
+        snapshot = temporal.snapshot(3.0)
+        assert snapshot.edge_labels(0, 1) == frozenset({"a2q", "c2q"})
+        assert snapshot.num_edges == 1
+
+
+class TestFromTimestampedEdges:
+    def test_builder(self):
+        temporal = from_timestamped_edges(
+            3, [(0, 1, 1.0, {"x"}), (1, 2, 2.0, {"y"})]
+        )
+        assert temporal.snapshot(0.0).num_nodes == 3
+        assert temporal.snapshot(1.5).num_edges == 1
+        assert temporal.snapshot(2.5).edge_labels(1, 2) == frozenset({"y"})

@@ -1,0 +1,122 @@
+"""Stateful property test: TemporalGraph vs a naive reference model.
+
+Hypothesis drives a random interleaving of event recording and snapshot
+queries; the snapshot must always equal replaying the (time-sorted)
+event prefix into a fresh LabeledGraph.  This exercises the incremental
+snapshot cache, its invalidation on late-arriving events, and the
+out-of-order sorting path — the fiddliest machinery in the graph layer.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.temporal import TemporalGraph
+
+_TIMES = st.integers(min_value=0, max_value=20).map(float)
+_LABELS = st.sets(st.sampled_from("abc"), max_size=2)
+
+
+class TemporalModel(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.temporal = TemporalGraph(directed=True)
+        self.events = []  # (time, sequence, kind, payload)
+        self.sequence = 0
+        # seed nodes so edges have endpoints
+        for _ in range(4):
+            self._record(0.0, "add_node", (frozenset(), None))
+
+    # ------------------------------------------------------------------
+    def _record(self, time, kind, payload):
+        self.sequence += 1
+        self.events.append((time, self.sequence, kind, payload))
+        if kind == "add_node":
+            labels, attrs = payload
+            self.temporal.add_node_at(time, labels, attrs)
+        elif kind == "add_edge":
+            u, v, labels = payload
+            self.temporal.add_edge_at(time, u, v, labels)
+        elif kind == "set_node_labels":
+            node, labels = payload
+            self.temporal.set_node_labels_at(time, node, labels)
+
+    def _replay(self, upto_time):
+        """The reference: sort by (time, arrival order), apply prefix."""
+        graph = LabeledGraph(directed=True)
+        for time, _, kind, payload in sorted(
+            self.events, key=lambda e: (e[0], e[1])
+        ):
+            if time > upto_time:
+                continue
+            if kind == "add_node":
+                labels, attrs = payload
+                graph.add_node(labels, attrs)
+            elif kind == "add_edge":
+                u, v, labels = payload
+                if graph.has_edge(u, v):
+                    graph.set_edge_labels(
+                        u, v, graph.edge_labels(u, v) | labels
+                    )
+                else:
+                    graph.add_edge(u, v, labels)
+            elif kind == "set_node_labels":
+                node, labels = payload
+                graph.set_node_labels(node, labels)
+        return graph
+
+    def _n_nodes_at(self, time):
+        return sum(
+            1 for event_time, _, kind, _ in self.events
+            if kind == "add_node" and event_time <= time
+        )
+
+    # ------------------------------------------------------------------
+    @rule(time=_TIMES, labels=_LABELS)
+    def add_node(self, time, labels):
+        self._record(time, "add_node", (frozenset(labels), None))
+
+    @rule(time=_TIMES, u=st.integers(0, 3), v=st.integers(0, 3),
+          labels=_LABELS)
+    def add_edge(self, time, u, v, labels):
+        if u == v:
+            return
+        # endpoints must exist by the edge's own time in replay order
+        if self._n_nodes_at(time) <= max(u, v):
+            return
+        self._record(time, "add_edge", (u, v, frozenset(labels)))
+
+    @rule(time=_TIMES, node=st.integers(0, 3), labels=_LABELS)
+    def relabel_node(self, time, node, labels):
+        if self._n_nodes_at(time) <= node:
+            return
+        self._record(time, "set_node_labels", (node, frozenset(labels)))
+
+    @rule(time=_TIMES)
+    def check_snapshot(self, time):
+        snapshot = self.temporal.snapshot(time)
+        reference = self._replay(time)
+        assert snapshot.num_nodes == reference.num_nodes
+        assert set(snapshot.edges()) == set(reference.edges())
+        for node in reference.nodes():
+            assert snapshot.node_labels(node) == reference.node_labels(node)
+        for u, v in reference.edges():
+            assert snapshot.edge_labels(u, v) == reference.edge_labels(u, v)
+
+    @invariant()
+    def event_count_consistent(self):
+        if hasattr(self, "temporal"):
+            assert self.temporal.num_events == len(self.events)
+
+
+TemporalModel.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestTemporalStateful = TemporalModel.TestCase

@@ -1,0 +1,118 @@
+"""Unlabeled random-walk reachability and Proposition-1 machinery."""
+
+import networkx as nx
+import pytest
+
+from repro.core.unlabeled import (
+    UnlabeledWalkReachability,
+    measure_overlap_probability,
+)
+from repro.errors import QueryError
+from repro.experiments.prop1 import (
+    estimate_alpha,
+    strongly_connected_random_graph,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture(scope="module")
+def sc_graph():
+    return strongly_connected_random_graph(80, 240, seed=1)
+
+
+class TestStronglyConnectedGenerator:
+    def test_is_strongly_connected(self, sc_graph):
+        reference = nx.DiGraph(list(sc_graph.edges()))
+        reference.add_nodes_from(sc_graph.nodes())
+        assert nx.is_strongly_connected(reference)
+
+    def test_edge_budget(self):
+        graph = strongly_connected_random_graph(30, 60, seed=2)
+        assert graph.num_edges == 30 + 60
+
+    def test_deterministic(self):
+        first = strongly_connected_random_graph(20, 10, seed=5)
+        second = strongly_connected_random_graph(20, 10, seed=5)
+        assert set(first.edges()) == set(second.edges())
+
+
+class TestWalkReachability:
+    def test_positive_with_valid_witness(self, sc_graph):
+        engine = UnlabeledWalkReachability(
+            sc_graph, walk_length=30, num_walks=200, seed=3
+        )
+        result = engine.query(0, 17)
+        assert result.reachable
+        path = result.path
+        assert path[0] == 0 and path[-1] == 17
+        for u, v in zip(path, path[1:]):
+            assert sc_graph.has_edge(u, v)
+
+    def test_true_negative_on_disconnected(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        engine = UnlabeledWalkReachability(
+            graph, walk_length=5, num_walks=50, seed=1
+        )
+        assert not engine.query(0, 3).reachable
+
+    def test_one_way_edges_respected(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        engine = UnlabeledWalkReachability(
+            graph, walk_length=4, num_walks=60, seed=2
+        )
+        assert engine.query(0, 2).reachable
+        assert not engine.query(2, 0).reachable
+
+    def test_source_equals_target(self, sc_graph):
+        engine = UnlabeledWalkReachability(
+            sc_graph, walk_length=5, num_walks=10, seed=1
+        )
+        result = engine.query(4, 4)
+        assert result.reachable and result.exact
+
+    def test_unknown_nodes(self, sc_graph):
+        engine = UnlabeledWalkReachability(
+            sc_graph, walk_length=5, num_walks=10, seed=1
+        )
+        with pytest.raises(QueryError):
+            engine.query(0, 10**6)
+
+    def test_endpoint_statistics_collected(self, sc_graph):
+        engine = UnlabeledWalkReachability(
+            sc_graph, walk_length=10, num_walks=40, seed=4
+        )
+        engine.query(0, 1)
+        assert engine.estimator.n_samples > 0
+
+
+class TestOverlapMeasurement:
+    def test_full_budget_probability_high(self, sc_graph):
+        probability = measure_overlap_probability(
+            sc_graph, walk_length=20, num_walks=150, n_trials=12, seed=5
+        )
+        assert probability >= 0.9
+
+    def test_starved_budget_probability_lower(self, sc_graph):
+        starved = measure_overlap_probability(
+            sc_graph, walk_length=2, num_walks=2, n_trials=12, seed=5
+        )
+        full = measure_overlap_probability(
+            sc_graph, walk_length=20, num_walks=150, n_trials=12, seed=5
+        )
+        assert starved <= full
+
+    def test_alpha_estimate_positive_on_sc_graph(self, sc_graph):
+        alpha = estimate_alpha(sc_graph, walk_length=40, samples=300, seed=6)
+        assert alpha > 0
+
+    def test_rejects_single_node(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_node()
+        with pytest.raises(QueryError):
+            measure_overlap_probability(graph, 5, 5)

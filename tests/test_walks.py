@@ -1,0 +1,170 @@
+"""SideRunner (random-walk machinery) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.walks import SideRunner
+from repro.graph.labeled_graph import LabeledGraph
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import BackwardTracker, ForwardTracker
+
+from strategies import small_edge_labeled_graphs
+
+
+def runner(graph, regex, origin, forward, walk_length=4, seed=0, **kwargs):
+    return SideRunner(
+        graph,
+        compile_regex(regex),
+        "edges",
+        origin,
+        forward=forward,
+        walk_length=walk_length,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def chain():
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(4)
+    graph.add_edge(0, 1, {"a"})
+    graph.add_edge(1, 2, {"b"})
+    graph.add_edge(2, 3, {"a"})
+    return graph
+
+
+class TestWalkLifecycle:
+    def test_walks_restart_after_termination(self, chain):
+        side = runner(chain, "a* b a*", 0, forward=True, walk_length=2)
+        for _ in range(20):
+            side.step()
+        # walk length 2 means each walk ends after one jump; several
+        # walks must have completed and been recorded
+        assert side.completed_walks >= 5
+        assert len(side.store) >= side.completed_walks
+        assert len(side.endpoints) == side.completed_walks
+
+    def test_dead_end_terminates_walk(self):
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(2)
+        graph.add_edge(0, 1, {"z"})  # no compatible continuation
+        side = runner(graph, "a+", 0, forward=True)
+        side.step()  # begin at 0
+        side.step()  # no candidates -> Case 1
+        assert side.completed_walks == 1
+        assert not side.active
+
+    def test_simplicity_enforced(self, chain):
+        chain.add_edge(3, 0, {"a"})  # close a cycle
+        side = runner(chain, "(a | b)+", 0, forward=True, walk_length=10)
+        for _ in range(30):
+            side.step()
+        for path in side.store:
+            assert len(set(path)) == len(path)
+
+    def test_walk_length_cap(self, chain):
+        side = runner(chain, "(a | b)*", 0, forward=True, walk_length=3)
+        for _ in range(30):
+            side.step()
+        for path in side.store:
+            assert len(path) <= 3
+
+    def test_jump_counter(self, chain):
+        side = runner(chain, "(a | b)*", 0, forward=True)
+        for _ in range(10):
+            side.step()
+        assert side.jumps > 0
+
+
+class TestMeetingThroughSides:
+    def test_forward_meets_backward(self, chain):
+        forward = runner(chain, "a* b a*", 0, forward=True, walk_length=4)
+        backward = runner(chain, "a* b a*", 3, forward=False, walk_length=4)
+        forward.opposite = backward
+        backward.opposite = forward
+        joined = None
+        for _ in range(40):
+            joined = forward.step() or backward.step()
+            if joined:
+                break
+        assert joined == [0, 1, 2, 3]
+
+    def test_incompatible_paths_never_join(self):
+        # 0 -a-> 1 <-a- 2: a meets at node 1, but joined word "a a"
+        # does not match "a b"
+        graph = LabeledGraph(directed=True)
+        graph.add_nodes(3)
+        graph.add_edge(0, 1, {"a"})
+        graph.add_edge(2, 1, {"a"})
+        forward = runner(graph, "a b", 0, forward=True)
+        backward = runner(graph, "a b", 2, forward=False)
+        forward.opposite = backward
+        backward.opposite = forward
+        for _ in range(40):
+            assert forward.step() is None
+            assert backward.step() is None
+
+    def test_naive_meeting_mode(self, chain):
+        forward = runner(
+            chain, "a* b a*", 0, forward=True, walk_length=4, meeting="naive"
+        )
+        backward = runner(
+            chain, "a* b a*", 3, forward=False, walk_length=4, meeting="naive"
+        )
+        forward.opposite = backward
+        backward.opposite = forward
+        joined = None
+        for _ in range(40):
+            joined = forward.step() or backward.step()
+            if joined:
+                break
+        assert joined == [0, 1, 2, 3]
+
+
+class TestAdmissionProperty:
+    def test_edge_only_graphs_key_equals_continuation(self, chain):
+        """Without node symbols, the backward key and continuation are
+        the same set — the admission question only arises on
+        node-consuming graphs."""
+        compiled = compile_regex("a* b a*")
+        backward = BackwardTracker(compiled, chain, "edges")
+        key, current = backward.start(3)
+        key, current = backward.extend(current, 2, 3)
+        assert key == current
+
+    @given(st.sampled_from(["a b a", "(a b)+", "a+ b+"]),
+           st.lists(st.sampled_from("ab"), min_size=2, max_size=5))
+    def test_empty_continuation_implies_unmeetable_key(
+        self, regex, node_labels_list
+    ):
+        """The claim documented in walks.py: if the backward continuation
+        at a node is empty, no forward state set can intersect its key,
+        so admitting on the continuation loses no meetings.
+
+        F(u) is always a post-image of consuming u's symbol; we check
+        the *largest possible* post-image against the key.
+        """
+        graph = LabeledGraph(directed=True)
+        graph.labeled_elements = "nodes"
+        for label in node_labels_list:
+            graph.add_node({label})
+        for index in range(len(node_labels_list) - 1):
+            graph.add_edge(index, index + 1)
+        compiled = compile_regex(regex)
+        backward = BackwardTracker(compiled, graph, "nodes")
+        target = graph.num_nodes - 1
+        key, current = backward.start(target)
+        node = target
+        while graph.in_neighbors(node):
+            previous = graph.in_neighbors(node)[0]
+            key, current = backward.extend(current, previous, node)
+            if key and not current:
+                all_states = frozenset(range(compiled.nfa.n_states))
+                largest_post_image = compiled.nfa.step(
+                    all_states, graph.node_labels(previous), {}
+                )
+                assert not (largest_post_image & key)
+            node = previous

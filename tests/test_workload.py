@@ -1,0 +1,224 @@
+"""Workload generator tests (Sec. 5.2.2)."""
+
+import pytest
+
+from repro.datasets.collaboration import dblp_like, dblp_predicates
+from repro.datasets.knowledge import freebase_like
+from repro.datasets.social import gplus_like
+from repro.queries.buckets import density_buckets
+from repro.queries.workload import WorkloadGenerator
+from repro.regex.ast_nodes import Negation
+from repro.regex.compiler import compile_regex
+from repro.regex.matcher import COMPATIBLE, check_path
+
+
+@pytest.fixture(scope="module")
+def social():
+    return gplus_like(n_nodes=200, seed=4)
+
+
+class TestBasicGeneration:
+    def test_count_and_meta(self, social):
+        generator = WorkloadGenerator(social, seed=1)
+        queries = generator.generate(25)
+        assert len(queries) == 25
+        for query in queries:
+            assert query.meta["query_type"] in (1, 2, 3)
+            assert 2 <= query.meta["n_labels"] <= 8
+            assert query.source != query.target
+            assert social.is_alive(query.source)
+
+    def test_deterministic_under_seed(self, social):
+        first = WorkloadGenerator(social, seed=9).generate(10)
+        second = WorkloadGenerator(social, seed=9).generate(10)
+        assert [str(q) for q in first] == [str(q) for q in second]
+
+    def test_query_type_restriction(self, social):
+        generator = WorkloadGenerator(social, seed=2)
+        queries = generator.generate(10, query_types=(2,))
+        assert all(q.meta["query_type"] == 2 for q in queries)
+
+    def test_label_range_respected(self, social):
+        generator = WorkloadGenerator(social, seed=3)
+        queries = generator.generate(10, n_labels_range=(3, 3))
+        assert all(q.meta["n_labels"] == 3 for q in queries)
+
+    def test_labels_come_from_graph(self, social):
+        generator = WorkloadGenerator(social, seed=4)
+        alphabet = social.label_alphabet()
+        for query in generator.generate(10):
+            assert query.compiled().symbols <= alphabet
+
+
+class TestSamplingModes:
+    def test_frequency_sampling_prefers_common_labels(self, social):
+        generator = WorkloadGenerator(social, seed=5)
+        from collections import Counter
+
+        counts = Counter()
+        for _ in range(300):
+            for label in generator.sample_labels(2, sampling="frequency"):
+                counts[label] += 1
+        # gender labels cover ~half the graph each; they must dominate
+        top_two = {label for label, _ in counts.most_common(4)}
+        assert any(label.startswith("Gender:") for label in top_two)
+
+    def test_uniform_sampling(self, social):
+        generator = WorkloadGenerator(social, seed=6)
+        labels = generator.sample_labels(5, sampling="uniform")
+        assert len(set(labels)) == 5
+
+    def test_pool_restriction(self, social):
+        generator = WorkloadGenerator(social, seed=7)
+        pool = sorted(social.label_alphabet())[:4]
+        labels = generator.sample_labels(3, pool=pool)
+        assert set(labels) <= set(pool)
+
+    def test_empty_pool_raises(self, social):
+        generator = WorkloadGenerator(social, seed=8)
+        with pytest.raises(ValueError):
+            generator.sample_labels(2, pool=[])
+
+
+class TestVariants:
+    def test_negated_queries(self, social):
+        generator = WorkloadGenerator(social, seed=10)
+        queries = generator.generate(5, negate=True)
+        for query in queries:
+            assert isinstance(query.regex, Negation)
+            assert query.meta["negated"]
+            # paper-mode compilable (the Appendix A restriction holds
+            # for the three generated families with distinct labels)
+            query.compiled("paper")
+
+    def test_distance_bound_attached(self, social):
+        generator = WorkloadGenerator(social, seed=11)
+        queries = generator.generate(5, distance_bound=4)
+        assert all(q.distance_bound == 4 for q in queries)
+
+    def test_time_range_sampling(self, social):
+        generator = WorkloadGenerator(social, seed=12)
+        queries = generator.generate(20, time_range=(10.0, 20.0))
+        assert all(10.0 <= q.time <= 20.0 for q in queries)
+
+    def test_predicate_symbols(self):
+        graph = dblp_like(n_nodes=150, seed=0)
+        registry, _ = dblp_predicates(seed=0)
+        predicates = [registry[name] for name in registry.names()]
+        generator = WorkloadGenerator(graph, seed=13)
+        queries = generator.generate(
+            8, symbols=predicates, predicates=registry, n_labels_range=(2, 3)
+        )
+        for query in queries:
+            assert query.compiled().has_predicates
+
+
+class TestBothElementGraphs:
+    def test_type23_alternate_label_kinds(self):
+        graph = freebase_like(n_nodes=150, seed=1)
+        generator = WorkloadGenerator(graph, seed=14)
+        for query in generator.generate(20, query_types=(2, 3)):
+            symbols = query.meta["n_labels"]
+            assert symbols % 2 == 1  # odd: starts and ends node-kind
+
+    def test_type1_covers_both_kinds(self):
+        graph = freebase_like(n_nodes=150, seed=1)
+        generator = WorkloadGenerator(graph, seed=15)
+        for query in generator.generate(20, query_types=(1,)):
+            labels = query.compiled().label_set_form
+            assert any(label.startswith("type:") for label in labels)
+            assert any(label.startswith("rel:") for label in labels)
+
+
+class TestPositiveBias:
+    def test_biased_endpoints_are_truly_reachable(self, social):
+        generator = WorkloadGenerator(social, seed=16)
+        from repro.baselines.bfs import BFSEngine
+
+        hits = 0
+        for _ in range(20):
+            query = generator.sample_query(positive_bias=1.0)
+            result = BFSEngine(social, max_expansions=200_000).query(query)
+            hits += bool(result.reachable)
+        # the bias cannot always find a compatible walk (type-2/3
+        # patterns with many labels rarely have one), but it must raise
+        # the positive rate well above the near-zero unbiased baseline
+        assert hits >= 4
+
+    def test_walk_endpoints_helper_returns_compatible_pair(self, social):
+        generator = WorkloadGenerator(social, seed=17)
+        regex = compile_regex("(Gender:Male | Gender:Female)+")
+        endpoints = generator._compatible_walk_endpoints(regex, None)
+        assert endpoints is not None
+        source, target = endpoints
+        assert source != target
+
+
+class TestBuckets:
+    def test_bucket_partition(self, social):
+        buckets = density_buckets(social)
+        all_labels = [label for bucket in buckets.values() for label in bucket]
+        assert len(buckets) == 5
+        assert len(set(all_labels)) == len(all_labels)  # no overlap
+        # bucket 5 holds ~20% of the alphabet
+        n_labels = len(social.label_alphabet())
+        assert len(buckets[5]) == max(1, round(0.2 * n_labels))
+
+    def test_bucket_ordering_by_frequency(self, social):
+        from repro.graph.stats import label_frequency_distribution
+
+        buckets = density_buckets(social)
+        freq = label_frequency_distribution(social)
+        if buckets[1] and buckets[2]:
+            assert min(freq[l] for l in buckets[1]) >= max(
+                freq[l] for l in buckets[2]
+            )
+
+    def test_bucketed_workload_meta(self, social):
+        generator = WorkloadGenerator(social, seed=18)
+        buckets = density_buckets(social)
+        queries = generator.generate_bucketed(5, buckets, bucket=2)
+        assert all(q.meta["bucket"] == 2 for q in queries)
+        pool = set(buckets[2])
+        for query in queries:
+            assert query.compiled().symbols <= pool
+
+    def test_tiny_alphabet(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph()
+        for label in "abcdef":
+            graph.add_node({label})
+        buckets = density_buckets(graph, kind="node")
+        # all five buckets populated (mid-frequency labels may be
+        # unused, exactly as in the paper's 40-label head + 20% tail)
+        assert all(buckets[b] for b in range(1, 6))
+        seen = [l for b in buckets.values() for l in b]
+        assert len(seen) == len(set(seen))
+
+
+
+class TestWorkloadSummary:
+    def test_counts(self, social):
+        from repro.queries.workload import workload_summary
+
+        generator = WorkloadGenerator(social, seed=20)
+        queries = (
+            generator.generate(6, query_types=(1,))
+            + generator.generate(4, query_types=(2,), negate=True)
+            + generator.generate(2, query_types=(3,), distance_bound=4)
+        )
+        summary = workload_summary(queries)
+        assert summary["n_queries"] == 12
+        assert summary["type_counts"] == {1: 6, 2: 4, 3: 2}
+        assert summary["negated"] == 4
+        assert summary["distance_bounded"] == 2
+        assert summary["timestamped"] == 0
+        assert 2 <= summary["mean_labels"] <= 8
+
+    def test_empty_workload(self):
+        from repro.queries.workload import workload_summary
+
+        summary = workload_summary([])
+        assert summary["n_queries"] == 0
+        assert summary["mean_labels"] is None

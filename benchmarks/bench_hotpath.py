@@ -1,0 +1,182 @@
+"""Hot path — jumps/second of the fast walk loop vs the baseline.
+
+Two halves, both persisted machine-readably to
+``results/BENCH_hotpath.json``:
+
+* a throughput measurement on a 10k-node synthetic graph: the same
+  seeded workload through ``Arrival(fast_path=True)`` (CSR view +
+  interned transition tables + batched RNG) and
+  ``Arrival(fast_path=False)`` (the original frozenset loop), reported
+  as jumps/second with a required >= 2x speedup;
+* a seeded equivalence sweep — >= 200 queries across three synthetic
+  datasets with ``rng_batch=False`` so both paths consume the RNG
+  draw-for-draw — asserting the answers are identical.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Arrival
+from repro.datasets import dblp_like, freebase_like, gplus_like, twitter_like
+from repro.graph.stats import labels_by_frequency
+from repro.queries import RSPQuery, WorkloadGenerator
+
+from conftest import RESULTS_DIR, n_queries, scaled
+
+WALK_LENGTH = 24
+NUM_WALKS = 120
+
+
+def hot_workload(graph, count, seed):
+    """Kleene-star queries over the most frequent labels between random
+    node pairs: walks stay alive (every edge matches) so the time goes
+    into the inner jump loop rather than per-query setup."""
+    top = labels_by_frequency(graph)[:4]
+    regexes = [
+        "(" + " | ".join(top) + ")*",
+        "(" + " | ".join(top[:2]) + ")+",
+    ]
+    rng = np.random.default_rng(seed)
+    return [
+        RSPQuery(
+            int(rng.integers(graph.num_nodes)),
+            int(rng.integers(graph.num_nodes)),
+            regexes[i % len(regexes)],
+        )
+        for i in range(count)
+    ]
+
+
+def measure_jumps_per_second(engine, queries):
+    """Total jumps/wall-second over the workload, after one warmup query
+    (the first query pays the CSR build and fills the transition
+    tables; steady state is what the paper's long workloads see)."""
+    engine.query(queries[0])
+    jumps = 0
+    start = time.perf_counter()
+    for query in queries:
+        jumps += engine.query(query).jumps
+    elapsed = time.perf_counter() - start
+    return {
+        "jumps": jumps,
+        "seconds": elapsed,
+        "jumps_per_second": jumps / elapsed if elapsed else float("inf"),
+    }
+
+
+def equivalence_sweep():
+    """>= 200 seeded queries across >= 3 datasets, both paths on the
+    identical RNG stream (rng_batch=False)."""
+    datasets = [
+        ("gplus", gplus_like(n_nodes=150, seed=7)),
+        ("dblp", dblp_like(n_nodes=150, seed=7)),
+        ("freebase", freebase_like(n_nodes=150, seed=7)),
+    ]
+    per_dataset = max(67, n_queries(67))
+    total = 0
+    mismatches = []
+    for name, graph in datasets:
+        generator = WorkloadGenerator(graph, seed=11)
+        baseline = Arrival(
+            graph, walk_length=16, num_walks=48, seed=23, fast_path=False
+        )
+        fast = Arrival(
+            graph,
+            walk_length=16,
+            num_walks=48,
+            seed=23,
+            fast_path=True,
+            rng_batch=False,
+        )
+        for _ in range(per_dataset):
+            query = generator.sample_query(positive_bias=0.5)
+            total += 1
+            if fast.query(query).reachable != baseline.query(query).reachable:
+                mismatches.append((name, str(query)))
+    return {
+        "datasets": [name for name, _ in datasets],
+        "queries": total,
+        "mismatches": mismatches,
+    }
+
+
+@pytest.fixture(scope="module")
+def report():
+    graph = twitter_like(n_nodes=round(scaled(10_000)), seed=17)
+    queries = hot_workload(graph, count=n_queries(30), seed=29)
+    fast = Arrival(
+        graph, walk_length=WALK_LENGTH, num_walks=NUM_WALKS, seed=31
+    )
+    baseline = Arrival(
+        graph,
+        walk_length=WALK_LENGTH,
+        num_walks=NUM_WALKS,
+        seed=31,
+        fast_path=False,
+    )
+    payload = {
+        "graph": {"n_nodes": graph.num_nodes, "n_edges": graph.num_edges},
+        "workload": {
+            "n_queries": len(queries),
+            "walk_length": WALK_LENGTH,
+            "num_walks": NUM_WALKS,
+        },
+        "fast": measure_jumps_per_second(fast, queries),
+        "baseline": measure_jumps_per_second(baseline, queries),
+        "equivalence": equivalence_sweep(),
+    }
+    payload["speedup"] = (
+        payload["fast"]["jumps_per_second"]
+        / payload["baseline"]["jumps_per_second"]
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_hotpath.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nhot path: {payload['fast']['jumps_per_second']:,.0f} j/s fast "
+        f"vs {payload['baseline']['jumps_per_second']:,.0f} j/s baseline "
+        f"({payload['speedup']:.2f}x); equivalence "
+        f"{payload['equivalence']['queries']} queries, "
+        f"{len(payload['equivalence']['mismatches'])} mismatches "
+        f"-> {path}\n"
+    )
+    return payload
+
+
+def test_fast_path_at_least_2x(report):
+    assert report["speedup"] >= 2.0, report
+
+
+def test_both_paths_walk_the_same_workload(report):
+    # with rng_batch defaulting to True the draw order differs, but the
+    # workload and budgets are identical — jump totals stay comparable
+    assert report["fast"]["jumps"] > 0
+    assert report["baseline"]["jumps"] > 0
+
+
+def test_equivalence_sweep_identical_answers(report):
+    equivalence = report["equivalence"]
+    assert equivalence["queries"] >= 200
+    assert len(equivalence["datasets"]) >= 3
+    assert equivalence["mismatches"] == []
+
+
+def test_query_throughput_fast(benchmark, report):
+    graph = twitter_like(n_nodes=round(scaled(2_000)), seed=17)
+    query = hot_workload(graph, count=1, seed=29)[0]
+    engine = Arrival(graph, walk_length=16, num_walks=60, seed=31)
+    engine.query(query)  # warmup: view build + table fill
+    benchmark(engine.query, query)
+
+
+def test_query_throughput_baseline(benchmark, report):
+    graph = twitter_like(n_nodes=round(scaled(2_000)), seed=17)
+    query = hot_workload(graph, count=1, seed=29)[0]
+    engine = Arrival(
+        graph, walk_length=16, num_walks=60, seed=31, fast_path=False
+    )
+    engine.query(query)
+    benchmark(engine.query, query)

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.core.fastpath import LabelSetInterner, build_graph_view
 from repro.core.parameters import (
     StationaryOverlapEstimator,
-    estimate_walk_length,
+    estimate_walk_length_cached,
     recommended_num_walks,
 )
 from repro.core.result import QueryResult
@@ -42,8 +43,40 @@ from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.labels import PredicateRegistry
 from repro.regex.compiler import CompiledRegex, RegexLike, compile_regex
-from repro.regex.matcher import COMPATIBLE, check_path, resolve_elements
+from repro.regex.interner import InternedStepTable
+from repro.regex.matcher import (
+    COMPATIBLE,
+    _StepCache,
+    check_path,
+    resolve_elements,
+)
 from repro.rng import RngLike, ensure_rng
+
+
+def _table_totals(tables) -> tuple:
+    """Summed (hits, misses) over transition tables (None entries ok).
+
+    Works for both :class:`~repro.regex.interner.InternedStepTable` and
+    :class:`~repro.regex.matcher._StepCache` — per-query deltas against
+    these totals feed the hot-path counters in ``QueryResult.info``.
+    """
+    hits = 0
+    misses = 0
+    for table in tables:
+        if table is not None:
+            hits += table.hits
+            misses += table.misses
+    return hits, misses
+
+
+def _table_deltas(before, tables) -> tuple:
+    """(hits, misses) accrued since ``before = _table_totals(...)``.
+
+    Tables created after the snapshot start at zero, so a plain
+    subtraction stays correct even when the query allocated new caches.
+    """
+    hits, misses = _table_totals(tables)
+    return hits - before[0], misses - before[1]
 
 
 class Arrival:
@@ -69,6 +102,17 @@ class Arrival:
         statistics (the Sec. 4.3 amortised α estimate).
     negation_mode:
         "paper" (Appendix A restriction) or "dfa" (extended negation).
+    fast_path:
+        Use the interned walk engine (frozen CSR graph view + small-int
+        automaton transitions) where sound — exact mode, no query-time
+        predicates; other queries silently take the frozenset path.
+        False forces the baseline path everywhere (ablations,
+        ``benchmarks/bench_hotpath.py``).
+    rng_batch:
+        Pre-draw jump randomness in 1024-uniform blocks (fast-path
+        only).  False keeps the historical one-``integers``-call-per-
+        jump draw order, so a pinned seed makes fast and baseline paths
+        choose identical jumps.
     seed:
         Seed / generator for all randomness.
     """
@@ -92,6 +136,8 @@ class Arrival:
         adaptive: bool = False,
         bidirectional: bool = True,
         step_cache: bool = True,
+        fast_path: bool = True,
+        rng_batch: bool = True,
         negation_mode: str = "paper",
         walk_length_multiplier: float = 2.0,
         diameter_sample_size: int = 32,
@@ -112,6 +158,11 @@ class Arrival:
         #: transition memoisation (sound only without predicates /
         #: sampling; auto-disabled there); off for the ablation
         self.step_cache = step_cache
+        #: interned walk engine (gated per query on the same soundness
+        #: condition as the step cache; also off when step_cache is off,
+        #: since the fast path *is* transition memoisation)
+        self.fast_path = fast_path
+        self.rng_batch = rng_batch
         self.negation_mode = negation_mode
         self.rng = ensure_rng(seed)
         self.estimator = StationaryOverlapEstimator()
@@ -130,6 +181,16 @@ class Arrival:
         # transition memoisation, shared across queries per compiled
         # regex and direction (see repro.regex.matcher._StepCache)
         self._step_caches: dict = {}
+        # fast-path state: one label-set interner for the engine's
+        # lifetime (ids stay stable across graph-view rebuilds, keeping
+        # the interned transition tables valid), a version-stamped graph
+        # view, and per-(regex, direction) interned step tables
+        self._label_interner = LabelSetInterner()
+        self._graph_view = None
+        self._fast_tables: dict = {}
+        #: graph-view (re)builds performed by this engine — incremented
+        #: on first use and after every graph mutation
+        self.view_rebuilds = 0
 
     # ------------------------------------------------------------------
     # parameters
@@ -157,7 +218,10 @@ class Arrival:
                     seed=self.rng,
                 )
             else:
-                self._walk_length = estimate_walk_length(
+                # memoised on the graph keyed by its version counter, so
+                # several engines over one snapshot (the ablation
+                # benchmarks) sample the shortest-path trees once
+                self._walk_length = estimate_walk_length_cached(
                     self.graph,
                     sample_size=self._diameter_sample_size,
                     multiplier=self._walk_length_multiplier,
@@ -252,6 +316,28 @@ class Arrival:
                 )
             return self._trivial_result(source, compiled)
 
+        # fast path is sound exactly where the step cache is (exact
+        # mode, no predicates); it also respects the step_cache ablation
+        # switch because it *is* transition memoisation
+        use_fast = (
+            self.fast_path
+            and self.step_cache
+            and _StepCache.usable_for(compiled, self.label_mode)
+        )
+        rebuilds_before = self.view_rebuilds
+        view = self._current_view() if use_fast else None
+        forward_tables = (
+            self._fast_table(compiled, forward=True) if use_fast else None
+        )
+        backward_tables = (
+            self._fast_table(compiled, forward=False) if use_fast else None
+        )
+        transitions_before = _table_totals(
+            (forward_tables, backward_tables)
+            if use_fast
+            else tuple(self._step_caches.values())
+        )
+
         forward = SideRunner(
             self.graph, compiled, self.elements, source,
             forward=True, walk_length=walk_length, rng=self.rng,
@@ -259,6 +345,7 @@ class Arrival:
             max_edges=distance_bound, min_edges=min_distance,
             cache=self._step_cache(compiled, forward=True),
             trace=trace,
+            view=view, tables=forward_tables, rng_batch=self.rng_batch,
         )
         backward = SideRunner(
             self.graph, compiled, self.elements, target,
@@ -267,6 +354,7 @@ class Arrival:
             max_edges=distance_bound, min_edges=min_distance,
             cache=self._step_cache(compiled, forward=False),
             trace=trace,
+            view=view, tables=backward_tables, rng_batch=self.rng_batch,
         )
         forward.opposite = backward
         backward.opposite = forward
@@ -301,12 +389,26 @@ class Arrival:
 
         self._record_endpoints(forward, backward)
 
+        transition_hits, transition_misses = _table_deltas(
+            transitions_before,
+            (forward_tables, backward_tables)
+            if use_fast
+            else tuple(self._step_caches.values()),
+        )
         info = {
             "walk_length": walk_length,
             "num_walks": num_walks,
             "forward_walks": forward.completed_walks,
             "backward_walks": backward.completed_walks,
             "stored_keys": forward.index.n_keys + backward.index.n_keys,
+            "fast_path": use_fast,
+            "hot_path": {
+                "candidates_scanned": forward.scanned + backward.scanned,
+                "transition_hits": transition_hits,
+                "transition_misses": transition_misses,
+                "rng_refills": forward.rng_refills + backward.rng_refills,
+                "csr_rebuilds": self.view_rebuilds - rebuilds_before,
+            },
         }
         jumps = forward.jumps + backward.jumps
         if joined is None:
@@ -358,6 +460,36 @@ class Arrival:
         if num_walks >= theoretical_num_walks(n_nodes, alpha):
             return 1.0 / n_nodes
         return None
+
+    def _current_view(self):
+        """The engine's graph view, rebuilt iff the graph mutated.
+
+        Stale detection is the :attr:`LabeledGraph.version` counter; the
+        label interner is reused across rebuilds so label-set ids (and
+        with them the interned transition tables) stay valid.
+        """
+        view = self._graph_view
+        if view is None or view.version != self.graph.version:
+            view = build_graph_view(self.graph, self._label_interner)
+            self._graph_view = view
+            self.view_rebuilds += 1
+        return view
+
+    def _fast_table(self, compiled: CompiledRegex, forward: bool):
+        """Shared interned transition table for one (regex, direction).
+
+        Must be called after :meth:`_current_view` — projecting the
+        symbol keys requires every label set of the current view to be
+        interned already.
+        """
+        key = (id(compiled), forward)
+        table = self._fast_tables.get(key)
+        if table is None:
+            nfa = compiled.nfa if forward else compiled.reversed_nfa
+            table = InternedStepTable(nfa, self._label_interner.sets)
+            self._fast_tables[key] = table
+        table.project()
+        return table
 
     def _step_cache(self, compiled: CompiledRegex, forward: bool):
         """Shared transition cache for one (regex, direction), or None

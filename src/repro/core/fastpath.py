@@ -1,0 +1,151 @@
+"""Walk-engine fast path: frozen graph views with interned label sets.
+
+ARRIVAL's runtime is the candidate scan inside ``SideRunner.step``
+(Algorithm 2 lines 20-21).  On the baseline path every examined
+neighbour costs several dict probes keyed on frozensets: edge-label
+lookup, edge-attr lookup, and a ``(state set, label set)`` step-cache
+probe.  A :class:`GraphView` hoists all of that out of the loop:
+
+* the graph's :class:`~repro.graph.labeled_graph.CSRSnapshot` arrays,
+  flattened once to plain Python lists (per-element access on numpy
+  arrays allocates a numpy scalar — poison in a pure-Python loop);
+* per-CSR-slot **label-set ids** for edges and per-node ids for nodes,
+  interned through a :class:`LabelSetInterner`, so the inner loop's
+  automaton step is one dict probe on ``(state_id, label_set_id)``
+  (see :class:`~repro.regex.interner.InternedStepTable`).
+
+Views are immutable and version-stamped: the engine rebuilds on the
+first query after a graph mutation (``graph.version`` mismatch), which
+preserves dynamic-graph semantics — nothing here outlives its graph
+version.  The :class:`LabelSetInterner` deliberately *does* outlive
+rebuilds: label-set ids stay stable, so the per-regex transition tables
+(which key on them) survive graph mutations unharmed.
+
+Soundness: a view carries only label sets, never attributes, so it can
+only serve queries where label-keyed memoisation is sound — exact mode,
+no query-time predicates (the ``_StepCache.usable_for`` gate).  The
+engine routes every other query down the frozenset path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.labels import LabelSet
+
+
+class LabelSetInterner:
+    """Dense ids for label sets, stable for the owning engine's lifetime.
+
+    ``sets`` is the live id -> label-set list; transition tables hold a
+    reference to it and index it on cache misses.
+    """
+
+    __slots__ = ("_ids", "sets")
+
+    def __init__(self) -> None:
+        self._ids: Dict[LabelSet, int] = {}
+        self.sets: List[LabelSet] = []
+
+    def intern(self, labels: LabelSet) -> int:
+        """The id of ``labels``, allocating one on first sight."""
+        lsid = self._ids.get(labels)
+        if lsid is None:
+            lsid = len(self.sets)
+            self._ids[labels] = lsid
+            self.sets.append(labels)
+        return lsid
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+
+class GraphView:
+    """One graph version, flattened for the walk inner loop.
+
+    ``out_indices[out_indptr[u]:out_indptr[u + 1]]`` are ``u``'s
+    out-neighbours and ``out_edge_ls`` carries the label-set id of the
+    corresponding edge in the same slot; symmetrically for ``in_*``
+    (where slot ``i`` of row ``v`` describes edge
+    ``(in_indices[i], v)``).  ``node_ls[n]`` is node ``n``'s label-set
+    id for every allocated id (dead nodes included — their rows are
+    empty, so walks never reach them).
+    """
+
+    __slots__ = (
+        "version",
+        "out_indptr",
+        "out_indices",
+        "out_edge_ls",
+        "in_indptr",
+        "in_indices",
+        "in_edge_ls",
+        "node_ls",
+        "label_sets",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        out_indptr: List[int],
+        out_indices: List[int],
+        out_edge_ls: List[int],
+        in_indptr: List[int],
+        in_indices: List[int],
+        in_edge_ls: List[int],
+        node_ls: List[int],
+        label_sets: List[LabelSet],
+    ):
+        self.version = version
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.out_edge_ls = out_edge_ls
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self.in_edge_ls = in_edge_ls
+        self.node_ls = node_ls
+        self.label_sets = label_sets
+
+
+def build_graph_view(
+    graph: LabeledGraph, interner: LabelSetInterner
+) -> GraphView:
+    """Materialise a :class:`GraphView` of the graph's current version.
+
+    One O(n + m) pass; amortised over every jump of every query until
+    the next mutation.
+    """
+    out_csr = graph.out_csr()
+    in_csr = graph.in_csr()
+    out_indptr = out_csr.indptr.tolist()
+    out_indices = out_csr.indices.tolist()
+    in_indptr = in_csr.indptr.tolist()
+    in_indices = in_csr.indices.tolist()
+
+    intern = interner.intern
+    node_ls = [
+        intern(graph.node_labels(node)) for node in range(graph.max_node_id)
+    ]
+
+    edge_labels = graph.edge_labels
+    out_edge_ls = [0] * len(out_indices)
+    for u in range(graph.max_node_id):
+        for slot in range(out_indptr[u], out_indptr[u + 1]):
+            out_edge_ls[slot] = intern(edge_labels(u, out_indices[slot]))
+    in_edge_ls = [0] * len(in_indices)
+    for v in range(graph.max_node_id):
+        for slot in range(in_indptr[v], in_indptr[v + 1]):
+            in_edge_ls[slot] = intern(edge_labels(in_indices[slot], v))
+
+    return GraphView(
+        version=out_csr.version,
+        out_indptr=out_indptr,
+        out_indices=out_indices,
+        out_edge_ls=out_edge_ls,
+        in_indptr=in_indptr,
+        in_indices=in_indices,
+        in_edge_ls=in_edge_ls,
+        node_ls=node_ls,
+        label_sets=interner.sets,
+    )

@@ -63,6 +63,36 @@ def estimate_walk_length(
     return max(4, math.ceil(multiplier * max(1, bound)))
 
 
+def estimate_walk_length_cached(
+    graph: LabeledGraph,
+    sample_size: int = 32,
+    multiplier: float = 2.0,
+    seed: RngLike = None,
+) -> int:
+    """:func:`estimate_walk_length`, memoised on the graph.
+
+    The estimate costs ``sample_size`` BFS trees; workloads that
+    construct several engines over one graph (the ablation benchmarks
+    build four per dataset) should not resample them.  The cache entry
+    lives in ``graph._derived`` keyed by ``(sample_size, multiplier)``
+    and stamped with :attr:`~repro.graph.labeled_graph.LabeledGraph.
+    version`, so any mutation invalidates it.
+
+    On a cache hit no randomness is consumed — callers that need
+    draw-for-draw reproducibility across engines (the fast/slow
+    equivalence sweeps) should pass ``walk_length`` explicitly instead.
+    """
+    key = ("walk_length", sample_size, multiplier)
+    entry = graph._derived.get(key)
+    if entry is not None and entry[0] == graph.version:
+        return entry[1]
+    value = estimate_walk_length(
+        graph, sample_size=sample_size, multiplier=multiplier, seed=seed
+    )
+    graph._derived[key] = (graph.version, value)
+    return value
+
+
 def _product_eccentricity(
     graph: LabeledGraph,
     compiled: CompiledRegex,

@@ -15,14 +15,32 @@ continuation, the position is still a valid junction for a forward walk
 that consumes that symbol itself (see :mod:`repro.regex.matcher` for the
 key semantics); the walk then dies on the next step, which is the
 paper's Case 1.
+
+Two candidate scans implement the same semantics:
+
+* the **baseline path** walks the graph's adjacency through the
+  frozenset trackers (:class:`~repro.regex.matcher.ForwardTracker` /
+  :class:`~repro.regex.matcher.BackwardTracker`) — always sound,
+  required for ``label_mode="sampled"`` and predicate queries;
+* the **fast path** (``view=``/``tables=`` wired by the engine) scans a
+  frozen :class:`~repro.core.fastpath.GraphView` and steps the automaton
+  through an :class:`~repro.regex.interner.InternedStepTable` — every
+  per-candidate operation is an int-keyed probe, and walk starts are
+  memoised per runner (walks restart from the same origin constantly).
+
+Jump randomness goes through a sampler (``rng_batch=True`` pre-draws
+1024-uniform blocks; ``False`` is the draw-for-draw legacy stream), and
+hot-path counters (``scanned``, sampler refills, table hits/misses)
+feed ``QueryResult.info``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.fastpath import GraphView
 from repro.core.meeting import (
     MeetingIndex,
     WalkStore,
@@ -31,8 +49,10 @@ from repro.core.meeting import (
 )
 from repro.graph.labeled_graph import LabeledGraph
 from repro.regex.compiler import CompiledRegex
+from repro.regex.interner import EMPTY_STATE_ID, InternedStepTable
 from repro.regex.matcher import BackwardTracker, ForwardTracker
 from repro.regex.nfa import StateSet
+from repro.rng import BatchedIndexSampler, LegacyIndexSampler
 
 
 class SideRunner:
@@ -53,6 +73,9 @@ class SideRunner:
         min_edges: Optional[int] = None,
         cache=None,
         trace: Optional[list] = None,
+        view: Optional[GraphView] = None,
+        tables: Optional[InternedStepTable] = None,
+        rng_batch: bool = True,
     ):
         self.graph = graph
         self.compiled = compiled
@@ -73,6 +96,8 @@ class SideRunner:
         self.index = MeetingIndex()
         self.completed_walks = 0
         self.jumps = 0
+        #: candidate neighbours examined across all jumps (hot-path metric)
+        self.scanned = 0
         #: endpoints of completed walks, for the stationary estimator
         self.endpoints: List[int] = []
 
@@ -80,17 +105,43 @@ class SideRunner:
             self._tracker = ForwardTracker(
                 compiled, graph, elements, mode, rng, cache=cache
             )
-            self._neighbors: Callable[[int], List[int]] = graph.out_neighbors
+            self._neighbors: Callable[[int], Sequence[int]] = (
+                graph.out_neighbors
+            )
         else:
             self._tracker = BackwardTracker(
                 compiled, graph, elements, mode, rng, cache=cache
             )
             self._neighbors = graph.in_neighbors
+        resolved = self._tracker.elements
+        self._consume_nodes = resolved in ("nodes", "both")
+        self._consume_edges = resolved in ("edges", "both")
+
+        #: fast path active iff the engine wired a view and tables —
+        #: the soundness gate (exact mode, no predicates) lives there
+        self.fast = view is not None and tables is not None
+        self._view = view
+        self._tables = tables
+        if self.fast:
+            if forward:
+                self._indptr = view.out_indptr
+                self._indices = view.out_indices
+                self._edge_ls = view.out_edge_ls
+            else:
+                self._indptr = view.in_indptr
+                self._indices = view.in_indices
+                self._edge_ls = view.in_edge_ls
+        if self.fast and rng_batch:
+            self._sampler = BatchedIndexSampler(rng)
+        else:
+            self._sampler = LegacyIndexSampler(rng)
 
         # current-walk state
         self._path: List[int] = []
         self._path_set: set = set()
         self._states: StateSet = frozenset()
+        self._sid: int = EMPTY_STATE_ID
+        self._start_ids: Optional[Tuple[int, int]] = None
         self._walk_id: Optional[int] = None
         # the opposite side, wired by the engine after both exist
         self.opposite: Optional["SideRunner"] = None
@@ -106,6 +157,11 @@ class SideRunner:
         """Node sequence of the in-progress walk."""
         return self._path
 
+    @property
+    def rng_refills(self) -> int:
+        """Block refills performed by a batched sampler (0 for legacy)."""
+        return self._sampler.refills
+
     def step(self) -> Optional[List[int]]:
         """One walker action: begin a walk or take one jump.
 
@@ -116,16 +172,26 @@ class SideRunner:
         """
         if not self.active:
             return self._begin()
-        candidates = self._candidates()
-        if not candidates or len(self._path) >= self.walk_length:
+        if len(self._path) >= self.walk_length:
             self._finish_walk()
             return None
-        node, key_states, next_states = candidates[
-            int(self.rng.integers(len(candidates)))
+        candidates = (
+            self._candidates_fast() if self.fast else self._candidates()
+        )
+        if not candidates:
+            self._finish_walk()
+            return None
+        node, key, next_state = candidates[
+            self._sampler.index(len(candidates))
         ]
+        if self.fast:
+            self._sid = next_state
+            key_states: Sequence[int] = self._tables.tuple_of(key)
+        else:
+            self._states = next_state
+            key_states = key
         self._path.append(node)
         self._path_set.add(node)
-        self._states = next_states
         self.store.append(self._walk_id, node)
         self.jumps += 1
         return self._register(node, key_states)
@@ -136,16 +202,37 @@ class SideRunner:
         self._path = [self.origin]
         self._path_set = {self.origin}
         self.jumps += 1
-        if self.forward:
-            self._states = self._tracker.start(self.origin)
-            key_states = self._states
+        if self.fast:
+            if self._start_ids is None:
+                # start states are identical for every walk of this
+                # runner; compute once through the frozenset tracker
+                # and keep the interned pair
+                tables = self._tables
+                if self.forward:
+                    sid = tables.intern(self._tracker.start(self.origin))
+                    self._start_ids = (sid, sid)
+                else:
+                    start_key, current = self._tracker.start(self.origin)
+                    self._start_ids = (
+                        tables.intern(start_key),
+                        tables.intern(current),
+                    )
+            key_sid, self._sid = self._start_ids
+            if key_sid == EMPTY_STATE_ID:
+                self._finish_walk()
+                return None
+            key_states: Sequence[int] = self._tables.tuple_of(key_sid)
         else:
-            key_states, self._states = self._tracker.start(self.origin)
-        if not key_states:
-            # the origin's own symbol cannot start/end any accepted word;
-            # the walk is dead on arrival (Case 1 at length 1)
-            self._finish_walk()
-            return None
+            if self.forward:
+                self._states = self._tracker.start(self.origin)
+                key_states = self._states
+            else:
+                key_states, self._states = self._tracker.start(self.origin)
+            if not key_states:
+                # the origin's own symbol cannot start/end any accepted
+                # word; the walk is dead on arrival (Case 1 at length 1)
+                self._finish_walk()
+                return None
         return self._register(self.origin, key_states)
 
     def _candidates(self) -> List[Tuple[int, StateSet, StateSet]]:
@@ -154,7 +241,9 @@ class SideRunner:
             return []
         current = self._path[-1]
         admissible = []
-        for neighbor in self._neighbors(current):
+        neighbors = self._neighbors(current)
+        self.scanned += len(neighbors)
+        for neighbor in neighbors:
             if neighbor in self._path_set:
                 continue  # simplicity (line 20-21 of Alg. 2)
             if self.forward:
@@ -176,6 +265,96 @@ class SideRunner:
                     admissible.append((neighbor, key_states, next_states))
         return admissible
 
+    def _candidates_fast(self) -> List[Tuple[int, int, int]]:
+        """The interned candidate scan: same admission rule as
+        :meth:`_candidates`, all int-keyed operations.
+
+        The transition table is probed inline (``probe((sid, lsid))``)
+        rather than through :meth:`InternedStepTable.step` — in the
+        steady state nearly every transition hits, and a bound-method
+        call per candidate costs more than the dict probe it wraps.
+        Misses fall back to ``step`` (which also counts itself);
+        inline hits are tallied locally and flushed once per scan.
+        """
+        sid = self._sid
+        if sid == EMPTY_STATE_ID:
+            return []
+        current = self._path[-1]
+        indptr = self._indptr
+        start = indptr[current]
+        end = indptr[current + 1]
+        self.scanned += end - start
+        if start == end:
+            return []
+        indices = self._indices
+        edge_ls = self._edge_ls
+        node_ls = self._view.node_ls
+        path_set = self._path_set
+        tables = self._tables
+        probe = tables.table.get
+        step = tables.step
+        sym = tables.sym_ids
+        consume_edges = self._consume_edges
+        consume_nodes = self._consume_nodes
+        hits = 0
+        admissible: List[Tuple[int, int, int]] = []
+        if self.forward:
+            for slot in range(start, end):
+                neighbor = indices[slot]
+                if neighbor in path_set:
+                    continue
+                next_sid = sid
+                if consume_edges:
+                    cached = probe((next_sid, sym[edge_ls[slot]]))
+                    if cached is None:
+                        next_sid = step(next_sid, edge_ls[slot])
+                    else:
+                        hits += 1
+                        next_sid = cached
+                    if next_sid == EMPTY_STATE_ID:
+                        continue
+                if consume_nodes:
+                    cached = probe((next_sid, sym[node_ls[neighbor]]))
+                    if cached is None:
+                        next_sid = step(next_sid, node_ls[neighbor])
+                    else:
+                        hits += 1
+                        next_sid = cached
+                    if next_sid == EMPTY_STATE_ID:
+                        continue
+                admissible.append((neighbor, next_sid, next_sid))
+        else:
+            for slot in range(start, end):
+                neighbor = indices[slot]
+                if neighbor in path_set:
+                    continue
+                # the edge symbol lies between the predecessor and the
+                # suffix: consuming it yields the key; the predecessor's
+                # own symbol only feeds the continuation
+                key_sid = sid
+                if consume_edges:
+                    cached = probe((key_sid, sym[edge_ls[slot]]))
+                    if cached is None:
+                        key_sid = step(key_sid, edge_ls[slot])
+                    else:
+                        hits += 1
+                        key_sid = cached
+                    if key_sid == EMPTY_STATE_ID:
+                        continue
+                next_sid = key_sid
+                if consume_nodes:
+                    cached = probe((next_sid, sym[node_ls[neighbor]]))
+                    if cached is None:
+                        next_sid = step(next_sid, node_ls[neighbor])
+                    else:
+                        hits += 1
+                        next_sid = cached
+                if next_sid == EMPTY_STATE_ID:
+                    continue
+                admissible.append((neighbor, key_sid, next_sid))
+        tables.hits += hits
+        return admissible
+
     def _finish_walk(self) -> None:
         self.endpoints.append(self._path[-1])
         self.completed_walks += 1
@@ -183,8 +362,11 @@ class SideRunner:
         self._path = []
         self._path_set = set()
         self._states = frozenset()
+        self._sid = EMPTY_STATE_ID
 
-    def _register(self, node: int, key_states: StateSet) -> Optional[List[int]]:
+    def _register(
+        self, node: int, key_states: Sequence[int]
+    ) -> Optional[List[int]]:
         """Record the position and run the Case-3 check."""
         position = len(self._path) - 1
         if self.trace is not None:

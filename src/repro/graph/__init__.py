@@ -6,12 +6,13 @@ BFS-tree subgraph extraction, statistics used by Table 2 / Fig. 9, and
 simple persistence.
 """
 
-from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.labeled_graph import CSRSnapshot, LabeledGraph
 from repro.graph.builder import GraphBuilder
 from repro.graph.temporal import TemporalGraph, GraphEvent
 from repro.graph.subgraph import extract_bfs_subgraph, nested_subgraphs
 
 __all__ = [
+    "CSRSnapshot",
     "LabeledGraph",
     "GraphBuilder",
     "TemporalGraph",

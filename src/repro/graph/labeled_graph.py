@@ -14,16 +14,51 @@ entities.
 Deletion support exists for the dynamic-graph extension: deleted nodes keep
 their id (ids are never recycled) but disappear from adjacency and from
 ``nodes()`` iteration.
+
+Every mutation bumps a monotone :attr:`~LabeledGraph.version` counter.
+Derived structures — the lazily built :class:`CSRSnapshot` adjacency
+arrays and anything stored in the ``_derived`` cache (e.g. the
+walkLength estimate) — key themselves on it, so dynamic-graph semantics
+are preserved: mutate freely, and the next access rebuilds.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import GraphError
 from repro.labels import EMPTY_LABELS, LabelSet, as_label_set
 
 _EMPTY_ATTRS: Mapping[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class CSRSnapshot:
+    """Frozen compressed-sparse-row adjacency of one graph version.
+
+    ``indices[indptr[u]:indptr[u + 1]]`` are ``u``'s neighbours, in the
+    same order as the adjacency lists.  Dead nodes have empty rows (their
+    incident edges are removed with them), so the arrays cover every
+    allocated id without indexing tricks.  The snapshot is immutable; a
+    graph mutation makes it stale (its ``version`` no longer matches) and
+    the next :meth:`LabeledGraph.out_csr` / :meth:`LabeledGraph.in_csr`
+    call rebuilds.
+    """
+
+    version: int
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """The node's neighbour row as a numpy slice (no copy)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        """Row length."""
+        return int(self.indptr[node + 1] - self.indptr[node])
 
 
 class LabeledGraph:
@@ -53,6 +88,15 @@ class LabeledGraph:
         self._alive: List[bool] = []
         self._num_alive = 0
         self._num_edges = 0
+        self._version = 0
+        self._csr_cache: Dict[str, CSRSnapshot] = {}
+        #: generic version-keyed cache for derived values (walkLength
+        #: estimates, ...); entries are ``key -> (version, value)`` and
+        #: stale entries are simply recomputed by their owners
+        self._derived: Dict[Any, Tuple[int, Any]] = {}
+        #: total CSR snapshot builds over the graph's lifetime (hot-path
+        #: accounting; engines report per-query deltas)
+        self.csr_rebuilds = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -66,6 +110,7 @@ class LabeledGraph:
         self._node_attrs.append(dict(attrs) if attrs else None)
         self._alive.append(True)
         self._num_alive += 1
+        self._version += 1
         return node
 
     def add_nodes(self, count: int) -> range:
@@ -104,6 +149,7 @@ class LabeledGraph:
             self._edge_attrs[key] = dict(attrs)
         elif key in self._edge_attrs:
             del self._edge_attrs[key]
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove edge ``u -> v``; raises GraphError if absent."""
@@ -118,6 +164,7 @@ class LabeledGraph:
             self._out[v].remove(u)
             self._in[u].remove(v)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: int) -> None:
         """Remove a node and all its incident edges.
@@ -133,16 +180,19 @@ class LabeledGraph:
                 self.remove_edge(u, node)
         self._alive[node] = False
         self._num_alive -= 1
+        self._version += 1
 
     def set_node_labels(self, node: int, labels: Any) -> None:
         """Replace a node's label set (an "information change")."""
         self._check_node(node)
         self._node_labels[node] = as_label_set(labels)
+        self._version += 1
 
     def set_node_attrs(self, node: int, attrs: Optional[Dict[str, Any]]) -> None:
         """Replace a node's attribute dict."""
         self._check_node(node)
         self._node_attrs[node] = dict(attrs) if attrs else None
+        self._version += 1
 
     def set_edge_labels(self, u: int, v: int, labels: Any) -> None:
         """Replace an edge's label set."""
@@ -150,6 +200,7 @@ class LabeledGraph:
         if key not in self._edge_labels:
             raise GraphError(f"edge ({u}, {v}) does not exist")
         self._edge_labels[key] = as_label_set(labels)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # accessors
@@ -169,6 +220,16 @@ class LabeledGraph:
         """One past the largest node id ever allocated."""
         return len(self._out)
 
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter.
+
+        Bumped by every structural or label/attribute change; derived
+        structures (CSR snapshots, cached walkLength estimates, engine
+        graph views) compare against it to decide whether to rebuild.
+        """
+        return self._version
+
     def is_alive(self, node: int) -> bool:
         """True if the node exists and has not been removed."""
         return 0 <= node < len(self._alive) and self._alive[node]
@@ -183,13 +244,19 @@ class LabeledGraph:
         """Iterate over edges as canonical ``(u, v)`` keys."""
         return iter(self._edge_labels)
 
-    def out_neighbors(self, node: int) -> List[int]:
-        """Nodes reachable by one outgoing edge from ``node``."""
-        return self._out[node]
+    def out_neighbors(self, node: int) -> Tuple[int, ...]:
+        """Nodes reachable by one outgoing edge from ``node``.
 
-    def in_neighbors(self, node: int) -> List[int]:
-        """Nodes with an edge into ``node``."""
-        return self._in[node]
+        Returned as a read-only tuple: the internal adjacency lists must
+        only change through ``add_edge``/``remove_edge``/``remove_node``
+        (which also bump :attr:`version`), never through a caller
+        mutating a returned list.
+        """
+        return tuple(self._out[node])
+
+    def in_neighbors(self, node: int) -> Tuple[int, ...]:
+        """Nodes with an edge into ``node`` (read-only view)."""
+        return tuple(self._in[node])
 
     def out_degree(self, node: int) -> int:
         """Number of outgoing edges."""
@@ -202,6 +269,41 @@ class LabeledGraph:
     def has_edge(self, u: int, v: int) -> bool:
         """True if edge ``u -> v`` exists."""
         return self._edge_key(u, v) in self._edge_labels
+
+    # ------------------------------------------------------------------
+    # CSR snapshots (the walk engine's fast path)
+    # ------------------------------------------------------------------
+    def out_csr(self) -> CSRSnapshot:
+        """Frozen CSR view of the out-adjacency (lazily built, cached
+        until the next mutation)."""
+        return self._csr("out", self._out)
+
+    def in_csr(self) -> CSRSnapshot:
+        """Frozen CSR view of the in-adjacency."""
+        return self._csr("in", self._in)
+
+    def _csr(self, direction: str, adjacency: List[List[int]]) -> CSRSnapshot:
+        cached = self._csr_cache.get(direction)
+        if cached is not None and cached.version == self._version:
+            return cached
+        n = len(adjacency)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        total = 0
+        for node, row in enumerate(adjacency):
+            total += len(row)
+            indptr[node + 1] = total
+        indices = np.empty(total, dtype=np.int32)
+        position = 0
+        for row in adjacency:
+            if row:
+                indices[position : position + len(row)] = row
+                position += len(row)
+        snapshot = CSRSnapshot(
+            version=self._version, indptr=indptr, indices=indices
+        )
+        self._csr_cache[direction] = snapshot
+        self.csr_rebuilds += 1
+        return snapshot
 
     def node_labels(self, node: int) -> LabelSet:
         """The node's label set (possibly empty)."""
@@ -281,6 +383,9 @@ class LabeledGraph:
         clone._alive = list(self._alive)
         clone._num_alive = self._num_alive
         clone._num_edges = self._num_edges
+        # same version, but fresh (empty) CSR/derived caches: nothing
+        # built for the original is shared with the clone
+        clone._version = self._version
         return clone
 
     def __repr__(self) -> str:

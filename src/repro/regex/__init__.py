@@ -27,6 +27,11 @@ from repro.regex.ast_nodes import (
 from repro.regex.parser import parse_regex
 from repro.regex.sparql import translate_property_path
 from repro.regex.compiler import CompiledRegex, compile_regex
+from repro.regex.interner import (
+    EMPTY_STATE_ID,
+    InternedStepTable,
+    StateSetInterner,
+)
 from repro.regex.matcher import (
     COMPATIBLE,
     DEAD,
@@ -57,6 +62,9 @@ __all__ = [
     "translate_property_path",
     "compile_regex",
     "CompiledRegex",
+    "EMPTY_STATE_ID",
+    "InternedStepTable",
+    "StateSetInterner",
     "ForwardTracker",
     "BackwardTracker",
     "check_path",

@@ -45,6 +45,61 @@ def choice_index(rng: np.random.Generator, n: int) -> int:
     return int(rng.integers(n))
 
 
+class LegacyIndexSampler:
+    """One ``rng.integers`` call per draw — the historical stream.
+
+    Byte-identical to the draw order every pre-batching seed produced,
+    so seed-pinned tests (and the fast-vs-slow equivalence sweeps, which
+    need *identical* jump choices on both paths) can opt into it via
+    ``rng_batch=False``.
+    """
+
+    __slots__ = ("_rng", "refills")
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self.refills = 0
+
+    def index(self, n: int) -> int:
+        """Uniform index in ``[0, n)``."""
+        return int(self._rng.integers(n))
+
+
+class BatchedIndexSampler:
+    """Pre-draws blocks of uniforms; one cheap multiply per index.
+
+    Each numpy ``Generator`` call costs microseconds of fixed overhead —
+    dominant when the walk engine draws one index per jump.  Drawing
+    ``block`` uniform doubles at once and consuming them per jump
+    amortises that overhead ~``block``-fold.  ``int(u * n)`` is exact for
+    ``u in [0, 1)`` and any practical ``n`` (the product of the largest
+    double below 1 with ``n`` rounds below ``n``), so indices stay in
+    range without a guard.  Same seed still means the same walk, but the
+    draw *order* differs from :class:`LegacyIndexSampler`.
+    """
+
+    __slots__ = ("_rng", "_block", "_buffer", "_position", "refills")
+
+    def __init__(self, rng: np.random.Generator, block: int = 1024):
+        if block < 1:
+            raise ValueError("block size must be positive")
+        self._rng = rng
+        self._block = block
+        self._buffer: Sequence[float] = ()
+        self._position = block
+        self.refills = 0
+
+    def index(self, n: int) -> int:
+        """Uniform index in ``[0, n)`` from the current block."""
+        position = self._position
+        if position >= self._block:
+            self._buffer = self._rng.random(self._block).tolist()
+            position = 0
+            self.refills += 1
+        self._position = position + 1
+        return int(self._buffer[position] * n)
+
+
 def weighted_index(rng: np.random.Generator, weights: Sequence[float]) -> int:
     """Index sampled proportionally to non-negative ``weights``."""
     w = np.asarray(weights, dtype=float)

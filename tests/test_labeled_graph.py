@@ -52,8 +52,8 @@ class TestConstruction:
 
 class TestDirectedAccess:
     def test_neighbors(self, small_directed):
-        assert small_directed.out_neighbors(0) == [1]
-        assert small_directed.in_neighbors(1) == [0]
+        assert small_directed.out_neighbors(0) == (1,)
+        assert small_directed.in_neighbors(1) == (0,)
         assert small_directed.out_degree(1) == 1
         assert small_directed.in_degree(1) == 1
 
@@ -79,8 +79,8 @@ class TestUndirected:
         graph.add_nodes(2)
         graph.add_edge(0, 1, {"e"})
         assert graph.has_edge(1, 0)
-        assert graph.out_neighbors(1) == [0]
-        assert graph.in_neighbors(0) == [1]
+        assert graph.out_neighbors(1) == (0,)
+        assert graph.in_neighbors(0) == (1,)
         assert graph.edge_labels(1, 0) == frozenset({"e"})
         assert graph.num_edges == 1
 
@@ -90,7 +90,65 @@ class TestUndirected:
         graph.add_edge(0, 1)
         graph.remove_edge(1, 0)
         assert not graph.has_edge(0, 1)
-        assert graph.out_neighbors(0) == []
+        assert graph.out_neighbors(0) == ()
+
+
+class TestNeighborViewsReadOnly:
+    def test_views_are_immutable(self, small_directed):
+        view = small_directed.out_neighbors(0)
+        assert isinstance(view, tuple)
+        with pytest.raises((TypeError, AttributeError)):
+            view.append(99)
+        assert isinstance(small_directed.in_neighbors(1), tuple)
+
+    def test_caller_cannot_corrupt_adjacency(self, small_directed):
+        # regression: these used to return the internal lists, so a
+        # caller's in-place edit silently corrupted the graph
+        out = list(small_directed.out_neighbors(0))
+        out.append(99)
+        out.clear()
+        assert small_directed.out_neighbors(0) == (1,)
+        assert small_directed.out_degree(0) == 1
+        into = list(small_directed.in_neighbors(1))
+        into.remove(0)
+        assert small_directed.in_neighbors(1) == (0,)
+        assert small_directed.has_edge(0, 1)
+
+
+class TestVersionCounter:
+    def test_every_mutation_bumps_version(self, small_directed):
+        graph = small_directed
+        seen = [graph.version]
+
+        def bumped():
+            seen.append(graph.version)
+            assert seen[-1] > seen[-2]
+
+        graph.add_node({"n"})
+        bumped()
+        graph.add_edge(0, 2, {"e"})
+        bumped()
+        graph.set_edge_labels(0, 2, {"f"})
+        bumped()
+        graph.set_node_labels(0, {"m"})
+        bumped()
+        graph.set_node_attrs(0, {"k": 1})
+        bumped()
+        graph.remove_edge(0, 2)
+        bumped()
+        graph.remove_node(2)
+        bumped()
+
+    def test_accessors_do_not_bump_version(self, small_directed):
+        graph = small_directed
+        version = graph.version
+        graph.out_neighbors(0)
+        graph.in_neighbors(1)
+        graph.node_labels(0)
+        graph.out_csr()
+        graph.in_csr()
+        list(graph.nodes())
+        assert graph.version == version
 
 
 class TestMutation:

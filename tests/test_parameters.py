@@ -7,6 +7,7 @@ import pytest
 from repro.core.parameters import (
     StationaryOverlapEstimator,
     estimate_walk_length,
+    estimate_walk_length_cached,
     estimate_walk_length_labeled,
     recommended_num_walks,
     theoretical_num_walks,
@@ -87,6 +88,60 @@ class TestWalkLength:
     def test_labeled_variant_falls_back_without_regexes(self):
         graph = ring(6)
         assert estimate_walk_length_labeled(graph, [], seed=0) >= 4
+
+
+class TestWalkLengthCache:
+    def test_hit_consumes_no_randomness(self):
+        import numpy as np
+
+        graph = ring(12)
+        rng = np.random.default_rng(3)
+        first = estimate_walk_length_cached(graph, sample_size=8, seed=rng)
+        state_after = rng.bit_generator.state
+        second = estimate_walk_length_cached(graph, sample_size=8, seed=rng)
+        assert second == first
+        # a hit must not resample the shortest-path trees
+        assert rng.bit_generator.state == state_after
+
+    def test_matches_uncached_estimate(self):
+        graph = ring(12)
+        assert estimate_walk_length_cached(
+            graph, sample_size=12, multiplier=1.0, seed=0
+        ) == estimate_walk_length(
+            graph, sample_size=12, multiplier=1.0, seed=0
+        )
+
+    def test_invalidated_by_mutation(self):
+        graph = ring(12)
+        before = estimate_walk_length_cached(
+            graph, sample_size=12, multiplier=1.0, seed=0
+        )
+        # shrink the ring's reach: break the cycle, diameter collapses
+        graph.remove_edge(11, 0)
+        for node in range(1, 11):
+            graph.add_edge(0, node, {"a"})
+        after = estimate_walk_length_cached(
+            graph, sample_size=12, multiplier=1.0, seed=0
+        )
+        assert after < before
+
+    def test_keyed_by_parameters(self):
+        graph = ring(12)
+        single = estimate_walk_length_cached(
+            graph, sample_size=12, multiplier=1.0, seed=0
+        )
+        double = estimate_walk_length_cached(
+            graph, sample_size=12, multiplier=2.0, seed=0
+        )
+        assert double >= 2 * single - 1
+
+    def test_engines_share_the_estimate(self):
+        from repro.core import Arrival
+
+        graph = ring(12)
+        first = Arrival(graph, seed=0)
+        second = Arrival(graph, seed=1)
+        assert first.walk_length == second.walk_length
 
 
 class TestStationaryOverlapEstimator:

@@ -1,0 +1,192 @@
+"""Batch pipeline — serial vs thread vs process executor throughput.
+
+One seeded workload on a 10k-node synthetic graph runs through
+``BatchExecutor`` under every backend; queries/second per backend,
+the process-over-serial speedup, and a determinism sweep (identical
+answers for the same batch seed regardless of backend and worker
+count) are persisted machine-readably to
+``results/BENCH_batch.json``.
+
+The >= 2x process-speedup assertion needs real parallel hardware and
+is skipped on single-core machines (CI containers often pin one
+core); the determinism assertions always run — scheduling must never
+change answers.
+"""
+
+import json
+import os
+import time
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core import BatchExecutor, make_engine
+from repro.datasets import twitter_like
+from repro.graph.stats import labels_by_frequency
+from repro.queries import RSPQuery
+
+from conftest import RESULTS_DIR, n_queries, scaled
+
+WALK_LENGTH = 20
+NUM_WALKS = 80
+BATCH_SEED = 97
+
+
+def available_cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def batch_workload(graph, count, seed):
+    """Kleene-star queries over the most frequent labels: walks stay
+    alive, so per-query cost is dominated by the walk loop and the
+    batch overhead being measured is a small fraction."""
+    top = labels_by_frequency(graph)[:4]
+    regexes = [
+        "(" + " | ".join(top) + ")*",
+        "(" + " | ".join(top[:2]) + ")+",
+    ]
+    rng = np.random.default_rng(seed)
+    return [
+        RSPQuery(
+            int(rng.integers(graph.num_nodes)),
+            int(rng.integers(graph.num_nodes)),
+            regexes[i % len(regexes)],
+        )
+        for i in range(count)
+    ]
+
+
+def run_backend(factory, queries, backend, workers):
+    executor = BatchExecutor(
+        factory=factory,
+        backend=backend,
+        workers=workers,
+        seed=BATCH_SEED,
+    )
+    start = time.perf_counter()
+    report = executor.run(queries)
+    elapsed = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "workers": workers,
+        "seconds": elapsed,
+        "queries_per_second": len(queries) / elapsed if elapsed else 0.0,
+        "n_reachable": report.stats.n_reachable,
+        "answers": report.answers(),
+    }
+
+
+@pytest.fixture(scope="module")
+def report():
+    graph = twitter_like(n_nodes=round(scaled(10_000)), seed=17)
+    queries = batch_workload(graph, count=n_queries(24), seed=29)
+    factory = partial(
+        make_engine,
+        "arrival",
+        graph,
+        walk_length=WALK_LENGTH,
+        num_walks=NUM_WALKS,
+    )
+    runs = [
+        run_backend(factory, queries, "serial", 1),
+        run_backend(factory, queries, "thread", 4),
+        run_backend(factory, queries, "process", 4),
+    ]
+    # determinism sweep: same batch seed, every backend/worker-count
+    # combination, on a subset sized so process cold-start stays cheap
+    sweep_queries = queries[: max(8, len(queries) // 2)]
+    sweep = [
+        run_backend(factory, sweep_queries, backend, workers)
+        for backend, workers in [
+            ("serial", 1),
+            ("thread", 1),
+            ("thread", 2),
+            ("thread", 4),
+            ("process", 2),
+            ("process", 4),
+        ]
+    ]
+    reference = sweep[0]["answers"]
+    payload = {
+        "graph": {"n_nodes": graph.num_nodes, "n_edges": graph.num_edges},
+        "workload": {
+            "n_queries": len(queries),
+            "walk_length": WALK_LENGTH,
+            "num_walks": NUM_WALKS,
+            "batch_seed": BATCH_SEED,
+        },
+        "cores": available_cores(),
+        "backends": [
+            {k: v for k, v in run.items() if k != "answers"} for run in runs
+        ],
+        "process_speedup_vs_serial": (
+            runs[2]["queries_per_second"] / runs[0]["queries_per_second"]
+            if runs[0]["queries_per_second"]
+            else 0.0
+        ),
+        "determinism": {
+            "n_queries": len(sweep_queries),
+            "combinations": [
+                {
+                    "backend": run["backend"],
+                    "workers": run["workers"],
+                    "matches_serial": run["answers"] == reference,
+                }
+                for run in sweep
+            ],
+        },
+        "main_run_answers_identical": (
+            runs[0]["answers"] == runs[1]["answers"] == runs[2]["answers"]
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_batch.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        "\nbatch: "
+        + ", ".join(
+            f"{run['backend']}({run['workers']}) "
+            f"{run['queries_per_second']:.1f} q/s"
+            for run in runs
+        )
+        + f"; process speedup {payload['process_speedup_vs_serial']:.2f}x "
+        f"on {payload['cores']} core(s) -> {path}\n"
+    )
+    return payload
+
+
+def test_answers_identical_across_backends(report):
+    assert report["main_run_answers_identical"], report["backends"]
+
+
+def test_determinism_sweep_across_worker_counts(report):
+    bad = [
+        combo
+        for combo in report["determinism"]["combinations"]
+        if not combo["matches_serial"]
+    ]
+    assert bad == [], bad
+
+
+def test_process_backend_at_least_2x(report):
+    if report["cores"] < 2:
+        pytest.skip(
+            f"only {report['cores']} core(s) available: process "
+            "parallelism cannot beat serial here"
+        )
+    assert report["process_speedup_vs_serial"] >= 2.0, report
+
+
+def test_serial_throughput(benchmark, report):
+    graph = twitter_like(n_nodes=round(scaled(2_000)), seed=17)
+    queries = batch_workload(graph, count=4, seed=29)
+    factory = partial(
+        make_engine, "arrival", graph, walk_length=16, num_walks=40
+    )
+    executor = BatchExecutor(factory=factory, backend="serial", seed=BATCH_SEED)
+    executor.run(queries)  # warmup: CSR build + table fill
+    benchmark(executor.run, queries)

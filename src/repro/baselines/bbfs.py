@@ -23,6 +23,7 @@ import time
 from collections import deque
 from typing import List, Optional, Tuple
 
+from repro.core.engine import EngineBase
 from repro.core.meeting import MeetingIndex
 from repro.core.result import QueryResult
 from repro.errors import QueryError
@@ -38,7 +39,7 @@ from repro.regex.matcher import (
 )
 
 
-class BBFSEngine:
+class BBFSEngine(EngineBase):
     """Bidirectional exhaustive simple-path BFS (the paper's BBFS)."""
 
     name = "BBFS"
@@ -47,6 +48,7 @@ class BBFSEngine:
     supports_dynamic = True
     index_free = True
     enforces_simple_paths = True
+    supports_distance_bounds = True
 
     def __init__(
         self,
@@ -73,25 +75,12 @@ class BBFSEngine:
             )
         return self._compiled_cache[key]
 
-    def query(
-        self,
-        source,
-        target: Optional[int] = None,
-        regex: Optional[RegexLike] = None,
-        *,
-        predicates=None,
-        distance_bound: Optional[int] = None,
-        min_distance: Optional[int] = None,
-    ) -> QueryResult:
+    def _query(self, query) -> QueryResult:
         """Exact RSPQ answer (subject to the expansion/time budgets)."""
-        if target is None and regex is None:
-            query = source
-            source, target, regex = query.source, query.target, query.regex
-            predicates = query.predicates if predicates is None else predicates
-            if distance_bound is None:
-                distance_bound = query.distance_bound
-            if min_distance is None:
-                min_distance = query.min_distance
+        source, target, regex = query.source, query.target, query.regex
+        predicates = query.predicates
+        distance_bound = query.distance_bound
+        min_distance = query.min_distance
         if not self.graph.is_alive(source):
             raise QueryError(f"source node {source} does not exist")
         if not self.graph.is_alive(target):

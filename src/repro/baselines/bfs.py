@@ -20,6 +20,7 @@ import time
 from collections import deque
 from typing import Optional
 
+from repro.core.engine import EngineBase
 from repro.core.result import QueryResult
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
@@ -27,7 +28,7 @@ from repro.regex.compiler import RegexLike, compile_regex
 from repro.regex.matcher import ForwardTracker, resolve_elements
 
 
-class BFSEngine:
+class BFSEngine(EngineBase):
     """Exhaustive simple-path BFS (Algorithm 1)."""
 
     name = "BFS"
@@ -36,6 +37,7 @@ class BFSEngine:
     supports_dynamic = True
     index_free = True
     enforces_simple_paths = True
+    supports_distance_bounds = True
 
     def __init__(
         self,
@@ -62,25 +64,12 @@ class BFSEngine:
             )
         return self._compiled_cache[key]
 
-    def query(
-        self,
-        source,
-        target: Optional[int] = None,
-        regex: Optional[RegexLike] = None,
-        *,
-        predicates=None,
-        distance_bound: Optional[int] = None,
-        min_distance: Optional[int] = None,
-    ) -> QueryResult:
+    def _query(self, query) -> QueryResult:
         """Exact RSPQ answer (subject to the expansion/time budgets)."""
-        if target is None and regex is None:
-            query = source
-            source, target, regex = query.source, query.target, query.regex
-            predicates = query.predicates if predicates is None else predicates
-            if distance_bound is None:
-                distance_bound = query.distance_bound
-            if min_distance is None:
-                min_distance = query.min_distance
+        source, target, regex = query.source, query.target, query.regex
+        predicates = query.predicates
+        distance_bound = query.distance_bound
+        min_distance = query.min_distance
         if not self.graph.is_alive(source):
             raise QueryError(f"source node {source} does not exist")
         if not self.graph.is_alive(target):

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.baselines.product_bfs import product_reachability
+from repro.core.engine import EngineBase
 from repro.core.result import QueryResult
 from repro.errors import QueryError, UnsupportedQueryError
 from repro.graph.labeled_graph import LabeledGraph
@@ -52,7 +53,7 @@ def in_fan_fragment(ast: Regex) -> bool:
     return True
 
 
-class FanEngine:
+class FanEngine(EngineBase):
     """Restricted-fragment reachability (arbitrary-path semantics)."""
 
     name = "FAN"
@@ -84,19 +85,10 @@ class FanEngine:
             )
         return compiled
 
-    def query(
-        self,
-        source,
-        target: Optional[int] = None,
-        regex: Optional[RegexLike] = None,
-        *,
-        predicates=None,
-    ) -> QueryResult:
+    def _query(self, query) -> QueryResult:
         """Exact arbitrary-path answer within the supported fragment."""
-        if target is None and regex is None:
-            query = source
-            source, target, regex = query.source, query.target, query.regex
-            predicates = query.predicates if predicates is None else predicates
+        source, target, regex = query.source, query.target, query.regex
+        predicates = query.predicates
         if not self.graph.is_alive(source):
             raise QueryError(f"source node {source} does not exist")
         if not self.graph.is_alive(target):

@@ -27,10 +27,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional
 
+from repro.core.engine import EngineBase
 from repro.core.result import QueryResult
 from repro.errors import IndexBuildError, QueryError, UnsupportedQueryError
 from repro.graph.labeled_graph import LabeledGraph
-from repro.regex.compiler import RegexLike, compile_regex
+from repro.regex.compiler import compile_regex
 from repro.regex.matcher import resolve_elements
 
 Antichain = List[FrozenSet[str]]
@@ -40,7 +41,7 @@ _LABEL_REF_BYTES = 8
 _ENTRY_OVERHEAD_BYTES = 48
 
 
-class LabelClosureIndex:
+class LabelClosureIndex(EngineBase):
     """Full label-constrained transitive closure (query type 1 only)."""
 
     name = "ZOU"
@@ -192,26 +193,20 @@ class LabelClosureIndex:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def query(
-        self,
-        source,
-        target: Optional[int] = None,
-        regex: Optional[RegexLike] = None,
-        *,
-        predicates=None,
-    ) -> QueryResult:
+    def prepare(self) -> None:
+        """Build the closure now if construction was deferred."""
+        if not self.built:
+            self.build()
+
+    def _query(self, query) -> QueryResult:
         """Answer a type-1 query from the closure in O(answer) time."""
-        if target is None and regex is None:
-            query = source
-            source, target, regex = query.source, query.target, query.regex
-            predicates = query.predicates if predicates is None else predicates
-        compiled = compile_regex(regex, predicates)
+        compiled = compile_regex(query.regex, query.predicates)
         labels = compiled.label_set_form
         if labels is None:
             raise UnsupportedQueryError(
                 "the label-closure index only supports query type 1"
             )
-        return self.query_label_set(source, target, labels)
+        return self.query_label_set(query.source, query.target, labels)
 
     def query_label_set(
         self, source: int, target: int, labels: FrozenSet[str]

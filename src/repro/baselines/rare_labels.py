@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.engine import EngineBase
 from repro.core.result import QueryResult
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
@@ -42,7 +43,7 @@ from repro.regex.matcher import (
 )
 
 
-class RareLabelsEngine:
+class RareLabelsEngine(EngineBase):
     """Index-free full-regex reachability without the simplicity
     guarantee (arbitrary-path semantics)."""
 
@@ -103,20 +104,11 @@ class RareLabelsEngine:
             )
         return self._compiled_cache[key]
 
-    def query(
-        self,
-        source,
-        target: Optional[int] = None,
-        regex: Optional[RegexLike] = None,
-        *,
-        predicates=None,
-    ) -> QueryResult:
+    def _query(self, query) -> QueryResult:
         """Reachability under *arbitrary* (possibly non-simple) path
         semantics — exact for that semantics; an upper bound for RSPQ."""
-        if target is None and regex is None:
-            query = source
-            source, target, regex = query.source, query.target, query.regex
-            predicates = query.predicates if predicates is None else predicates
+        source, target, regex = query.source, query.target, query.regex
+        predicates = query.predicates
         if not self.graph.is_alive(source):
             raise QueryError(f"source node {source} does not exist")
         if not self.graph.is_alive(target):

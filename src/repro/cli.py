@@ -25,28 +25,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.baselines.bbfs import BBFSEngine
-from repro.baselines.bfs import BFSEngine
-from repro.baselines.landmark import LandmarkIndex
-from repro.baselines.rare_labels import RareLabelsEngine
-from repro.baselines.fan import FanEngine
-from repro.core.arrival import Arrival
+from repro.core.engine import engine_names, make_engine
 from repro.core.enumeration import enumerate_compatible_paths
-from repro.core.router import AutoEngine
 from repro.datasets.registry import dataset_names, load_dataset, snapshot_of
 from repro.errors import ReproError
 from repro.graph import io as graph_io
 from repro.graph.stats import labels_by_frequency, summarize
-
-_ENGINES = {
-    "auto": lambda graph, seed: AutoEngine(graph, seed=seed),
-    "arrival": lambda graph, seed: Arrival(graph, seed=seed),
-    "bfs": lambda graph, seed: BFSEngine(graph),
-    "bbfs": lambda graph, seed: BBFSEngine(graph),
-    "rl": lambda graph, seed: RareLabelsEngine(graph),
-    "li": lambda graph, seed: LandmarkIndex(graph),
-    "fan": lambda graph, seed: FanEngine(graph),
-}
 
 _EXPERIMENTS = {}
 
@@ -116,7 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("source", type=int)
     query.add_argument("target", type=int)
     query.add_argument("regex")
-    query.add_argument("--engine", choices=sorted(_ENGINES), default="auto")
+    query.add_argument("--engine", choices=engine_names(), default="auto")
     query.add_argument(
         "--syntax", choices=("native", "sparql"), default="native",
         help="regex syntax: the native label-regex grammar or SPARQL "
@@ -157,6 +141,14 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--baseline", choices=("bbfs", "none"),
                           default="bbfs")
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="serial",
+        help="batch execution backend (answers are identical across "
+        "backends at a fixed seed)",
+    )
+    evaluate.add_argument("--workers", type=int, default=4,
+                          help="worker count for parallel backends")
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -211,7 +203,7 @@ def _cmd_stats(args) -> int:
 
 def _cmd_query(args) -> int:
     graph = _load_graph(args.graph)
-    engine = _ENGINES[args.engine](graph, args.seed)
+    engine = make_engine(args.engine, graph, seed=args.seed)
     regex = args.regex
     if getattr(args, "syntax", "native") == "sparql":
         from repro.regex.sparql import translate_property_path
@@ -276,6 +268,8 @@ def _cmd_workload(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    from functools import partial
+
     from repro.core.parameters import (
         estimate_walk_length,
         recommended_num_walks,
@@ -297,17 +291,32 @@ def _cmd_evaluate(args) -> int:
           f"type mix {summary['type_counts']}")
     oracle = Oracle(graph)
     truths = ground_truths(oracle, queries)
-    engine = Arrival(
+    # picklable factories: the registry + partial shape every backend of
+    # the batch executor accepts, including process pools
+    executor_kwargs = dict(
+        backend=args.backend, workers=args.workers, seed=args.seed
+    )
+    factory = partial(
+        make_engine,
+        args.engine,
         graph,
         walk_length=estimate_walk_length(graph, seed=args.seed),
         num_walks=recommended_num_walks(graph.num_nodes),
         seed=args.seed,
     )
-    records = evaluate_workload(engine, queries, truths)
+    records = evaluate_workload(
+        None, queries, truths, factory=factory, **executor_kwargs
+    )
     baseline_records = None
     if args.baseline == "bbfs":
-        baseline = BBFSEngine(graph, max_expansions=200_000, time_budget=5.0)
-        baseline_records = evaluate_workload(baseline, queries, truths)
+        baseline_factory = partial(
+            make_engine, "bbfs", graph,
+            max_expansions=200_000, time_budget=5.0,
+        )
+        baseline_records = evaluate_workload(
+            None, queries, truths, factory=baseline_factory,
+            **executor_kwargs,
+        )
     metrics = workload_metrics(records, baseline_records)
     print(f"queries: {metrics.n_queries} "
           f"(+{metrics.n_positive} / -{metrics.n_negative} / "

@@ -1,9 +1,23 @@
 """The paper's primary contribution: the ARRIVAL query engine."""
 
 from repro.core.arrival import Arrival
+from repro.core.engine import (
+    Engine,
+    EngineBase,
+    EngineCapabilities,
+    engine_class,
+    engine_names,
+    make_engine,
+)
 from repro.core.enumeration import (
     enumerate_compatible_paths,
     sample_compatible_paths,
+)
+from repro.core.executor import (
+    BatchExecutor,
+    BatchReport,
+    ErrorResult,
+    TimeoutResult,
 )
 from repro.core.router import AutoEngine
 from repro.core.unlabeled import UnlabeledWalkReachability
@@ -15,11 +29,24 @@ from repro.core.parameters import (
     StationaryOverlapEstimator,
 )
 from repro.core.result import QueryResult
+from repro.core.stats import BatchStats, ExecStats
 
 __all__ = [
     "Arrival",
     "AutoEngine",
+    "BatchExecutor",
+    "BatchReport",
+    "BatchStats",
+    "Engine",
+    "EngineBase",
+    "EngineCapabilities",
+    "ErrorResult",
+    "ExecStats",
+    "TimeoutResult",
     "UnlabeledWalkReachability",
+    "engine_class",
+    "engine_names",
+    "make_engine",
     "enumerate_compatible_paths",
     "sample_compatible_paths",
     "QueryResult",

@@ -29,8 +29,10 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import time
+from typing import Optional
 
+from repro.core.engine import EngineBase
 from repro.core.fastpath import LabelSetInterner, build_graph_view
 from repro.core.parameters import (
     StationaryOverlapEstimator,
@@ -38,6 +40,7 @@ from repro.core.parameters import (
     recommended_num_walks,
 )
 from repro.core.result import QueryResult
+from repro.core.stats import ExecStats
 from repro.core.walks import SideRunner
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
@@ -79,7 +82,7 @@ def _table_deltas(before, tables) -> tuple:
     return hits - before[0], misses - before[1]
 
 
-class Arrival:
+class Arrival(EngineBase):
     """The ARRIVAL query engine for one (snapshot of a) graph.
 
     Parameters
@@ -123,6 +126,8 @@ class Arrival:
     supports_dynamic = True
     index_free = True
     enforces_simple_paths = True
+    approximate = True
+    supports_distance_bounds = True
 
     def __init__(
         self,
@@ -256,40 +261,33 @@ class Arrival:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def query(
+    def _query(
         self,
-        source,
-        target: Optional[int] = None,
-        regex: Optional[RegexLike] = None,
+        query,
         *,
-        predicates: Optional[PredicateRegistry] = None,
-        distance_bound: Optional[int] = None,
-        min_distance: Optional[int] = None,
         walk_length_scale: float = 1.0,
         num_walks_scale: float = 1.0,
         trace: Optional[list] = None,
     ) -> QueryResult:
-        """Answer one RSPQ: is ``target`` reachable from ``source`` by a
-        simple path compatible with ``regex``?
+        """Answer one RSPQ: is ``query.target`` reachable from
+        ``query.source`` by a simple path compatible with
+        ``query.regex``?
 
-        ``source`` may alternatively be an
-        :class:`~repro.queries.query.RSPQuery` carrying all fields.
+        (Called through :meth:`EngineBase.query`, which also accepts the
+        positional ``(source, target, regex)`` form.)
         ``distance_bound`` caps the witness path's edge count
         (Sec. 5.5.2); the ``*_scale`` factors implement the Fig. 7
         K-sweeps.  Passing a list as ``trace`` collects one event per
         registered walker position (side, walk, node, automaton states)
         — the raw material of the paper's Fig. 3 illustration.
         """
-        if target is None and regex is None:
-            query = source
-            source = query.source
-            target = query.target
-            regex = query.regex
-            predicates = query.predicates if predicates is None else predicates
-            if distance_bound is None:
-                distance_bound = query.distance_bound
-            if min_distance is None:
-                min_distance = query.min_distance
+        source = query.source
+        target = query.target
+        regex = query.regex
+        predicates = query.predicates
+        distance_bound = query.distance_bound
+        min_distance = query.min_distance
+        stats = ExecStats(engine=self.name)
         if not self.graph.is_alive(source):
             raise QueryError(f"source node {source} does not exist")
         if not self.graph.is_alive(target):
@@ -300,10 +298,14 @@ class Arrival:
             and min_distance > distance_bound
         ):
             raise QueryError("min_distance exceeds distance_bound")
+        stage_start = time.perf_counter()
         compiled = self.compile(regex, predicates)
+        stats.compile_s = time.perf_counter() - stage_start
 
+        stage_start = time.perf_counter()
         walk_length = max(2, round(self.walk_length * walk_length_scale))
         num_walks = max(1, round(self.num_walks * num_walks_scale))
+        stats.params_s = time.perf_counter() - stage_start
         if distance_bound is not None:
             if distance_bound < 0:
                 raise QueryError("distance_bound must be non-negative")
@@ -312,9 +314,9 @@ class Arrival:
         if source == target:
             if min_distance is not None and min_distance > 0:
                 return QueryResult(
-                    reachable=False, method=self.name, exact=True
+                    reachable=False, method=self.name, exact=True, stats=stats
                 )
-            return self._trivial_result(source, compiled)
+            return self._trivial_result(source, compiled, stats)
 
         # fast path is sound exactly where the step cache is (exact
         # mode, no predicates); it also respects the step_cache ablation
@@ -325,6 +327,7 @@ class Arrival:
             and _StepCache.usable_for(compiled, self.label_mode)
         )
         rebuilds_before = self.view_rebuilds
+        stage_start = time.perf_counter()
         view = self._current_view() if use_fast else None
         forward_tables = (
             self._fast_table(compiled, forward=True) if use_fast else None
@@ -387,6 +390,7 @@ class Arrival:
                     if joined is not None:
                         break
 
+        stats.walk_s = time.perf_counter() - stage_start
         self._record_endpoints(forward, backward)
 
         transition_hits, transition_misses = _table_deltas(
@@ -395,6 +399,11 @@ class Arrival:
             if use_fast
             else tuple(self._step_caches.values()),
         )
+        stats.candidates_scanned = forward.scanned + backward.scanned
+        stats.transition_hits = transition_hits
+        stats.transition_misses = transition_misses
+        stats.rng_refills = forward.rng_refills + backward.rng_refills
+        stats.csr_rebuilds = self.view_rebuilds - rebuilds_before
         info = {
             "walk_length": walk_length,
             "num_walks": num_walks,
@@ -402,13 +411,6 @@ class Arrival:
             "backward_walks": backward.completed_walks,
             "stored_keys": forward.index.n_keys + backward.index.n_keys,
             "fast_path": use_fast,
-            "hot_path": {
-                "candidates_scanned": forward.scanned + backward.scanned,
-                "transition_hits": transition_hits,
-                "transition_misses": transition_misses,
-                "rng_refills": forward.rng_refills + backward.rng_refills,
-                "csr_rebuilds": self.view_rebuilds - rebuilds_before,
-            },
         }
         jumps = forward.jumps + backward.jumps
         if joined is None:
@@ -422,11 +424,14 @@ class Arrival:
                 expansions=forward.completed_walks + backward.completed_walks,
                 jumps=jumps,
                 info=info,
+                stats=stats,
             )
         # the guarantee of no false positives: verify the witness
+        stage_start = time.perf_counter()
         assert check_path(
             compiled, self.graph, joined, self.elements
         ) == COMPATIBLE, "internal error: joined path is not compatible"
+        stats.verify_s = time.perf_counter() - stage_start
         return QueryResult(
             reachable=True,
             path=joined,
@@ -436,6 +441,7 @@ class Arrival:
             expansions=forward.completed_walks + backward.completed_walks,
             jumps=jumps,
             info=info,
+            stats=stats,
         )
 
     def _miss_probability_bound(self, num_walks: int):
@@ -507,6 +513,19 @@ class Arrival:
             self._step_caches[key] = cache
         return cache
 
+    def prepare(self) -> None:
+        """Pay one-time setup now: walkLength / numWalks estimation (the
+        only randomness outside the walk loop) and, when the fast path
+        is on, the CSR graph-view build.
+
+        The batch executor calls this under a dedicated setup RNG stream
+        so the estimates — and with them every answer — are identical no
+        matter which query runs first on which worker."""
+        _ = self.walk_length
+        _ = self.num_walks
+        if self.fast_path:
+            self._current_view()
+
     def query_many(self, queries) -> list:
         """Answer a workload of RSPQuery objects in order.
 
@@ -516,7 +535,12 @@ class Arrival:
         return [self.query(query) for query in queries]
 
     # ------------------------------------------------------------------
-    def _trivial_result(self, node: int, compiled: CompiledRegex) -> QueryResult:
+    def _trivial_result(
+        self,
+        node: int,
+        compiled: CompiledRegex,
+        stats: Optional[ExecStats] = None,
+    ) -> QueryResult:
         """s == t: the one-node path is the only simple candidate."""
         compatible = (
             check_path(compiled, self.graph, [node], self.elements)
@@ -528,6 +552,7 @@ class Arrival:
             method=self.name,
             exact=True,
             path_is_simple=True if compatible else None,
+            stats=stats,
         )
 
     def _record_endpoints(self, forward: SideRunner, backward: SideRunner) -> None:

@@ -1,0 +1,294 @@
+"""The unified engine protocol.
+
+Every query engine in the system — ARRIVAL, the exhaustive baselines,
+the LCR indexes, the router — answers the same problem, yet before this
+module each exposed its own ad-hoc ``query()`` glue and every consumer
+(router, experiment harness, workload runner, CLI) re-implemented the
+positional-vs-object normalisation.  This module centralises that
+surface:
+
+* :class:`EngineCapabilities` — what an engine can do, queryable without
+  running it: exact vs approximate answers, predicate (query-time label)
+  support, whether an index must be built, the regex fragment, path
+  semantics, dynamic-graph support, distance-bound support.
+* :class:`Engine` — the structural protocol: ``name``, ``capabilities``,
+  ``query(RSPQuery) -> QueryResult``, plus the two hooks the batch
+  executor relies on (``reseed`` for deterministic per-query RNG
+  streams, ``prepare`` for paying one-time setup under a controlled
+  stream).
+* :class:`EngineBase` — the shared implementation: *one* normalisation
+  of the public query surface (positional ``(source, target, regex)``
+  or a single :class:`~repro.queries.query.RSPQuery`), capability
+  derivation from the per-engine class flags, stats attachment, and the
+  default ``reseed``/``prepare``.  Engines implement ``_query(query,
+  **engine_kwargs)`` only.
+* :func:`make_engine` / :func:`engine_names` — the engine registry the
+  CLI and benchmarks build from (lazy imports; the registry is the one
+  place that knows every concrete engine).
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, replace
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.result import QueryResult
+from repro.core.stats import ExecStats
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.queries.query import RSPQuery
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What one engine can answer, decided without running a query."""
+
+    #: completed answers are exact; False for sampling engines whose
+    #: negatives are one-sided (ARRIVAL, and AUTO which may route there)
+    exact: bool
+    #: accepts query-time predicate labels (Definition 7)
+    supports_predicates: bool
+    #: must build (and can fail to build) an index before answering
+    needs_index: bool
+    #: full regular-expression constraints vs a restricted fragment
+    full_regex: bool = True
+    #: witnesses are guaranteed simple (RSPQ semantics) vs arbitrary-path
+    simple_paths: bool = True
+    #: usable on dynamic graphs without a rebuild-the-world step
+    dynamic: bool = True
+    #: understands ``distance_bound`` / ``min_distance`` constraints
+    distance_bounds: bool = False
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Structural protocol every query engine satisfies."""
+
+    name: str
+
+    @property
+    def capabilities(self) -> EngineCapabilities:
+        """Static description of what this engine can answer."""
+        ...
+
+    def query(self, source, target=None, regex=None, **kwargs) -> QueryResult:
+        """Answer one RSPQ (positional fields or one RSPQuery)."""
+        ...
+
+    def reseed(self, seed: RngLike) -> None:
+        """Replace the engine's RNG stream (no-op for deterministic
+        engines)."""
+        ...
+
+    def prepare(self) -> None:
+        """Pay one-time setup (parameter estimation, index build) now."""
+        ...
+
+
+def as_query(
+    source,
+    target=None,
+    regex=None,
+    *,
+    predicates=None,
+    distance_bound: Optional[int] = None,
+    min_distance: Optional[int] = None,
+) -> RSPQuery:
+    """Normalise the two public call forms into one :class:`RSPQuery`.
+
+    ``source`` may be an :class:`RSPQuery` carrying every field (then
+    the keyword arguments act as per-call overrides), or the first of
+    the positional ``(source, target, regex)`` triple.
+    """
+    if isinstance(source, RSPQuery):
+        query = source
+        if (
+            predicates is None
+            and distance_bound is None
+            and min_distance is None
+        ):
+            return query
+        meta = {
+            key: value
+            for key, value in query.meta.items()
+            if not key.startswith("_")  # the compiled cache may be stale
+        }
+        return replace(
+            query,
+            predicates=predicates if predicates is not None else query.predicates,
+            distance_bound=(
+                distance_bound if distance_bound is not None
+                else query.distance_bound
+            ),
+            min_distance=(
+                min_distance if min_distance is not None
+                else query.min_distance
+            ),
+            meta=meta,
+        )
+    if target is None or regex is None:
+        raise QueryError(
+            "query() needs (source, target, regex) or one RSPQuery"
+        )
+    return RSPQuery(
+        source,
+        target,
+        regex,
+        predicates=predicates,
+        distance_bound=distance_bound,
+        min_distance=min_distance,
+    )
+
+
+class EngineBase:
+    """Shared engine plumbing (see the module docstring).
+
+    Subclasses set the class flags below and implement
+    ``_query(self, query: RSPQuery, **kwargs) -> QueryResult``; the
+    public :meth:`query` handles argument normalisation, capability
+    enforcement for distance bounds, and stats attachment.
+    """
+
+    name = "?"
+    # legacy per-engine flags (kept: tests and docs reference them);
+    # :attr:`capabilities` is derived from them
+    supports_full_regex = True
+    supports_query_time_labels = True
+    supports_dynamic = True
+    index_free = True
+    enforces_simple_paths = True
+    #: True when completed answers can still be wrong on the negative
+    #: side (the sampling engines)
+    approximate = False
+    #: True when ``distance_bound`` / ``min_distance`` are honoured
+    supports_distance_bounds = False
+
+    @property
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            exact=not self.approximate,
+            supports_predicates=self.supports_query_time_labels,
+            needs_index=not self.index_free,
+            full_regex=self.supports_full_regex,
+            simple_paths=self.enforces_simple_paths,
+            dynamic=self.supports_dynamic,
+            distance_bounds=self.supports_distance_bounds,
+        )
+
+    def query(
+        self,
+        source,
+        target=None,
+        regex=None,
+        *,
+        predicates=None,
+        distance_bound: Optional[int] = None,
+        min_distance: Optional[int] = None,
+        **kwargs,
+    ) -> QueryResult:
+        """Answer one RSPQ through this engine.
+
+        Accepts positional ``(source, target, regex)`` or one
+        :class:`RSPQuery` as the sole positional argument; extra keyword
+        arguments are engine-specific (e.g. ARRIVAL's ``*_scale``).
+        """
+        query = as_query(
+            source,
+            target,
+            regex,
+            predicates=predicates,
+            distance_bound=distance_bound,
+            min_distance=min_distance,
+        )
+        if (
+            (query.distance_bound is not None or query.min_distance is not None)
+            and not self.supports_distance_bounds
+        ):
+            raise UnsupportedQueryError(
+                f"{self.name} does not support distance-bounded queries"
+            )
+        start = time.perf_counter()
+        result = self._query(query, **kwargs)
+        elapsed = time.perf_counter() - start
+        stats = result.stats
+        if stats is None:
+            stats = ExecStats(engine=self.name)
+            result.stats = stats
+        if not stats.engine:
+            stats.engine = self.name
+        stats.total_s = elapsed
+        stats.expansions = result.expansions
+        stats.jumps = result.jumps
+        return result
+
+    def _query(self, query: RSPQuery, **kwargs) -> QueryResult:
+        raise NotImplementedError
+
+    def reseed(self, seed: RngLike) -> None:
+        """Replace the engine's RNG stream.
+
+        The batch executor calls this with a per-query child generator
+        so answers are independent of worker count and scheduling.  The
+        default covers every engine holding its randomness in ``rng``;
+        deterministic engines (no ``rng`` attribute) ignore it.
+        """
+        if hasattr(self, "rng"):
+            self.rng = ensure_rng(seed)
+
+    def prepare(self) -> None:
+        """Pay one-time setup now (default: nothing to do).
+
+        Engines with lazily estimated parameters or lazily built views
+        override this so the executor can trigger that work under a
+        dedicated, deterministic setup stream instead of whichever
+        query happens to run first.
+        """
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+#: name -> (module, class, accepts a ``seed`` kwarg)
+_ENGINE_SPECS = {
+    "arrival": ("repro.core.arrival", "Arrival", True),
+    "auto": ("repro.core.router", "AutoEngine", True),
+    "bfs": ("repro.baselines.bfs", "BFSEngine", False),
+    "bbfs": ("repro.baselines.bbfs", "BBFSEngine", False),
+    "rl": ("repro.baselines.rare_labels", "RareLabelsEngine", False),
+    "li": ("repro.baselines.landmark", "LandmarkIndex", False),
+    "zou": ("repro.baselines.label_closure", "LabelClosureIndex", False),
+    "fan": ("repro.baselines.fan", "FanEngine", False),
+}
+
+
+def engine_names():
+    """Registered engine names, sorted."""
+    return sorted(_ENGINE_SPECS)
+
+
+def engine_class(name: str):
+    """The engine class registered under ``name`` (lazy import)."""
+    try:
+        module_name, class_name, _ = _ENGINE_SPECS[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown engine {name!r}; known: {', '.join(engine_names())}"
+        ) from None
+    return getattr(importlib.import_module(module_name), class_name)
+
+
+def make_engine(name: str, graph, *, seed: RngLike = None, **kwargs):
+    """Build a registered engine over ``graph``.
+
+    ``seed`` is forwarded only to engines that take one.  This function
+    is a plain top-level callable, so ``functools.partial(make_engine,
+    "arrival", graph, seed=7)`` is a picklable zero-argument factory —
+    exactly what the process backend of
+    :class:`~repro.core.executor.BatchExecutor` needs.
+    """
+    cls = engine_class(name)
+    if _ENGINE_SPECS[name][2] and seed is not None:
+        kwargs["seed"] = seed
+    return cls(graph, **kwargs)

@@ -1,0 +1,373 @@
+"""Parallel batch execution of RSPQ workloads.
+
+ARRIVAL is index-free and per-query independent (Alg. 2), which makes a
+workload embarrassingly parallel across queries.  :class:`BatchExecutor`
+is the one place that parallelism lives: the router, the experiment
+harness, the workload runner and the CLI all hand it a list of
+:class:`~repro.queries.query.RSPQuery` and get back a
+:class:`BatchReport` — per-query results in workload order plus the
+aggregated :class:`~repro.core.stats.BatchStats`.
+
+Three backends share one contract:
+
+``serial``
+    One engine, one thread, queries in order.  The reference backend:
+    the parallel ones must reproduce its answers bit for bit.
+``thread``
+    A ``ThreadPoolExecutor`` with one engine *per worker thread* (built
+    from the factory on first use).  Pure-Python engines do not escape
+    the GIL, so this mainly helps once native sections release it; it
+    exists chiefly as the cheap-setup middle ground.
+``process``
+    A ``ProcessPoolExecutor`` with one engine per worker process (built
+    by the factory in an initializer, so the graph is shipped once per
+    worker, not once per query).  The factory must be picklable —
+    ``functools.partial(make_engine, "arrival", graph, seed=7)`` is the
+    canonical shape.
+
+**Determinism.**  With a batch ``seed``, answers are identical across
+backends, worker counts and scheduling orders: every engine first pays
+its one-time setup under a dedicated stream
+(``SeedSequence(seed, spawn_key=(0,))`` then ``prepare()``), and query
+``i`` always runs under its own child stream
+(``SeedSequence(seed, spawn_key=(1, i))``) regardless of which worker
+picks it up.  Without a seed, the serial backend preserves the legacy
+behaviour of consuming the engine's own stream sequentially.
+
+**Timeouts.**  ``timeout_s`` turns an overrunning query into a
+structured :class:`TimeoutResult` instead of a hang.  On the pool
+backends the deadline is enforced while waiting (the future is cancelled
+or abandoned; workers past their deadline are not joined on shutdown).
+The serial backend cannot preempt a running query, so its timeout is
+post-hoc: the query runs to completion and is then *reported* as timed
+out — the uniform structural contract, best-effort semantics.
+
+**Failures.**  ``fail_fast=True`` re-raises the first query error;
+the default collects each error as a structured :class:`ErrorResult` in
+the result slot so one poisoned query cannot sink a long batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, replace
+from threading import local
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import QueryResult
+from repro.core.stats import BatchStats
+from repro.queries.query import RSPQuery
+
+#: SeedSequence spawn keys: the engine's one-time setup stream and the
+#: per-query streams live in disjoint branches of the seed tree
+_SETUP_KEY = (0,)
+_QUERY_BRANCH = 1
+
+
+def _stream(seed: int, spawn_key: tuple) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=spawn_key))
+
+
+def setup_stream(seed: int) -> np.random.Generator:
+    """The engine-setup RNG stream for a batch seed."""
+    return _stream(seed, _SETUP_KEY)
+
+
+def query_stream(seed: int, index: int) -> np.random.Generator:
+    """The RNG stream under which query ``index`` always runs."""
+    return _stream(seed, (_QUERY_BRANCH, index))
+
+
+@dataclass
+class TimeoutResult(QueryResult):
+    """A query abandoned on its deadline (``reachable`` is a certain
+    nothing: treat it as *unknown*, never as a negative answer)."""
+
+    timeout_s: Optional[float] = None
+
+
+@dataclass
+class ErrorResult(QueryResult):
+    """A query that raised; the batch carries on (collect-errors mode)."""
+
+    error: str = ""
+    error_type: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorResult":
+        return cls(
+            reachable=False,
+            method="error",
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+
+
+@dataclass
+class BatchReport:
+    """Everything one :meth:`BatchExecutor.run` produced."""
+
+    #: per-query results, in workload order (timeouts and collected
+    #: errors appear in their slots as Timeout/ErrorResult)
+    results: List[QueryResult]
+    #: the aggregate fold (outcome counts, stage/counter totals,
+    #: throughput)
+    stats: BatchStats
+
+    def answers(self) -> List[bool]:
+        """The reachable bit per query — the determinism-sweep view."""
+        return [bool(result.reachable) for result in self.results]
+
+
+def _sanitize_query(query: RSPQuery) -> RSPQuery:
+    """Drop private meta entries (e.g. the cached compiled NFA) before a
+    query crosses a process boundary; workers recompile locally."""
+    if not any(key.startswith("_") for key in query.meta):
+        return query
+    return replace(
+        query,
+        meta={k: v for k, v in query.meta.items() if not k.startswith("_")},
+    )
+
+
+# -- process-backend worker state -------------------------------------------
+# one engine per worker process, built by the pool initializer so the
+# graph is deserialised once per worker instead of once per query
+_WORKER_ENGINE = None
+_WORKER_SEED: Optional[int] = None
+
+
+def _process_init(factory: Callable, seed: Optional[int]) -> None:
+    global _WORKER_ENGINE, _WORKER_SEED
+    engine = factory()
+    if seed is not None:
+        engine.reseed(setup_stream(seed))
+        engine.prepare()
+    _WORKER_ENGINE = engine
+    _WORKER_SEED = seed
+
+
+def _process_run(index: int, query: RSPQuery) -> QueryResult:
+    if _WORKER_SEED is not None:
+        _WORKER_ENGINE.reseed(query_stream(_WORKER_SEED, index))
+    return _WORKER_ENGINE.query(query)
+
+
+class BatchExecutor:
+    """Run a workload of queries over an engine (see the module doc).
+
+    Parameters
+    ----------
+    engine:
+        A ready engine instance — serial backend only (engines are not
+        safely shareable across workers).
+    factory:
+        Zero-argument engine builder; required for ``thread`` /
+        ``process`` (one engine per worker) and usable for ``serial``.
+        Must be picklable for ``process``.
+    backend:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.
+    workers:
+        Pool size for the parallel backends (default 4).
+    seed:
+        Batch seed for the deterministic per-query RNG streams.  None
+        keeps the serial engine's own sequential stream (legacy
+        behaviour) and leaves parallel answers scheduling-dependent for
+        randomised engines.
+    timeout_s:
+        Per-query deadline -> :class:`TimeoutResult`.
+    fail_fast:
+        Re-raise the first query error instead of collecting
+        :class:`ErrorResult` entries.
+    max_in_flight:
+        Bound on submitted-but-unfinished queries (default
+        ``4 * workers``) so million-query workloads do not materialise
+        a million futures.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        *,
+        factory: Optional[Callable] = None,
+        backend: str = "serial",
+        workers: int = 4,
+        seed: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        fail_fast: bool = False,
+        max_in_flight: Optional[int] = None,
+    ):
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"backend must be 'serial', 'thread' or 'process', got {backend!r}"
+            )
+        if engine is None and factory is None:
+            raise ValueError("provide an engine or a factory")
+        if backend != "serial" and factory is None:
+            raise ValueError(
+                f"the {backend!r} backend needs a factory: engines hold "
+                "per-instance caches and RNG state and are not safely "
+                "shareable across workers"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.engine = engine
+        self.factory = factory
+        self.backend = backend
+        self.workers = workers
+        self.seed = seed
+        self.timeout_s = timeout_s
+        self.fail_fast = fail_fast
+        self.max_in_flight = max_in_flight or 4 * workers
+        self._tls = local()
+
+    # ------------------------------------------------------------------
+    def run(self, queries: Sequence[RSPQuery]) -> BatchReport:
+        """Execute the workload; results come back in workload order."""
+        queries = list(queries)
+        start = time.perf_counter()
+        if self.backend == "serial" or len(queries) <= 1:
+            results = self._run_serial(queries)
+        else:
+            results = self._run_pool(queries)
+        wall_s = time.perf_counter() - start
+        return BatchReport(
+            results=results, stats=BatchStats.aggregate(results, wall_s)
+        )
+
+    # ------------------------------------------------------------------
+    def _build_engine(self):
+        engine = self.factory()
+        if self.seed is not None:
+            engine.reseed(setup_stream(self.seed))
+            engine.prepare()
+        return engine
+
+    def _serial_engine(self):
+        if self.engine is not None:
+            engine = self.engine
+            if self.seed is not None:
+                engine.reseed(setup_stream(self.seed))
+                engine.prepare()
+            return engine
+        return self._build_engine()
+
+    def _run_serial(self, queries: List[RSPQuery]) -> List[QueryResult]:
+        engine = self._serial_engine()
+        results: List[QueryResult] = []
+        for index, query in enumerate(queries):
+            if self.seed is not None:
+                engine.reseed(query_stream(self.seed, index))
+            start = time.perf_counter()
+            try:
+                result = engine.query(query)
+            except Exception as exc:
+                if self.fail_fast:
+                    raise
+                results.append(ErrorResult.from_exception(exc))
+                continue
+            elapsed = time.perf_counter() - start
+            if self.timeout_s is not None and elapsed > self.timeout_s:
+                # post-hoc: serial execution cannot preempt (module doc)
+                result = TimeoutResult(
+                    reachable=False,
+                    method=result.method,
+                    timed_out=True,
+                    timeout_s=self.timeout_s,
+                )
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def _thread_engine(self):
+        engine = getattr(self._tls, "engine", None)
+        if engine is None:
+            engine = self._build_engine()
+            self._tls.engine = engine
+        return engine
+
+    def _thread_run(self, index: int, query: RSPQuery) -> QueryResult:
+        engine = self._thread_engine()
+        if self.seed is not None:
+            engine.reseed(query_stream(self.seed, index))
+        return engine.query(query)
+
+    def _run_pool(self, queries: List[RSPQuery]) -> List[QueryResult]:
+        if self.backend == "thread":
+            pool = ThreadPoolExecutor(max_workers=self.workers)
+
+            def submit(pool, index, query):
+                return pool.submit(self._thread_run, index, query)
+
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_process_init,
+                initargs=(self.factory, self.seed),
+            )
+
+            def submit(pool, index, query):
+                return pool.submit(_process_run, index, _sanitize_query(query))
+
+        n = len(queries)
+        results: List[Optional[QueryResult]] = [None] * n
+        pending: dict = {}  # future -> (index, deadline or None)
+        next_index = 0
+        abandoned = False
+        try:
+            while next_index < n or pending:
+                while next_index < n and len(pending) < self.max_in_flight:
+                    future = submit(pool, next_index, queries[next_index])
+                    deadline = (
+                        time.monotonic() + self.timeout_s
+                        if self.timeout_s is not None
+                        else None
+                    )
+                    pending[future] = (next_index, deadline)
+                    next_index += 1
+                wait_s = None
+                if self.timeout_s is not None:
+                    now = time.monotonic()
+                    wait_s = max(
+                        0.0,
+                        min(d for _, d in pending.values()) - now,
+                    )
+                done, _ = wait(
+                    set(pending), timeout=wait_s, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index, _ = pending.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        if self.fail_fast:
+                            raise exc
+                        results[index] = ErrorResult.from_exception(exc)
+                    else:
+                        results[index] = future.result()
+                if self.timeout_s is not None:
+                    now = time.monotonic()
+                    for future in list(pending):
+                        index, deadline = pending[future]
+                        if now >= deadline:
+                            # cancel if still queued; a running worker is
+                            # abandoned (not joined on shutdown)
+                            future.cancel()
+                            del pending[future]
+                            abandoned = True
+                            results[index] = TimeoutResult(
+                                reachable=False,
+                                method="timeout",
+                                timed_out=True,
+                                timeout_s=self.timeout_s,
+                            )
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        return results

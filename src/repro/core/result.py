@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.stats import ExecStats
 
 
 @dataclass
@@ -35,6 +38,12 @@ class QueryResult:
     jumps: int = 0
     #: engine-specific extras (meeting node, parameters used, ...)
     info: dict = field(default_factory=dict)
+    #: typed instrumentation (stage timings, hot-path counters);
+    #: attached by :class:`~repro.core.engine.EngineBase`, excluded from
+    #: equality so answer comparisons ignore timing noise
+    stats: "Optional[ExecStats]" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __bool__(self) -> bool:
         return self.reachable

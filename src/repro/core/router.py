@@ -23,18 +23,22 @@ from typing import Optional
 from repro.baselines.bbfs import BBFSEngine
 from repro.baselines.landmark import LandmarkIndex
 from repro.core.arrival import Arrival
+from repro.core.engine import EngineBase
 from repro.core.result import QueryResult
 from repro.errors import IndexBuildError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.queries.query import RSPQuery
-from repro.regex.compiler import RegexLike
 from repro.rng import RngLike
 
 
-class AutoEngine:
+class AutoEngine(EngineBase):
     """Route each query to the most appropriate engine."""
 
     name = "AUTO"
+    # the router may serve a query through ARRIVAL, so its answers are
+    # not exact unless the caller forces exact=True
+    approximate = True
+    supports_distance_bounds = True
 
     def __init__(
         self,
@@ -91,35 +95,27 @@ class AutoEngine:
             return "LI"
         return "ARRIVAL"
 
-    def query(
-        self,
-        source,
-        target: Optional[int] = None,
-        regex: Optional[RegexLike] = None,
-        *,
-        predicates=None,
-        exact: bool = False,
-        **kwargs,
-    ) -> QueryResult:
+    def _query(self, query: RSPQuery, *, exact: bool = False, **kwargs) -> QueryResult:
         """Answer the query through the routed engine."""
-        if target is None and regex is None:
-            rsp_query = source
-        else:
-            rsp_query = RSPQuery(
-                source, target, regex, predicates=predicates,
-                distance_bound=kwargs.pop("distance_bound", None),
-                min_distance=kwargs.pop("min_distance", None),
-            )
         if exact:
             if self._bbfs is None:
                 self._bbfs = BBFSEngine(self.graph)
-            result = self._bbfs.query(rsp_query)
+            result = self._bbfs.query(query)
             result.info["routed_to"] = "BBFS"
             return result
-        routed = self.route(rsp_query)
+        routed = self.route(query)
         if routed == "LI":
-            result = self._landmark_index().query(rsp_query)
+            result = self._landmark_index().query(query)
         else:
-            result = self.arrival.query(rsp_query, **kwargs)
+            result = self.arrival.query(query, **kwargs)
         result.info["routed_to"] = routed
         return result
+
+    def reseed(self, seed: RngLike) -> None:
+        """All of the router's randomness lives in its ARRIVAL engine."""
+        self.arrival.reseed(seed)
+
+    def prepare(self) -> None:
+        """Pay ARRIVAL's parameter estimation now (LI stays lazy: it is
+        only built when a type-1 query actually routes there)."""
+        self.arrival.prepare()

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baselines.bbfs import BBFSEngine
 from repro.baselines.product_bfs import product_reachability
+from repro.core.executor import BatchExecutor
 from repro.core.result import QueryResult
 from repro.graph.labeled_graph import LabeledGraph
 from repro.queries.query import RSPQuery
@@ -112,11 +113,22 @@ def evaluate_workload(
     engine,
     queries: Sequence[RSPQuery],
     truths: Sequence[Optional[bool]],
+    **executor_kwargs,
 ) -> List[EvalRecord]:
-    """Run a workload against one engine, timing each query."""
+    """Run a workload against one engine through the batch executor.
+
+    The default is the serial backend on the given engine — the exact
+    legacy behaviour.  Any :class:`~repro.core.executor.BatchExecutor`
+    option passes through (``backend="process"``, ``workers=4``,
+    ``factory=...`` with ``engine=None``, ``timeout_s=...``), which is
+    how the Fig. 4-9 drivers pick up parallelism.
+    """
+    report = BatchExecutor(engine, **executor_kwargs).run(queries)
     records = []
-    for query, truth in zip(queries, truths):
-        result, elapsed = time_query(engine, query)
+    for query, truth, result in zip(queries, truths, report.results):
+        elapsed = (
+            result.stats.total_s if result.stats is not None else 0.0
+        )
         records.append(EvalRecord(query, truth, result, elapsed))
     return records
 

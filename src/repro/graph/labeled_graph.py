@@ -247,15 +247,16 @@ class LabeledGraph:
     def out_neighbors(self, node: int) -> Tuple[int, ...]:
         """Nodes reachable by one outgoing edge from ``node``.
 
-        Returned as a read-only tuple: the internal adjacency lists must
-        only change through ``add_edge``/``remove_edge``/``remove_node``
-        (which also bump :attr:`version`), never through a caller
-        mutating a returned list.
+        Returns a fresh immutable tuple — a snapshot, not a live view.
+        The internal adjacency lists only change through
+        ``add_edge``/``remove_edge``/``remove_node`` (which also bump
+        :attr:`version`); callers cannot mutate adjacency through the
+        returned value.
         """
         return tuple(self._out[node])
 
     def in_neighbors(self, node: int) -> Tuple[int, ...]:
-        """Nodes with an edge into ``node`` (read-only view)."""
+        """Nodes with an edge into ``node`` (immutable snapshot tuple)."""
         return tuple(self._in[node])
 
     def out_degree(self, node: int) -> int:

@@ -7,7 +7,7 @@ from repro.queries.query_types import (
     type3_regex,
     build_query_regex,
 )
-from repro.queries.workload import WorkloadGenerator
+from repro.queries.workload import WorkloadGenerator, execute_workload
 from repro.queries.io import save_workload, load_workload
 from repro.queries.buckets import density_buckets
 
@@ -18,6 +18,7 @@ __all__ = [
     "type3_regex",
     "build_query_regex",
     "WorkloadGenerator",
+    "execute_workload",
     "save_workload",
     "load_workload",
     "density_buckets",

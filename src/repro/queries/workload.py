@@ -332,6 +332,40 @@ class WorkloadGenerator:
         return queries
 
 
+def execute_workload(
+    queries: Sequence[RSPQuery],
+    engine=None,
+    *,
+    factory=None,
+    backend: str = "serial",
+    workers: int = 4,
+    seed: Optional[int] = None,
+    **executor_kwargs,
+):
+    """Run a workload through the batch execution pipeline.
+
+    The companion to :meth:`WorkloadGenerator.generate`: hand it the
+    generated queries plus either a ready ``engine`` (serial) or a
+    picklable ``factory`` (any backend) and get back the
+    :class:`~repro.core.executor.BatchReport` with per-query results and
+    aggregated :class:`~repro.core.stats.BatchStats`.  With ``seed``
+    set, answers are identical across backends and worker counts.
+    """
+    # imported here: repro.core imports repro.queries.query at module
+    # load, so the package-level import would be circular
+    from repro.core.executor import BatchExecutor
+
+    executor = BatchExecutor(
+        engine,
+        factory=factory,
+        backend=backend,
+        workers=workers,
+        seed=seed,
+        **executor_kwargs,
+    )
+    return executor.run(list(queries))
+
+
 def workload_summary(queries) -> Dict[str, object]:
     """Composition statistics of a query workload."""
     type_counts: Dict[int, int] = {}

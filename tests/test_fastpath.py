@@ -256,7 +256,7 @@ class TestFastPathGating:
         result = engine.query(0, 3, "(a b) | (c d)")
         assert result.reachable
         assert result.info["fast_path"] is True
-        assert "hot_path" in result.info
+        assert result.stats is not None
 
     def test_fast_path_switch_forces_baseline(self):
         graph = diamond_graph()
@@ -308,13 +308,13 @@ class TestFastPathGating:
         # an unreachable label keeps walks alive-and-failing long enough
         # to exercise the counters deterministically
         result = engine.query(0, 1, "nosuchlabel+")
-        hot = result.info["hot_path"]
+        stats = result.stats
         assert result.info["fast_path"] is True
-        assert hot["csr_rebuilds"] == 1  # first query builds the view
-        assert hot["candidates_scanned"] >= 0
-        assert hot["transition_misses"] >= 0
+        assert stats.csr_rebuilds == 1  # first query builds the view
+        assert stats.candidates_scanned >= 0
+        assert stats.transition_misses >= 0
         second = engine.query(1, 0, "nosuchlabel+")
-        assert second.info["hot_path"]["csr_rebuilds"] == 0  # cached view
+        assert second.stats.csr_rebuilds == 0  # cached view
 
     def test_view_rebuilt_after_mutation(self):
         graph = diamond_graph()
@@ -324,7 +324,7 @@ class TestFastPathGating:
         graph.add_edge(3, 0, {"a"})
         result = engine.query(3, 0, "a+")
         assert result.reachable
-        assert result.info["hot_path"]["csr_rebuilds"] == 1
+        assert result.stats.csr_rebuilds == 1
         assert engine.view_rebuilds == 2
 
 

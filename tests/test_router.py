@@ -61,6 +61,53 @@ class TestRouting:
         assert engine._landmark_failed
         assert engine.route(query) == "ARRIVAL"
 
+    def test_index_build_failure_falls_back_through_query(
+        self, small_alphabet_graph
+    ):
+        """IndexBuildError during a query() is absorbed, not raised.
+
+        The first type-1 query triggers the lazy landmark build; with an
+        impossible memory budget the build fails and the *same call*
+        must still come back answered by ARRIVAL.
+        """
+        engine = AutoEngine(
+            small_alphabet_graph, li_memory_budget_bytes=1, seed=1
+        )
+        assert not engine._landmark_failed
+        query = RSPQuery(0, 5, "(follows:h0 | follows:h1)*")
+        result = engine.query(query)
+        assert result.info["routed_to"] == "ARRIVAL"
+        assert engine._landmark_failed
+        assert engine._landmark is None
+        # the fallback result is a real ARRIVAL answer: stats attached,
+        # and one-sided error still holds (a positive carries a witness)
+        assert result.stats is not None
+        assert result.stats.engine == "ARRIVAL"
+        if result.reachable:
+            assert result.path is not None
+        # subsequent queries keep routing to ARRIVAL without retrying
+        again = engine.query(query)
+        assert again.info["routed_to"] == "ARRIVAL"
+
+    def test_index_build_failure_via_injected_error(
+        self, small_alphabet_graph, monkeypatch
+    ):
+        """Any IndexBuildError (not just memory) routes to ARRIVAL."""
+        from repro.baselines import landmark as landmark_module
+        from repro.errors import IndexBuildError
+
+        def boom(*args, **kwargs):
+            raise IndexBuildError("synthetic build failure")
+
+        monkeypatch.setattr(landmark_module, "LandmarkIndex", boom)
+        monkeypatch.setattr(
+            "repro.core.router.LandmarkIndex", boom
+        )
+        engine = AutoEngine(small_alphabet_graph, seed=1)
+        result = engine.query(RSPQuery(0, 5, "(follows:h0 | follows:h1)*"))
+        assert result.info["routed_to"] == "ARRIVAL"
+        assert engine._landmark_failed
+
 
 class TestAnswers:
     def test_li_and_arrival_agree_on_positive(self, small_alphabet_graph):

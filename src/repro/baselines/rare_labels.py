@@ -28,7 +28,7 @@ label; single-threaded).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.engine import EngineBase
 from repro.core.result import QueryResult

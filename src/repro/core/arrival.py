@@ -30,10 +30,18 @@ Typical use::
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.core.engine import EngineBase
-from repro.core.fastpath import LabelSetInterner, build_graph_view
+from repro.core.fastpath import GraphView, LabelSetInterner, build_graph_view
 from repro.core.parameters import (
     StationaryOverlapEstimator,
     estimate_walk_length_cached,
@@ -45,6 +53,7 @@ from repro.core.walks import SideRunner
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.labels import PredicateRegistry
+from repro.queries.query import RSPQuery
 from repro.regex.compiler import CompiledRegex, RegexLike, compile_regex
 from repro.regex.interner import InternedStepTable
 from repro.regex.matcher import (
@@ -56,7 +65,13 @@ from repro.regex.matcher import (
 from repro.rng import RngLike, ensure_rng
 
 
-def _table_totals(tables) -> tuple:
+#: the two transition-memo shapes the hot-path counters aggregate over
+_TransitionTable = Union[InternedStepTable, _StepCache]
+
+
+def _table_totals(
+    tables: Iterable[Optional[_TransitionTable]],
+) -> Tuple[int, int]:
     """Summed (hits, misses) over transition tables (None entries ok).
 
     Works for both :class:`~repro.regex.interner.InternedStepTable` and
@@ -72,7 +87,10 @@ def _table_totals(tables) -> tuple:
     return hits, misses
 
 
-def _table_deltas(before, tables) -> tuple:
+def _table_deltas(
+    before: Tuple[int, int],
+    tables: Iterable[Optional[_TransitionTable]],
+) -> Tuple[int, int]:
     """(hits, misses) accrued since ``before = _table_totals(...)``.
 
     Tables created after the snapshot start at zero, so a plain
@@ -146,9 +164,9 @@ class Arrival(EngineBase):
         negation_mode: str = "paper",
         walk_length_multiplier: float = 2.0,
         diameter_sample_size: int = 32,
-        calibration_regexes=None,
+        calibration_regexes: Optional[Iterable[RegexLike]] = None,
         seed: RngLike = None,
-    ):
+    ) -> None:
         if meeting not in ("hashmap", "naive"):
             raise ValueError(f"meeting must be 'hashmap' or 'naive', got {meeting!r}")
         self.graph = graph
@@ -179,20 +197,20 @@ class Arrival(EngineBase):
         #: a query log or a workload) are supplied, walkLength is
         #: estimated over regex-compatible shortest-path trees instead of
         #: the unlabeled diameter
-        self._calibration_regexes = (
+        self._calibration_regexes: Optional[List[RegexLike]] = (
             list(calibration_regexes) if calibration_regexes else None
         )
-        self._compiled_cache: dict = {}
+        self._compiled_cache: Dict[Tuple[str, str], CompiledRegex] = {}
         # transition memoisation, shared across queries per compiled
         # regex and direction (see repro.regex.matcher._StepCache)
-        self._step_caches: dict = {}
+        self._step_caches: Dict[Tuple[int, bool], _StepCache] = {}
         # fast-path state: one label-set interner for the engine's
         # lifetime (ids stay stable across graph-view rebuilds, keeping
         # the interned transition tables valid), a version-stamped graph
         # view, and per-(regex, direction) interned step tables
         self._label_interner = LabelSetInterner()
-        self._graph_view = None
-        self._fast_tables: dict = {}
+        self._graph_view: Optional[GraphView] = None
+        self._fast_tables: Dict[Tuple[int, bool], InternedStepTable] = {}
         #: graph-view (re)builds performed by this engine — incremented
         #: on first use and after every graph mutation
         self.view_rebuilds = 0
@@ -205,7 +223,8 @@ class Arrival(EngineBase):
         """Maximum nodes per walk (estimated on first use, Sec. 5.2.3;
         regex-calibrated per Sec. 4.3 when calibration regexes were
         supplied)."""
-        if self._walk_length is None:
+        length = self._walk_length
+        if length is None:
             if self._calibration_regexes:
                 from repro.core.parameters import (
                     estimate_walk_length_labeled,
@@ -215,7 +234,7 @@ class Arrival(EngineBase):
                     self.compile(regex)
                     for regex in self._calibration_regexes
                 ]
-                self._walk_length = estimate_walk_length_labeled(
+                length = estimate_walk_length_labeled(
                     self.graph,
                     compiled,
                     multiplier=self._walk_length_multiplier,
@@ -226,13 +245,14 @@ class Arrival(EngineBase):
                 # memoised on the graph keyed by its version counter, so
                 # several engines over one snapshot (the ablation
                 # benchmarks) sample the shortest-path trees once
-                self._walk_length = estimate_walk_length_cached(
+                length = estimate_walk_length_cached(
                     self.graph,
                     sample_size=self._diameter_sample_size,
                     multiplier=self._walk_length_multiplier,
                     seed=self.rng,
                 )
-        return self._walk_length
+            self._walk_length = length
+        return length
 
     @property
     def num_walks(self) -> int:
@@ -241,9 +261,11 @@ class Arrival(EngineBase):
             refined = self.estimator.refined_num_walks(self.graph.num_nodes)
             if refined is not None:
                 return refined
-        if self._num_walks is None:
-            self._num_walks = recommended_num_walks(self.graph.num_nodes)
-        return self._num_walks
+        walks = self._num_walks
+        if walks is None:
+            walks = recommended_num_walks(self.graph.num_nodes)
+            self._num_walks = walks
+        return walks
 
     def compile(
         self, regex: RegexLike, predicates: Optional[PredicateRegistry] = None
@@ -263,11 +285,12 @@ class Arrival(EngineBase):
     # ------------------------------------------------------------------
     def _query(
         self,
-        query,
+        query: RSPQuery,
         *,
         walk_length_scale: float = 1.0,
         num_walks_scale: float = 1.0,
-        trace: Optional[list] = None,
+        trace: Optional[List[Dict[str, Any]]] = None,
+        **kwargs: Any,
     ) -> QueryResult:
         """Answer one RSPQ: is ``query.target`` reachable from
         ``query.source`` by a simple path compatible with
@@ -281,6 +304,8 @@ class Arrival(EngineBase):
         registered walker position (side, walk, node, automaton states)
         — the raw material of the paper's Fig. 3 illustration.
         """
+        if kwargs:  # absorbed only for LSP; unknown knobs stay errors
+            raise TypeError(f"unexpected engine kwargs: {sorted(kwargs)}")
         source = query.source
         target = query.target
         regex = query.regex
@@ -362,7 +387,7 @@ class Arrival(EngineBase):
         forward.opposite = backward
         backward.opposite = forward
 
-        joined = None
+        joined: Optional[List[int]] = None
         # the forward side dies instantly when the source's own symbol
         # cannot begin any accepted word; that is a certain negative
         # (probed in exact mode so the answer does not depend on label
@@ -404,7 +429,7 @@ class Arrival(EngineBase):
         stats.transition_misses = transition_misses
         stats.rng_refills = forward.rng_refills + backward.rng_refills
         stats.csr_rebuilds = self.view_rebuilds - rebuilds_before
-        info = {
+        info: Dict[str, Any] = {
             "walk_length": walk_length,
             "num_walks": num_walks,
             "forward_walks": forward.completed_walks,
@@ -444,7 +469,7 @@ class Arrival(EngineBase):
             stats=stats,
         )
 
-    def _miss_probability_bound(self, num_walks: int):
+    def _miss_probability_bound(self, num_walks: int) -> Optional[float]:
         """Proposition-1 style bound on the false-negative probability.
 
         If the walk endpoints collected so far give a robust-
@@ -467,7 +492,7 @@ class Arrival(EngineBase):
             return 1.0 / n_nodes
         return None
 
-    def _current_view(self):
+    def _current_view(self) -> GraphView:
         """The engine's graph view, rebuilt iff the graph mutated.
 
         Stale detection is the :attr:`LabeledGraph.version` counter; the
@@ -481,7 +506,9 @@ class Arrival(EngineBase):
             self.view_rebuilds += 1
         return view
 
-    def _fast_table(self, compiled: CompiledRegex, forward: bool):
+    def _fast_table(
+        self, compiled: CompiledRegex, forward: bool
+    ) -> InternedStepTable:
         """Shared interned transition table for one (regex, direction).
 
         Must be called after :meth:`_current_view` — projecting the
@@ -497,11 +524,11 @@ class Arrival(EngineBase):
         table.project()
         return table
 
-    def _step_cache(self, compiled: CompiledRegex, forward: bool):
+    def _step_cache(
+        self, compiled: CompiledRegex, forward: bool
+    ) -> Optional[_StepCache]:
         """Shared transition cache for one (regex, direction), or None
         when memoisation would be unsound for the current mode."""
-        from repro.regex.matcher import _StepCache
-
         if not self.step_cache:
             return None
         if not _StepCache.usable_for(compiled, self.label_mode):
@@ -526,7 +553,7 @@ class Arrival(EngineBase):
         if self.fast_path:
             self._current_view()
 
-    def query_many(self, queries) -> list:
+    def query_many(self, queries: Iterable[RSPQuery]) -> List[QueryResult]:
         """Answer a workload of RSPQuery objects in order.
 
         With ``adaptive=True`` the endpoint statistics accumulated by

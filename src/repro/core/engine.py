@@ -32,13 +32,32 @@ from __future__ import annotations
 import importlib
 import time
 from dataclasses import dataclass, replace
-from typing import Optional, Protocol, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Type,
+    Union,
+    cast,
+    runtime_checkable,
+)
 
 from repro.core.result import QueryResult
 from repro.core.stats import ExecStats
 from repro.errors import QueryError, UnsupportedQueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.labels import PredicateRegistry
 from repro.queries.query import RSPQuery
+from repro.regex.compiler import RegexLike
 from repro.rng import RngLike, ensure_rng
+
+#: the first positional argument of the public query surface: a node id
+#: (then ``target`` and ``regex`` must follow) or one whole RSPQuery
+QueryInput = Union[int, RSPQuery]
 
 
 @dataclass(frozen=True)
@@ -73,7 +92,13 @@ class Engine(Protocol):
         """Static description of what this engine can answer."""
         ...
 
-    def query(self, source, target=None, regex=None, **kwargs) -> QueryResult:
+    def query(
+        self,
+        source: QueryInput,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+        **kwargs: Any,
+    ) -> QueryResult:
         """Answer one RSPQ (positional fields or one RSPQuery)."""
         ...
 
@@ -88,11 +113,11 @@ class Engine(Protocol):
 
 
 def as_query(
-    source,
-    target=None,
-    regex=None,
+    source: QueryInput,
+    target: Optional[int] = None,
+    regex: Optional[RegexLike] = None,
     *,
-    predicates=None,
+    predicates: Optional[PredicateRegistry] = None,
     distance_bound: Optional[int] = None,
     min_distance: Optional[int] = None,
 ) -> RSPQuery:
@@ -179,14 +204,14 @@ class EngineBase:
 
     def query(
         self,
-        source,
-        target=None,
-        regex=None,
+        source: QueryInput,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
         *,
-        predicates=None,
+        predicates: Optional[PredicateRegistry] = None,
         distance_bound: Optional[int] = None,
         min_distance: Optional[int] = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> QueryResult:
         """Answer one RSPQ through this engine.
 
@@ -223,7 +248,7 @@ class EngineBase:
         stats.jumps = result.jumps
         return result
 
-    def _query(self, query: RSPQuery, **kwargs) -> QueryResult:
+    def _query(self, query: RSPQuery, **kwargs: Any) -> QueryResult:
         raise NotImplementedError
 
     def reseed(self, seed: RngLike) -> None:
@@ -251,7 +276,7 @@ class EngineBase:
 # registry
 # ---------------------------------------------------------------------------
 #: name -> (module, class, accepts a ``seed`` kwarg)
-_ENGINE_SPECS = {
+_ENGINE_SPECS: Dict[str, Tuple[str, str, bool]] = {
     "arrival": ("repro.core.arrival", "Arrival", True),
     "auto": ("repro.core.router", "AutoEngine", True),
     "bfs": ("repro.baselines.bfs", "BFSEngine", False),
@@ -263,12 +288,12 @@ _ENGINE_SPECS = {
 }
 
 
-def engine_names():
+def engine_names() -> List[str]:
     """Registered engine names, sorted."""
     return sorted(_ENGINE_SPECS)
 
 
-def engine_class(name: str):
+def engine_class(name: str) -> Type[EngineBase]:
     """The engine class registered under ``name`` (lazy import)."""
     try:
         module_name, class_name, _ = _ENGINE_SPECS[name]
@@ -276,10 +301,19 @@ def engine_class(name: str):
         raise QueryError(
             f"unknown engine {name!r}; known: {', '.join(engine_names())}"
         ) from None
-    return getattr(importlib.import_module(module_name), class_name)
+    return cast(
+        Type[EngineBase],
+        getattr(importlib.import_module(module_name), class_name),
+    )
 
 
-def make_engine(name: str, graph, *, seed: RngLike = None, **kwargs):
+def make_engine(
+    name: str,
+    graph: LabeledGraph,
+    *,
+    seed: RngLike = None,
+    **kwargs: Any,
+) -> EngineBase:
     """Build a registered engine over ``graph``.
 
     ``seed`` is forwarded only to engines that take one.  This function
@@ -288,7 +322,7 @@ def make_engine(name: str, graph, *, seed: RngLike = None, **kwargs):
     exactly what the process backend of
     :class:`~repro.core.executor.BatchExecutor` needs.
     """
-    cls = engine_class(name)
+    factory: Callable[..., EngineBase] = engine_class(name)
     if _ENGINE_SPECS[name][2] and seed is not None:
         kwargs["seed"] = seed
-    return cls(graph, **kwargs)
+    return factory(graph, **kwargs)

@@ -52,16 +52,19 @@ from __future__ import annotations
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
+    Executor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
 from dataclasses import dataclass, replace
 from threading import local
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, cast
 
 import numpy as np
 
+from repro.core.engine import Engine
 from repro.core.result import QueryResult
 from repro.core.stats import BatchStats
 from repro.queries.query import RSPQuery
@@ -72,7 +75,7 @@ _SETUP_KEY = (0,)
 _QUERY_BRANCH = 1
 
 
-def _stream(seed: int, spawn_key: tuple) -> np.random.Generator:
+def _stream(seed: int, spawn_key: Tuple[int, ...]) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=spawn_key))
 
 
@@ -127,6 +130,11 @@ class BatchReport:
         return [bool(result.reachable) for result in self.results]
 
 
+def _pass_query(query: RSPQuery) -> RSPQuery:
+    """Identity — the thread backend ships queries by reference."""
+    return query
+
+
 def _sanitize_query(query: RSPQuery) -> RSPQuery:
     """Drop private meta entries (e.g. the cached compiled NFA) before a
     query crosses a process boundary; workers recompile locally."""
@@ -141,11 +149,11 @@ def _sanitize_query(query: RSPQuery) -> RSPQuery:
 # -- process-backend worker state -------------------------------------------
 # one engine per worker process, built by the pool initializer so the
 # graph is deserialised once per worker instead of once per query
-_WORKER_ENGINE = None
+_WORKER_ENGINE: Optional[Engine] = None
 _WORKER_SEED: Optional[int] = None
 
 
-def _process_init(factory: Callable, seed: Optional[int]) -> None:
+def _process_init(factory: Callable[[], Engine], seed: Optional[int]) -> None:
     global _WORKER_ENGINE, _WORKER_SEED
     engine = factory()
     if seed is not None:
@@ -156,6 +164,7 @@ def _process_init(factory: Callable, seed: Optional[int]) -> None:
 
 
 def _process_run(index: int, query: RSPQuery) -> QueryResult:
+    assert _WORKER_ENGINE is not None, "pool initializer did not run"
     if _WORKER_SEED is not None:
         _WORKER_ENGINE.reseed(query_stream(_WORKER_SEED, index))
     return _WORKER_ENGINE.query(query)
@@ -195,16 +204,16 @@ class BatchExecutor:
 
     def __init__(
         self,
-        engine=None,
+        engine: Optional[Engine] = None,
         *,
-        factory: Optional[Callable] = None,
+        factory: Optional[Callable[[], Engine]] = None,
         backend: str = "serial",
         workers: int = 4,
         seed: Optional[int] = None,
         timeout_s: Optional[float] = None,
         fail_fast: bool = False,
         max_in_flight: Optional[int] = None,
-    ):
+    ) -> None:
         if backend not in ("serial", "thread", "process"):
             raise ValueError(
                 f"backend must be 'serial', 'thread' or 'process', got {backend!r}"
@@ -244,14 +253,15 @@ class BatchExecutor:
         )
 
     # ------------------------------------------------------------------
-    def _build_engine(self):
+    def _build_engine(self) -> Engine:
+        assert self.factory is not None  # enforced in __init__
         engine = self.factory()
         if self.seed is not None:
             engine.reseed(setup_stream(self.seed))
             engine.prepare()
         return engine
 
-    def _serial_engine(self):
+    def _serial_engine(self) -> Engine:
         if self.engine is not None:
             engine = self.engine
             if self.seed is not None:
@@ -287,8 +297,8 @@ class BatchExecutor:
         return results
 
     # ------------------------------------------------------------------
-    def _thread_engine(self):
-        engine = getattr(self._tls, "engine", None)
+    def _thread_engine(self) -> Engine:
+        engine: Optional[Engine] = getattr(self._tls, "engine", None)
         if engine is None:
             engine = self._build_engine()
             self._tls.engine = engine
@@ -301,31 +311,34 @@ class BatchExecutor:
         return engine.query(query)
 
     def _run_pool(self, queries: List[RSPQuery]) -> List[QueryResult]:
+        pool: Executor
+        run: Callable[[int, RSPQuery], QueryResult]
+        prepare_query: Callable[[RSPQuery], RSPQuery]
         if self.backend == "thread":
             pool = ThreadPoolExecutor(max_workers=self.workers)
-
-            def submit(pool, index, query):
-                return pool.submit(self._thread_run, index, query)
-
+            run = self._thread_run
+            prepare_query = _pass_query
         else:
             pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_process_init,
                 initargs=(self.factory, self.seed),
             )
-
-            def submit(pool, index, query):
-                return pool.submit(_process_run, index, _sanitize_query(query))
+            run = _process_run
+            prepare_query = _sanitize_query
 
         n = len(queries)
         results: List[Optional[QueryResult]] = [None] * n
-        pending: dict = {}  # future -> (index, deadline or None)
+        #: future -> (index, deadline or None)
+        pending: Dict["Future[QueryResult]", Tuple[int, Optional[float]]] = {}
         next_index = 0
         abandoned = False
         try:
             while next_index < n or pending:
                 while next_index < n and len(pending) < self.max_in_flight:
-                    future = submit(pool, next_index, queries[next_index])
+                    future = pool.submit(
+                        run, next_index, prepare_query(queries[next_index])
+                    )
                     deadline = (
                         time.monotonic() + self.timeout_s
                         if self.timeout_s is not None
@@ -333,13 +346,14 @@ class BatchExecutor:
                     )
                     pending[future] = (next_index, deadline)
                     next_index += 1
-                wait_s = None
+                wait_s: Optional[float] = None
                 if self.timeout_s is not None:
                     now = time.monotonic()
-                    wait_s = max(
-                        0.0,
-                        min(d for _, d in pending.values()) - now,
-                    )
+                    deadlines = [
+                        d for _, d in pending.values() if d is not None
+                    ]
+                    if deadlines:
+                        wait_s = max(0.0, min(deadlines) - now)
                 done, _ = wait(
                     set(pending), timeout=wait_s, return_when=FIRST_COMPLETED
                 )
@@ -356,7 +370,7 @@ class BatchExecutor:
                     now = time.monotonic()
                     for future in list(pending):
                         index, deadline = pending[future]
-                        if now >= deadline:
+                        if deadline is not None and now >= deadline:
                             # cancel if still queued; a running worker is
                             # abandoned (not joined on shutdown)
                             future.cancel()
@@ -370,4 +384,5 @@ class BatchExecutor:
                             )
         finally:
             pool.shutdown(wait=not abandoned, cancel_futures=True)
-        return results
+        # every slot is filled on exit: completed, errored or timed out
+        return cast(List[QueryResult], results)

@@ -96,7 +96,7 @@ class GraphView:
         in_edge_ls: List[int],
         node_ls: List[int],
         label_sets: List[LabelSet],
-    ):
+    ) -> None:
         self.version = version
         self.out_indptr = out_indptr
         self.out_indices = out_indices

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.core.stats import ExecStats
@@ -37,7 +37,7 @@ class QueryResult:
     #: total random-walk jumps (ARRIVAL only)
     jumps: int = 0
     #: engine-specific extras (meeting node, parameters used, ...)
-    info: dict = field(default_factory=dict)
+    info: Dict[str, Any] = field(default_factory=dict)
     #: typed instrumentation (stage timings, hot-path counters);
     #: attached by :class:`~repro.core.engine.EngineBase`, excluded from
     #: equality so answer comparisons ignore timing noise

@@ -18,7 +18,7 @@ The chosen engine is recorded in ``result.info["routed_to"]``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.baselines.bbfs import BBFSEngine
 from repro.baselines.landmark import LandmarkIndex
@@ -49,8 +49,8 @@ class AutoEngine(EngineBase):
         li_memory_budget_bytes: Optional[int] = 256_000_000,
         dynamic: bool = False,
         seed: RngLike = None,
-        **arrival_kwargs,
-    ):
+        **arrival_kwargs: Any,
+    ) -> None:
         self.graph = graph
         self.li_label_threshold = li_label_threshold
         self.li_landmarks = li_landmarks
@@ -95,7 +95,9 @@ class AutoEngine(EngineBase):
             return "LI"
         return "ARRIVAL"
 
-    def _query(self, query: RSPQuery, *, exact: bool = False, **kwargs) -> QueryResult:
+    def _query(
+        self, query: RSPQuery, *, exact: bool = False, **kwargs: Any
+    ) -> QueryResult:
         """Answer the query through the routed engine."""
         if exact:
             if self._bbfs is None:
@@ -105,7 +107,9 @@ class AutoEngine(EngineBase):
             return result
         routed = self.route(query)
         if routed == "LI":
-            result = self._landmark_index().query(query)
+            landmark = self._landmark_index()
+            assert landmark is not None  # route() just built and checked it
+            result = landmark.query(query)
         else:
             result = self.arrival.query(query, **kwargs)
         result.info["routed_to"] = routed

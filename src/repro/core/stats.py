@@ -25,7 +25,10 @@ a batch consumer aggregates lives here, typed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.result import QueryResult
 
 #: integer counter fields folded by summation in :meth:`ExecStats.add`
 _COUNTER_FIELDS = (
@@ -110,7 +113,9 @@ class BatchStats:
     engines: Sequence[str] = ()
 
     @classmethod
-    def aggregate(cls, results: Iterable, wall_s: float) -> "BatchStats":
+    def aggregate(
+        cls, results: Iterable["QueryResult"], wall_s: float
+    ) -> "BatchStats":
         """Fold the ``stats`` of every result in a batch.
 
         Timeout and error entries are recognised structurally (they are
@@ -119,7 +124,7 @@ class BatchStats:
         error carries a non-empty ``error``.
         """
         stats = cls(wall_s=wall_s, totals=ExecStats(engine="batch"))
-        engines = []
+        engines: List[str] = []
         for result in results:
             stats.n_queries += 1
             if getattr(result, "error", ""):

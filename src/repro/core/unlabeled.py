@@ -18,9 +18,7 @@ the red-ball/blue-ball bins experiment of Theorem 5.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
-
-import numpy as np
+from typing import Dict, List, Tuple
 
 from repro.core.parameters import StationaryOverlapEstimator
 from repro.core.result import QueryResult

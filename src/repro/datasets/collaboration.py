@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
 
 from repro.datasets._synth import community_edges, sample_zipf
 from repro.graph.labeled_graph import LabeledGraph

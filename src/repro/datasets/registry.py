@@ -80,7 +80,7 @@ def snapshot_of(graph: GraphLike, time: float = None) -> LabeledGraph:
 def table2_summary(scale: float = 1.0, seed: RngLike = 0) -> List[GraphSummary]:
     """One :class:`GraphSummary` per dataset — the Table 2 rows."""
     rows = []
-    for key, spec in DATASETS.items():
+    for spec in DATASETS.values():
         built = spec.build(scale=scale, seed=seed)
         static = snapshot_of(built)
         rows.append(summarize(static, name=spec.name, dynamic=spec.dynamic))

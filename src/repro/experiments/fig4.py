@@ -22,7 +22,7 @@ from repro.core.arrival import Arrival
 from repro.core.parameters import estimate_walk_length, recommended_num_walks
 from repro.datasets.follower import twitter_like
 from repro.errors import IndexBuildError
-from repro.experiments.harness import evaluate_workload, time_query
+from repro.experiments.harness import time_query
 from repro.experiments.memory import arrival_peak_query_bytes
 from repro.experiments.report import ExperimentResult
 from repro.graph.stats import labels_by_frequency

@@ -8,7 +8,7 @@ the number of labels in the query regex (2-8).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Sequence
 
 from repro.baselines.bbfs import BBFSEngine
 from repro.core.arrival import Arrival

@@ -49,7 +49,7 @@ def run(
     rng = ensure_rng(seed)
     specs = datasets or DATASETS
     rows = []
-    for key, spec in specs.items():
+    for spec in specs.values():
         built = spec.build(scale=scale, seed=rng)
         if isinstance(built, TemporalGraph):
             latest = snapshot_of(built)

@@ -25,9 +25,20 @@ are preserved: mutate freely, and the next access rebuilds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import GraphError
 from repro.labels import EMPTY_LABELS, LabelSet, as_label_set
@@ -49,10 +60,10 @@ class CSRSnapshot:
     """
 
     version: int
-    indptr: np.ndarray
-    indices: np.ndarray
+    indptr: npt.NDArray[np.int32]
+    indices: npt.NDArray[np.int32]
 
-    def neighbors(self, node: int) -> np.ndarray:
+    def neighbors(self, node: int) -> npt.NDArray[np.int32]:
         """The node's neighbour row as a numpy slice (no copy)."""
         return self.indices[self.indptr[node] : self.indptr[node + 1]]
 
@@ -71,7 +82,7 @@ class LabeledGraph:
         ``(v, u)`` denote the same edge (labels/attrs are shared).
     """
 
-    def __init__(self, directed: bool = True):
+    def __init__(self, directed: bool = True) -> None:
         self.directed = directed
         #: which elements of a path contribute symbols to its label
         #: sequence: "nodes", "edges", "both", or None (= infer from where
@@ -340,7 +351,7 @@ class LabeledGraph:
 
     def label_alphabet(self) -> LabelSet:
         """The set L of all labels appearing on live nodes or edges."""
-        labels = set()
+        labels: Set[str] = set()
         for node, alive in enumerate(self._alive):
             if alive:
                 labels.update(self._node_labels[node])

@@ -1,0 +1,45 @@
+"""repro.lint — an AST-based invariant linter for this codebase.
+
+The library's correctness contract (no false positives, reproducible
+recall, identical answers across execution backends) rests on a handful
+of conventions that ordinary linters cannot see: all randomness flows
+through :func:`repro.rng.ensure_rng`, engines register in
+:func:`~repro.core.engine.make_engine`, nothing mutates a shared CSR
+snapshot, query logic never reads the wall clock, and iteration that
+feeds answers never runs over an unordered set.  This package machine-
+checks those conventions::
+
+    python -m repro.lint src            # lint the library, exit 1 on hits
+    python -m repro.lint --list-rules   # what is enforced
+    python -m repro.lint src --format json
+
+Suppress a finding on one line with ``# repro: noqa[RULE-ID]`` (or a
+bare ``# repro: noqa`` for every rule).  New rules subclass
+:class:`~repro.lint.framework.Rule` and register with
+:func:`~repro.lint.framework.register`; see ``docs/architecture.md``
+§5c.
+"""
+
+from repro.lint.framework import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    Violation,
+    all_rules,
+    lint_paths,
+    register,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "FileContext",
+    "ProjectContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,96 @@
+"""Command line interface: ``python -m repro.lint [paths...]``.
+
+Exit codes are CI-friendly: ``0`` clean, ``1`` violations found,
+``2`` usage error (unknown rule id, no files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.framework import (
+    all_rules,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+__all__ = ["main"]
+
+
+def _split_ids(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids or None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant linter for the repro codebase: RNG "
+            "discipline, iteration determinism, engine conformance, "
+            "picklability, exception taxonomy, snapshot immutability, "
+            "wall-clock discipline, __all__ coverage."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id:8s} {rule.description}")
+        return 0
+
+    try:
+        violations = lint_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(violations))
+    else:
+        print(render_text(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

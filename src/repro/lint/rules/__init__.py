@@ -1,0 +1,41 @@
+"""Built-in rules of :mod:`repro.lint`.
+
+Importing this package registers every rule with the framework
+registry.  Rule ids are grouped by invariant family:
+
+========  ==========================================================
+family    ids
+========  ==========================================================
+RNG       RNG001 stdlib random, RNG002 unseeded default_rng,
+          RNG003 legacy numpy.random API, RNG004 ensure_rng bypass
+DET       DET001 unordered-set iteration in deterministic packages
+ENG       ENG001 unregistered engine, ENG002 undeclared capabilities
+PKL       PKL001 unpicklable callable handed to the process backend
+EXC       EXC001 bare except, EXC002 ad-hoc builtin raise
+SNAP      SNAP001 CSR snapshot mutation outside labeled_graph
+TIM       TIM001 wall-clock read outside timing code
+API       API001 __all__ coverage, API002 stale __all__ entry
+========  ==========================================================
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imports register the rules)
+    determinism,
+    engines,
+    exceptions,
+    picklable,
+    public_api,
+    rng_discipline,
+    snapshots,
+    wallclock,
+)
+
+__all__ = [
+    "determinism",
+    "engines",
+    "exceptions",
+    "picklable",
+    "public_api",
+    "rng_discipline",
+    "snapshots",
+    "wallclock",
+]

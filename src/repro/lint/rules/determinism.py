@@ -1,0 +1,163 @@
+"""Iteration-determinism rule.
+
+Sets hash by value, and string hashing is salted per process
+(``PYTHONHASHSEED``), so iterating a ``set``/``frozenset`` whose
+elements feed result construction, walk scheduling or output ordering
+can change answers between runs and between the executor's worker
+processes.  In the deterministic packages (``repro.core``,
+``repro.baselines``, ``repro.regex``) every such iteration must either
+go through ``sorted(...)`` or carry an explicit suppression arguing why
+order cannot matter.
+
+The check is intentionally syntactic (no type inference): it flags
+iteration whose iterable is *visibly* a set — a ``set(...)`` /
+``frozenset(...)`` call, a set literal or comprehension, a set-algebra
+expression over those, a name bound to one of the above earlier in the
+same scope, or a ``.keys()`` view (dict order is insertion order, which
+is itself set-derived more often than not in these packages).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+
+__all__ = ["SetIterationRule"]
+
+#: packages whose iteration order reaches answers, walks, or reports
+_DETERMINISTIC_PACKAGES = ("repro.core", "repro.baselines", "repro.regex")
+
+_SET_CONSTRUCTORS = ("set", "frozenset")
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+class _Scope:
+    """Names visibly bound to set values within one function/module."""
+
+    def __init__(self) -> None:
+        self.set_names: Dict[str, ast.AST] = {}
+
+
+class _SetIterationVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext, rule_id: str) -> None:
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self.violations: List[Violation] = []
+        self.scopes: List[_Scope] = [_Scope()]
+
+    # -- scope management ----------------------------------------------
+    def _enter_scope(self) -> None:
+        self.scopes.append(_Scope())
+
+    def _leave_scope(self) -> None:
+        self.scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._leave_scope()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._leave_scope()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._leave_scope()
+
+    # -- binding tracking ----------------------------------------------
+    def _bind(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            scope = self.scopes[-1]
+            if self._is_setlike(value):
+                scope.set_names[target.id] = value
+            else:
+                scope.set_names.pop(target.id, None)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            self._bind(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            self._bind(node.target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        # `s |= other` keeps a tracked set a set; anything else untracks
+        if isinstance(node.target, ast.Name) and not isinstance(
+            node.op, _SET_OPS
+        ):
+            self.scopes[-1].set_names.pop(node.target.id, None)
+
+    # -- iteration sites -----------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def _check_iterable(self, iterable: ast.AST) -> None:
+        described = self._describe_setlike(iterable)
+        if described is not None:
+            self.violations.append(
+                self.ctx.violation(
+                    iterable,
+                    self.rule_id,
+                    f"iteration over {described} has no deterministic "
+                    "order; wrap it in sorted(...)",
+                )
+            )
+
+    def _is_setlike(self, node: ast.AST) -> bool:
+        return self._describe_setlike(node) is not None
+
+    def _describe_setlike(self, node: ast.AST) -> "str | None":
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+                return f"a {func.id}(...) value"
+            if isinstance(func, ast.Attribute) and func.attr == "keys":
+                return "a .keys() view (insertion-ordered, not a contract)"
+            return None
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            if self._is_setlike(node.left) or self._is_setlike(node.right):
+                return "a set-algebra expression"
+            return None
+        if isinstance(node, ast.Name):
+            for scope in reversed(self.scopes):
+                if node.id in scope.set_names:
+                    return f"the set-valued name {node.id!r}"
+            return None
+        return None
+
+
+@register
+class SetIterationRule(Rule):
+    """Unordered iteration inside the deterministic packages."""
+
+    rule_id = "DET001"
+    description = (
+        "iteration over a set/frozenset/.keys() view in repro.core, "
+        "repro.baselines or repro.regex without sorted(...)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_module(*_DETERMINISTIC_PACKAGES):
+            return
+        visitor = _SetIterationVisitor(ctx, self.rule_id)
+        visitor.visit(ctx.tree)
+        yield from visitor.violations

@@ -1,0 +1,175 @@
+"""Engine-conformance rules (cross-file).
+
+Every concrete :class:`~repro.core.engine.EngineBase` subclass must be
+reachable through :func:`~repro.core.engine.make_engine` — the registry
+is what the CLI, the benchmarks and the process-pool factories build
+from, so an unregistered engine silently falls out of the conformance
+suite and the determinism sweeps.  Each engine must also declare what
+it can do: a ``name`` and at least one capability flag (or a
+``capabilities`` override), the surface
+:class:`~repro.core.engine.EngineCapabilities` is derived from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.framework import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    Violation,
+    register,
+)
+
+__all__ = ["EngineCapabilityRule", "EngineRegistrationRule"]
+
+#: the EngineBase class flags that EngineCapabilities derives from
+_CAPABILITY_FLAGS = frozenset(
+    {
+        "approximate",
+        "enforces_simple_paths",
+        "index_free",
+        "supports_distance_bounds",
+        "supports_dynamic",
+        "supports_full_regex",
+        "supports_query_time_labels",
+    }
+)
+
+#: name of the registry mapping in repro.core.engine
+_SPEC_NAME = "_ENGINE_SPECS"
+
+
+def _engine_subclasses(
+    project: ProjectContext,
+) -> List[Tuple[FileContext, ast.ClassDef]]:
+    """Concrete EngineBase subclasses (underscore-prefixed are exempt:
+    they are implementation scaffolding, not user-facing engines)."""
+    found: List[Tuple[FileContext, ast.ClassDef]] = []
+    for ctx in project.files:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            for base in node.bases:
+                base_name = (
+                    base.id
+                    if isinstance(base, ast.Name)
+                    else base.attr
+                    if isinstance(base, ast.Attribute)
+                    else None
+                )
+                if base_name == "EngineBase":
+                    found.append((ctx, node))
+                    break
+    return found
+
+
+def _registered_engines(
+    project: ProjectContext,
+) -> Optional[Set[Tuple[str, str]]]:
+    """``(module, class)`` pairs listed in ``_ENGINE_SPECS``, or None if
+    no registry file is part of this run."""
+    for ctx in project.files:
+        for node in ctx.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == _SPEC_NAME
+                for target in targets
+            ):
+                continue
+            if not isinstance(value, ast.Dict):
+                continue
+            registered: Set[Tuple[str, str]] = set()
+            for spec in value.values:
+                if (
+                    isinstance(spec, ast.Tuple)
+                    and len(spec.elts) >= 2
+                    and isinstance(spec.elts[0], ast.Constant)
+                    and isinstance(spec.elts[1], ast.Constant)
+                ):
+                    registered.add((str(spec.elts[0].value), str(spec.elts[1].value)))
+            return registered
+    return None
+
+
+@register
+class EngineRegistrationRule(Rule):
+    """Every concrete engine must be in ``make_engine``'s registry."""
+
+    rule_id = "ENG001"
+    description = (
+        "EngineBase subclass not registered in make_engine's "
+        "_ENGINE_SPECS registry"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        registered = _registered_engines(project)
+        if registered is None:
+            # the registry module is outside this run; nothing to check
+            return
+        for ctx, node in _engine_subclasses(project):
+            if (ctx.module, node.name) not in registered:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"engine class {node.name} is not registered in "
+                    f"{_SPEC_NAME}; add it to repro.core.engine so "
+                    "make_engine / the conformance suite can reach it",
+                )
+
+
+@register
+class EngineCapabilityRule(Rule):
+    """Engines must declare a name and their capabilities."""
+
+    rule_id = "ENG002"
+    description = (
+        "EngineBase subclass must set `name` and declare capabilities "
+        "(a class flag or a `capabilities` override)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        for ctx, node in _engine_subclasses(project):
+            assigned: Set[str] = set()
+            methods: Set[str] = set()
+            for statement in node.body:
+                if isinstance(statement, ast.Assign):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name):
+                            assigned.add(target.id)
+                elif isinstance(statement, ast.AnnAssign) and isinstance(
+                    statement.target, ast.Name
+                ):
+                    assigned.add(statement.target.id)
+                elif isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    methods.add(statement.name)
+            if "name" not in assigned:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"engine class {node.name} does not set `name`; the "
+                    "registry, stats records and reports key on it",
+                )
+            declares = bool(assigned & _CAPABILITY_FLAGS)
+            if not declares and "capabilities" not in methods:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"engine class {node.name} declares no capabilities; "
+                    "set at least one EngineBase flag (approximate, "
+                    "index_free, ...) or override `capabilities`",
+                )

@@ -1,0 +1,76 @@
+"""Exception-taxonomy rules.
+
+Callers of the library catch :class:`repro.errors.ReproError` (and its
+partitioned subclasses) — the batch executor's collect-errors mode, the
+router's index-build fallback and the experiment harness all depend on
+failures being classifiable.  A bare ``except:`` swallows
+``KeyboardInterrupt``/``SystemExit`` and hides the failure mode; an
+ad-hoc ``raise Exception(...)`` / ``RuntimeError`` escapes the
+hierarchy entirely.  Builtin *programmer-error* types (``ValueError``,
+``TypeError``, ``NotImplementedError``, ...) remain legitimate for
+misuse of an API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+
+__all__ = ["AdHocRaiseRule", "BareExceptRule"]
+
+#: builtins that escape the ReproError taxonomy without saying anything
+_BANNED_RAISES = frozenset({"BaseException", "Exception", "RuntimeError"})
+
+
+@register
+class BareExceptRule(Rule):
+    """``except:`` with no exception class."""
+
+    rule_id = "EXC001"
+    description = (
+        "bare `except:` swallows KeyboardInterrupt/SystemExit; catch a "
+        "class (at minimum `except Exception:`)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    "bare except; name the exception class being handled",
+                )
+
+
+@register
+class AdHocRaiseRule(Rule):
+    """Raises in ``repro`` must use the :mod:`repro.errors` hierarchy."""
+
+    rule_id = "EXC002"
+    description = (
+        "raise of bare Exception/RuntimeError inside repro; use the "
+        "repro.errors hierarchy so callers can classify the failure"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_module("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _BANNED_RAISES:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"raise {name}: use a repro.errors subclass "
+                    "(ReproError hierarchy) so callers can catch it "
+                    "precisely",
+                )

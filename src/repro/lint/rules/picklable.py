@@ -1,0 +1,123 @@
+"""Process-backend picklability rule.
+
+The executor's ``process`` backend ships its engine factory (and the
+pool initializer) to worker processes with pickle.  Lambdas and
+functions defined inside another function do not pickle, so the failure
+only shows up at runtime, on the platform that actually forks the pool.
+The canonical shape is a module-level callable, usually
+``functools.partial(make_engine, "arrival", graph, seed=7)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+
+__all__ = ["ProcessPicklabilityRule"]
+
+
+class _PickleVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext, rule_id: str) -> None:
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self.violations: List[Violation] = []
+        #: per enclosing-function scope: names of functions defined there
+        self.local_defs: List[Set[str]] = []
+
+    # -- scope tracking ------------------------------------------------
+    def _visit_function(self, node: ast.AST) -> None:
+        if self.local_defs:
+            self.local_defs[-1].add(getattr(node, "name", ""))
+        self.local_defs.append(set())
+        self.generic_visit(node)
+        self.local_defs.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # ------------------------------------------------------------------
+    def _is_unpicklable(self, node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Lambda):
+            return "a lambda"
+        if isinstance(node, ast.Name) and any(
+            node.id in scope for scope in self.local_defs
+        ):
+            return f"the locally defined function {node.id!r}"
+        return None
+
+    def _flag(self, node: ast.AST, what: str, where: str) -> None:
+        self.violations.append(
+            self.ctx.violation(
+                node,
+                self.rule_id,
+                f"{what} handed to {where} does not pickle; use a "
+                "module-level callable (e.g. functools.partial over "
+                "make_engine)",
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        callee = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if callee == "BatchExecutor":
+            is_process = any(
+                keyword.arg == "backend"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value == "process"
+                for keyword in node.keywords
+            )
+            if is_process:
+                for keyword in node.keywords:
+                    if keyword.arg != "factory":
+                        continue
+                    what = self._is_unpicklable(keyword.value)
+                    if what:
+                        self._flag(
+                            keyword.value, what, "the process backend"
+                        )
+        elif callee == "ProcessPoolExecutor":
+            for keyword in node.keywords:
+                if keyword.arg in ("initializer",):
+                    what = self._is_unpicklable(keyword.value)
+                    if what:
+                        self._flag(
+                            keyword.value, what, "a ProcessPoolExecutor"
+                        )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "submit"
+            and node.args
+        ):
+            what = self._is_unpicklable(node.args[0])
+            if what:
+                self._flag(node.args[0], what, "an executor submit()")
+        self.generic_visit(node)
+
+
+@register
+class ProcessPicklabilityRule(Rule):
+    """Unpicklable callables must not reach the process backend."""
+
+    rule_id = "PKL001"
+    description = (
+        "lambda / locally defined function handed to the process "
+        "backend (factory, initializer, or submit target)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        visitor = _PickleVisitor(ctx, self.rule_id)
+        visitor.visit(ctx.tree)
+        yield from visitor.violations

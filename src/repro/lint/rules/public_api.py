@@ -1,0 +1,155 @@
+"""Public-API ``__all__`` coverage rules.
+
+Package ``__init__`` modules are the library's public surface; keeping
+``__all__`` complete makes ``from repro import *`` deterministic,
+documents the API, and lets the docs/tests enumerate it.  Two checks:
+every public top-level binding must be listed (API001), and every
+listed name must actually be bound (API002) — a stale entry breaks
+``import *`` at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+
+__all__ = ["AllCoverageRule", "AllResolvesRule"]
+
+
+def _top_level_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into try/if guards (version
+    fallbacks still create top-level bindings)."""
+    for node in body:
+        yield node
+        if isinstance(node, ast.Try):
+            for block in (node.body, node.orelse, node.finalbody):
+                yield from _top_level_statements(block)
+            for handler in node.handlers:
+                yield from _top_level_statements(handler.body)
+        elif isinstance(node, ast.If):
+            yield from _top_level_statements(node.body)
+            yield from _top_level_statements(node.orelse)
+
+
+def _module_bindings(ctx: FileContext) -> Dict[str, ast.stmt]:
+    """name -> binding statement for every top-level binding."""
+    bindings: Dict[str, ast.stmt] = {}
+    for node in _top_level_statements(ctx.tree.body):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bindings[alias.asname or alias.name.split(".")[0]] = node
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    bindings[alias.asname or alias.name] = node
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bindings[node.name] = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bindings[target.id] = node
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            bindings[element.id] = node
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            bindings[node.target.id] = node
+    return bindings
+
+
+def _declared_all(
+    ctx: FileContext,
+) -> Tuple[Optional[ast.stmt], Set[str]]:
+    """The ``__all__`` assignment node and the names it lists."""
+    for node in _top_level_statements(ctx.tree.body):
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            value = node.value
+        if value is None:
+            continue
+        names: Set[str] = set()
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    names.add(element.value)
+        return node, names
+    return None, set()
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+@register
+class AllCoverageRule(Rule):
+    """Package ``__init__`` files must export their public surface."""
+
+    rule_id = "API001"
+    description = (
+        "package __init__ missing __all__, or a public top-level "
+        "binding not listed in it"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.is_package_init or not ctx.in_module("repro"):
+            return
+        bindings = _module_bindings(ctx)
+        public = sorted(name for name in bindings if _is_public(name))
+        declaration, listed = _declared_all(ctx)
+        if declaration is None:
+            if public:
+                yield ctx.violation(
+                    ctx.tree,
+                    self.rule_id,
+                    f"package __init__ defines {len(public)} public "
+                    "name(s) but no __all__",
+                )
+            return
+        for name in public:
+            if name not in listed:
+                yield ctx.violation(
+                    bindings[name],
+                    self.rule_id,
+                    f"public name {name!r} is not listed in __all__",
+                )
+
+
+@register
+class AllResolvesRule(Rule):
+    """Every ``__all__`` entry must be bound in the module."""
+
+    rule_id = "API002"
+    description = "__all__ lists a name the module does not bind"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_module("repro"):
+            return
+        declaration, listed = _declared_all(ctx)
+        if declaration is None:
+            return
+        bindings = _module_bindings(ctx)
+        for name in sorted(listed):
+            if name not in bindings:
+                yield ctx.violation(
+                    declaration,
+                    self.rule_id,
+                    f"__all__ entry {name!r} is not bound in this "
+                    "module (import * would raise AttributeError)",
+                )

@@ -1,0 +1,145 @@
+"""CSR-snapshot immutability rule.
+
+:class:`~repro.graph.labeled_graph.CSRSnapshot` objects are shared,
+version-stamped views: the graph caches them, engines flatten them into
+:class:`~repro.core.fastpath.GraphView` rows, and the whole fast path
+assumes their arrays never change after construction.  The dataclass is
+frozen, but numpy array *contents* are not — an in-place write corrupts
+every holder of the snapshot without bumping the graph version.  Only
+``labeled_graph.py`` (the producer) may touch snapshot internals.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+
+__all__ = ["SnapshotMutationRule"]
+
+#: the producer module, exempt by definition
+_PRODUCER = "repro.graph.labeled_graph"
+
+#: CSRSnapshot field names — assigning them on anything but ``self``
+#: outside the producer is mutation of a shared snapshot
+_SNAPSHOT_FIELDS = frozenset({"indptr", "indices"})
+
+#: methods whose return value is a live CSRSnapshot
+_SNAPSHOT_SOURCES = frozenset({"in_csr", "out_csr"})
+
+
+class _SnapshotVisitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext, rule_id: str) -> None:
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self.violations: List[Violation] = []
+        self.tracked: List[Set[str]] = [set()]
+
+    # -- scope handling ------------------------------------------------
+    def _visit_function(self, node: ast.AST) -> None:
+        self.tracked.append(set())
+        self.generic_visit(node)
+        self.tracked.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- binding tracking ----------------------------------------------
+    @staticmethod
+    def _is_snapshot_source(value: ast.AST) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in _SNAPSHOT_SOURCES
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if self._is_snapshot_source(node.value):
+                    self.tracked[-1].add(target.id)
+                else:
+                    self.tracked[-1].discard(target.id)
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def _is_tracked(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and any(
+            node.id in scope for scope in self.tracked
+        )
+
+    def _check_store(self, target: ast.AST) -> None:
+        # snapshot.attr = ... / snapshot.attr[i] = ... on a tracked name
+        if isinstance(target, ast.Attribute) and self._is_tracked(
+            target.value
+        ):
+            self._flag(target, f"attribute {target.attr!r}")
+            return
+        if isinstance(target, ast.Subscript):
+            inner = target.value
+            if self._is_tracked(inner):
+                self._flag(target, "an item")
+                return
+            if isinstance(inner, ast.Attribute) and (
+                self._is_tracked(inner.value)
+                or (
+                    inner.attr in _SNAPSHOT_FIELDS
+                    and not self._is_self(inner.value)
+                )
+            ):
+                self._flag(target, f"the {inner.attr!r} array")
+                return
+        # x.indptr = ... on anything that is not `self`
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in _SNAPSHOT_FIELDS
+            and not self._is_self(target.value)
+        ):
+            self._flag(target, f"the {target.attr!r} array")
+
+    @staticmethod
+    def _is_self(node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id == "self"
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.violations.append(
+            self.ctx.violation(
+                node,
+                self.rule_id,
+                f"mutation of {what} of a CSR snapshot outside "
+                "labeled_graph.py; snapshots are shared read-only "
+                "views — mutate the graph and let it rebuild",
+            )
+        )
+
+
+@register
+class SnapshotMutationRule(Rule):
+    """CSR snapshots are immutable outside their producer module."""
+
+    rule_id = "SNAP001"
+    description = (
+        "attribute/item mutation of a CSRSnapshot (out_csr()/in_csr() "
+        "value, or .indptr/.indices arrays) outside labeled_graph.py"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.in_module(_PRODUCER):
+            return
+        visitor = _SnapshotVisitor(ctx, self.rule_id)
+        visitor.visit(ctx.tree)
+        yield from visitor.violations

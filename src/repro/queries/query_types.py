@@ -67,5 +67,7 @@ def build_query_regex(query_type: int, labels: Sequence[Symbol]) -> Regex:
     try:
         builder = _BUILDERS[query_type]
     except KeyError:
-        raise ValueError(f"query type must be 1, 2 or 3, got {query_type}")
+        raise ValueError(
+            f"query type must be 1, 2 or 3, got {query_type}"
+        ) from None
     return builder(labels)

@@ -25,7 +25,7 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.errors import UnsupportedRegexError
-from repro.labels import LabelSet, Predicate, Symbol
+from repro.labels import LabelSet, Predicate
 
 StateSet = FrozenSet[int]
 

@@ -187,7 +187,7 @@ class _Parser:
                 try:
                     node = Repeat(node, low, high)
                 except ValueError as error:
-                    raise RegexSyntaxError(str(error), position)
+                    raise RegexSyntaxError(str(error), position) from error
             else:
                 return node
 

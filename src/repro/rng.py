@@ -36,7 +36,7 @@ def spawn(rng: np.random.Generator, n: int) -> Sequence[np.random.Generator]:
     """Split ``rng`` into ``n`` statistically independent child generators."""
     seed_seq = getattr(rng.bit_generator, "seed_seq", None)
     if seed_seq is None:  # public alias only exists on newer numpy
-        seed_seq = rng.bit_generator._seed_seq
+        seed_seq = getattr(rng.bit_generator, "_seed_seq")
     return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
 
 
@@ -56,7 +56,7 @@ class LegacyIndexSampler:
 
     __slots__ = ("_rng", "refills")
 
-    def __init__(self, rng: np.random.Generator):
+    def __init__(self, rng: np.random.Generator) -> None:
         self._rng = rng
         self.refills = 0
 
@@ -80,7 +80,7 @@ class BatchedIndexSampler:
 
     __slots__ = ("_rng", "_block", "_buffer", "_position", "refills")
 
-    def __init__(self, rng: np.random.Generator, block: int = 1024):
+    def __init__(self, rng: np.random.Generator, block: int = 1024) -> None:
         if block < 1:
             raise ValueError("block size must be positive")
         self._rng = rng

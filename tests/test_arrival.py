@@ -22,7 +22,7 @@ from repro.queries.query import RSPQuery
 from repro.regex.compiler import compile_regex
 from repro.regex.matcher import COMPATIBLE, check_path, is_simple
 
-from strategies import diamond_graph, small_edge_labeled_graphs
+from strategies import small_edge_labeled_graphs
 
 
 @pytest.fixture

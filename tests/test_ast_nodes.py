@@ -10,13 +10,11 @@ from repro.regex.ast_nodes import (
     Epsilon,
     Literal,
     Negation,
-    Optional,
     Plus,
     Star,
     alt,
     concat,
     literal,
-    plus,
     star,
 )
 from repro.regex.parser import parse_regex

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.labels import Predicate, PredicateRegistry
-from repro.regex.ast_nodes import Literal, Star
+from repro.labels import PredicateRegistry
 from repro.regex.compiler import CompiledRegex, compile_regex
 from repro.regex.parser import parse_regex
 

@@ -12,7 +12,7 @@ from repro.regex.dfa import determinize, minimize
 from repro.regex.parser import parse_regex
 from repro.regex.thompson import build_nfa
 
-from strategies import regexes, to_python_re, words
+from strategies import regexes, words
 
 
 class TestDeterminize:

@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core.arrival import Arrival
 from repro.core.enumeration import (

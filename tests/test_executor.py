@@ -103,7 +103,7 @@ def test_serial_without_seed_matches_plain_loop(graph):
 def test_results_in_workload_order(graph, factory):
     queries = workload(graph, 10)
     report = BatchExecutor(factory=factory, seed=1).run(queries)
-    for query, result in zip(queries, report.results):
+    for result in report.results:
         assert result.method in ("ARRIVAL",)
         assert result.stats is not None
 

@@ -92,7 +92,7 @@ class TestDynamicPipeline:
         engine_late = Arrival(late, walk_length=10, num_walks=80, seed=4)
         if late_truth:
             # high-probability find on the late snapshot
-            result = engine_late.query(query)
+            engine_late.query(query)
             # the early snapshot has ~10% of the edges; a positive there
             # must also be positive later (edges only accumulate)
             engine_early = Arrival(early, walk_length=10, num_walks=80, seed=4)

@@ -135,7 +135,7 @@ class TestNaiveMeet:
         graph, compiled = _fixture()
         # backward path via node 4: join 0-4 would read "c" — incompatible
         opposite = WalkStore()
-        walk = opposite.new_walk(4)
+        opposite.new_walk(4)
         joined = naive_meet(
             compiled, graph, "edges",
             current_path=[0, 4],

@@ -5,7 +5,6 @@ import re
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.errors import UnsupportedRegexError
 from repro.labels import Predicate

@@ -2,7 +2,6 @@
 step counts, and must disable itself where it would be unsound."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -13,7 +12,6 @@ from repro.regex.matcher import (
     BackwardTracker,
     ForwardTracker,
     _StepCache,
-    check_path,
 )
 
 from strategies import labels, regexes, small_edge_labeled_graphs

@@ -8,9 +8,8 @@ from hypothesis import strategies as st
 from repro.core.walks import SideRunner
 from repro.graph.labeled_graph import LabeledGraph
 from repro.regex.compiler import compile_regex
-from repro.regex.matcher import BackwardTracker, ForwardTracker
+from repro.regex.matcher import BackwardTracker
 
-from strategies import small_edge_labeled_graphs
 
 
 def runner(graph, regex, origin, forward, walk_length=4, seed=0, **kwargs):

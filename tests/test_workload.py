@@ -9,7 +9,6 @@ from repro.queries.buckets import density_buckets
 from repro.queries.workload import WorkloadGenerator
 from repro.regex.ast_nodes import Negation
 from repro.regex.compiler import compile_regex
-from repro.regex.matcher import COMPATIBLE, check_path
 
 
 @pytest.fixture(scope="module")

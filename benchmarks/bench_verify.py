@@ -1,0 +1,172 @@
+"""Paranoid-mode overhead — ``check="positives"`` must stay cheap.
+
+The acceptance bar for the verification layer: re-validating every
+witnessed positive through the independent witness oracle may add at
+most 10% latency to a batch sweep, and must never change an answer.
+One seeded ARRIVAL workload on a synthetic twitter-like graph runs
+through ``BatchExecutor`` with paranoid mode off and on, and the
+overhead, oracle counters, and answer agreement are persisted to
+``results/BENCH_verify.json``.
+
+The asserted overhead is the *timed oracle stage* (``stats.oracle_s``,
+a ``perf_counter`` pair around each check inside ``EngineBase``)
+relative to the engine time of the same run: on shared CI machines the
+wall-clock difference between two sub-second sweeps swings tens of
+percent either way from scheduler noise, while the per-check stage
+timer measures exactly the work paranoid mode adds.  Both numbers are
+recorded; only the stage-based one gates.
+"""
+
+import json
+import time
+from functools import partial
+
+import numpy as np
+
+import pytest
+
+from repro.core import BatchExecutor, make_engine
+from repro.datasets import twitter_like
+from repro.graph.stats import labels_by_frequency
+from repro.queries import RSPQuery
+
+from conftest import RESULTS_DIR, n_queries, scaled
+
+WALK_LENGTH = 20
+NUM_WALKS = 80
+BATCH_SEED = 97
+#: the acceptance bar: paranoid positives-checking adds < 10% latency
+MAX_OVERHEAD_PCT = 10.0
+#: timing noise guard: best-of-N for each configuration
+REPEATS = 3
+
+
+def verify_workload(graph, count, seed):
+    top = labels_by_frequency(graph)[:4]
+    regexes = [
+        "(" + " | ".join(top) + ")*",
+        "(" + " | ".join(top[:2]) + ")+",
+    ]
+    rng = np.random.default_rng(seed)
+    return [
+        RSPQuery(
+            int(rng.integers(graph.num_nodes)),
+            int(rng.integers(graph.num_nodes)),
+            regexes[i % len(regexes)],
+        )
+        for i in range(count)
+    ]
+
+
+def summarize(report, elapsed, queries):
+    return {
+        "seconds": elapsed,
+        "queries_per_second": len(queries) / elapsed if elapsed else 0.0,
+        "n_reachable": report.stats.n_reachable,
+        "engine_total_s": report.stats.totals.total_s,
+        "oracle_checks": report.stats.totals.oracle_checks,
+        "oracle_violations": report.stats.totals.oracle_violations,
+        "oracle_s": report.stats.totals.oracle_s,
+        "answers": report.answers(),
+    }
+
+
+@pytest.fixture(scope="module")
+def report():
+    graph = twitter_like(n_nodes=round(scaled(10_000)), seed=17)
+    queries = verify_workload(graph, count=n_queries(24), seed=29)
+    factory = partial(
+        make_engine,
+        "arrival",
+        graph,
+        walk_length=WALK_LENGTH,
+        num_walks=NUM_WALKS,
+    )
+    executors = {
+        check: BatchExecutor(
+            factory=factory, backend="serial", seed=BATCH_SEED, check=check
+        )
+        for check in ("off", "positives")
+    }
+    for executor in executors.values():
+        executor.run(queries)  # warmup: CSR build + NFA compile cache
+    # interleave the modes so frequency/scheduler drift hits both alike
+    best = {}
+    for _ in range(REPEATS):
+        for check, executor in executors.items():
+            start = time.perf_counter()
+            run = executor.run(queries)
+            elapsed = time.perf_counter() - start
+            if check not in best or elapsed < best[check][0]:
+                best[check] = (elapsed, run)
+    off = summarize(best["off"][1], best["off"][0], queries)
+    paranoid = summarize(
+        best["positives"][1], best["positives"][0], queries
+    )
+    # the gating metric: timed oracle stage over the same run's pure
+    # engine time (total_s includes oracle_s, so subtract it back out)
+    engine_s = paranoid["engine_total_s"] - paranoid["oracle_s"]
+    overhead_pct = 100.0 * paranoid["oracle_s"] / engine_s if engine_s else 0.0
+    overhead_pct_wall = (
+        100.0 * (paranoid["seconds"] - off["seconds"]) / off["seconds"]
+        if off["seconds"]
+        else 0.0
+    )
+    payload = {
+        "graph": {"n_nodes": graph.num_nodes, "n_edges": graph.num_edges},
+        "workload": {
+            "n_queries": len(queries),
+            "walk_length": WALK_LENGTH,
+            "num_walks": NUM_WALKS,
+            "batch_seed": BATCH_SEED,
+            "repeats": REPEATS,
+        },
+        "off": {k: v for k, v in off.items() if k != "answers"},
+        "positives": {
+            k: v for k, v in paranoid.items() if k != "answers"
+        },
+        "overhead_pct": overhead_pct,
+        "overhead_pct_wall": overhead_pct_wall,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "answers_identical": off["answers"] == paranoid["answers"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_verify.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nverify: off {off['queries_per_second']:.1f} q/s, "
+        f"positives {paranoid['queries_per_second']:.1f} q/s, "
+        f"oracle stage {overhead_pct:+.2f}% "
+        f"(wall {overhead_pct_wall:+.2f}%, "
+        f"{paranoid['oracle_checks']} witnesses checked, "
+        f"{paranoid['oracle_violations']} violations) -> {path}\n"
+    )
+    return payload
+
+
+def test_paranoid_overhead_under_bar(report):
+    assert report["overhead_pct"] < report["max_overhead_pct"], report
+
+
+def test_paranoid_mode_changes_no_answers(report):
+    assert report["answers_identical"], report
+
+
+def test_oracle_actually_checked_positives(report):
+    assert report["positives"]["oracle_checks"] > 0
+    assert report["positives"]["oracle_violations"] == 0
+    assert report["off"]["oracle_checks"] == 0
+
+
+def test_paranoid_throughput(benchmark):
+    graph = twitter_like(n_nodes=round(scaled(2_000)), seed=17)
+    queries = verify_workload(graph, count=4, seed=29)
+    factory = partial(
+        make_engine, "arrival", graph, walk_length=16, num_walks=40
+    )
+    executor = BatchExecutor(
+        factory=factory, backend="serial", seed=BATCH_SEED,
+        check="positives",
+    )
+    executor.run(queries)  # warmup
+    benchmark(executor.run, queries)

@@ -15,6 +15,10 @@ Usage (also via ``python -m repro.cli``)::
     # enumerate compatible simple paths
     python -m repro.cli enumerate g.json 0 42 "Occ:o0+" --limit 3
 
+    # differentially verify engine answers on a stored workload
+    python -m repro.cli verify g.json --workload w.json \
+        --engines arrival,bbfs --seed 7 --out report.json
+
     # regenerate a paper table/figure
     python -m repro.cli experiment table3 --scale 0.3 --queries 10
 """
@@ -149,6 +153,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--workers", type=int, default=4,
                           help="worker count for parallel backends")
+
+    verify = commands.add_parser(
+        "verify", help="differentially verify engine answers on a "
+        "workload and emit a JSON report"
+    )
+    verify.add_argument("graph")
+    what = verify.add_mutually_exclusive_group(required=True)
+    what.add_argument("--workload", help="workload file to sweep")
+    what.add_argument(
+        "--query", help="one query as inline JSON "
+        '(e.g. \'{"source": 0, "target": 3, "regex": "a b"}\')',
+    )
+    what.add_argument(
+        "--replay", help="re-adjudicate a stored divergence fingerprint "
+        "(JSON file)",
+    )
+    verify.add_argument(
+        "--engines", default="arrival,bbfs",
+        help="comma-separated engine set to adjudicate "
+        f"(known: {', '.join(engine_names())})",
+    )
+    verify.add_argument("--seed", type=int, default=None)
+    verify.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="serial",
+    )
+    verify.add_argument("--workers", type=int, default=4)
+    verify.add_argument("--timeout", type=float, default=None,
+                        help="per-query deadline in seconds")
+    verify.add_argument("--out", default=None,
+                        help="write the JSON report here")
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -334,6 +369,72 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    import json
+
+    from repro.queries.io import load_workload, query_from_dict
+    from repro.verify.oracle import (
+        DifferentialOracle,
+        Fingerprint,
+        replay_fingerprint,
+    )
+
+    graph = _load_graph(args.graph)
+
+    if args.replay:
+        with open(args.replay, encoding="utf-8") as handle:
+            fingerprint = Fingerprint.from_dict(json.load(handle))
+        adjudication = replay_fingerprint(
+            graph, fingerprint, dataset=args.graph,
+            backend=args.backend, workers=args.workers,
+            timeout_s=args.timeout,
+        )
+        print(f"query: {adjudication.query}")
+        print(f"answers: {adjudication.answers}")
+        if adjudication.divergences:
+            for found in adjudication.divergences:
+                print(f"divergence [{found.engine}] {found.kind}: "
+                      f"{found.detail}")
+            print("fingerprint still reproduces")
+            return 1
+        print("fingerprint no longer reproduces (clean)")
+        return 0
+
+    oracle = DifferentialOracle(
+        graph,
+        tuple(part for part in args.engines.split(",") if part),
+        dataset=args.graph,
+        seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+        timeout_s=args.timeout,
+    )
+    if args.query:
+        queries = [query_from_dict(json.loads(args.query))]
+    else:
+        queries = load_workload(args.workload)
+    report = oracle.run(queries)
+    payload = report.as_dict()
+    print(f"adjudicated {report.n_queries} queries across "
+          f"{','.join(report.engines)}")
+    recalls = ", ".join(
+        f"{name}={value:.3f}" if value is not None else f"{name}=n/a"
+        for name, value in payload["recall"].items()
+    )
+    if recalls:
+        print(f"recall on provable positives: {recalls}")
+    print(f"legal false negatives: {payload['n_false_negatives']}")
+    print(f"divergences: {payload['n_divergences']}")
+    for entry in payload["divergences"]:
+        print(f"  [{entry['engine']}] {entry['kind']}: {entry['detail']}")
+        print(f"  replay: {entry['replay']}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 1 if payload["n_divergences"] else 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "workload": _cmd_workload,
@@ -341,6 +442,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "query": _cmd_query,
     "enumerate": _cmd_enumerate,
+    "verify": _cmd_verify,
     "experiment": _cmd_experiment,
 }
 

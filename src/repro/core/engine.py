@@ -48,7 +48,11 @@ from typing import (
 
 from repro.core.result import QueryResult
 from repro.core.stats import ExecStats
-from repro.errors import QueryError, UnsupportedQueryError
+from repro.errors import (
+    QueryError,
+    UnsupportedQueryError,
+    WitnessViolationError,
+)
 from repro.graph.labeled_graph import LabeledGraph
 from repro.labels import PredicateRegistry
 from repro.queries.query import RSPQuery
@@ -211,6 +215,7 @@ class EngineBase:
         predicates: Optional[PredicateRegistry] = None,
         distance_bound: Optional[int] = None,
         min_distance: Optional[int] = None,
+        check: str = "off",
         **kwargs: Any,
     ) -> QueryResult:
         """Answer one RSPQ through this engine.
@@ -218,7 +223,19 @@ class EngineBase:
         Accepts positional ``(source, target, regex)`` or one
         :class:`RSPQuery` as the sole positional argument; extra keyword
         arguments are engine-specific (e.g. ARRIVAL's ``*_scale``).
+
+        ``check`` is paranoid mode: ``"positives"`` re-validates every
+        witnessed positive answer through the independent oracle
+        (:mod:`repro.verify`), ``"all"`` additionally checks record
+        consistency on negatives.  A violated invariant raises
+        :class:`~repro.errors.WitnessViolationError`; the check is
+        timed into ``stats.oracle_s`` and counted in
+        ``stats.oracle_checks`` / ``stats.oracle_violations``.
         """
+        if check not in ("off", "positives", "all"):
+            raise QueryError(
+                f"check must be 'off', 'positives' or 'all', got {check!r}"
+            )
         query = as_query(
             source,
             target,
@@ -246,7 +263,48 @@ class EngineBase:
         stats.total_s = elapsed
         stats.expansions = result.expansions
         stats.jumps = result.jumps
+        if check != "off":
+            self._oracle_check(query, result, stats, check)
         return result
+
+    def _oracle_check(
+        self,
+        query: RSPQuery,
+        result: QueryResult,
+        stats: ExecStats,
+        mode: str,
+    ) -> None:
+        """Run the independent witness oracle over one finished result.
+
+        The import is lazy and function-local on purpose: the engine
+        layer must not depend on the oracle layer at module level (the
+        oracle exists to check the engines — lint rule VER001), but the
+        serving path still needs a hook to invoke it.  This is the one
+        sanctioned crossing.
+        """
+        from repro.verify.witness import check_result  # repro: noqa[VER001]
+
+        start = time.perf_counter()
+        report = check_result(
+            getattr(self, "graph", None),
+            query,
+            result,
+            expect_simple=self.enforces_simple_paths,
+            elements=getattr(self, "elements", None),
+            mode=mode,
+        )
+        elapsed = time.perf_counter() - start
+        stats.oracle_s += elapsed
+        stats.total_s += elapsed
+        if report.checked:
+            stats.oracle_checks += 1
+        if not report.ok:
+            stats.oracle_violations += 1
+            raise WitnessViolationError(
+                f"{self.name} violated the {report.invariant!r} invariant "
+                f"on {query}: {report.detail}",
+                invariant=report.invariant or "",
+            )
 
     def _query(self, query: RSPQuery, **kwargs: Any) -> QueryResult:
         raise NotImplementedError

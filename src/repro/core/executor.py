@@ -37,7 +37,10 @@ behaviour of consuming the engine's own stream sequentially.
 **Timeouts.**  ``timeout_s`` turns an overrunning query into a
 structured :class:`TimeoutResult` instead of a hang.  On the pool
 backends the deadline is enforced while waiting (the future is cancelled
-or abandoned; workers past their deadline are not joined on shutdown).
+or abandoned; workers past their deadline are not joined on shutdown —
+abandoned *process* workers are terminated outright so they cannot block
+interpreter exit, while an abandoned thread runs on to completion in the
+background).
 The serial backend cannot preempt a running query, so its timeout is
 post-hoc: the query runs to completion and is then *reported* as timed
 out — the uniform structural contract, best-effort semantics.
@@ -163,11 +166,18 @@ def _process_init(factory: Callable[[], Engine], seed: Optional[int]) -> None:
     _WORKER_SEED = seed
 
 
-def _process_run(index: int, query: RSPQuery) -> QueryResult:
+def _query_kwargs(check: str) -> Dict[str, str]:
+    """Engine kwargs for one dispatch: ``check`` is only forwarded when
+    paranoid mode is on, so plain protocol engines (and test doubles)
+    without the parameter keep working at the default."""
+    return {} if check == "off" else {"check": check}
+
+
+def _process_run(index: int, query: RSPQuery, check: str = "off") -> QueryResult:
     assert _WORKER_ENGINE is not None, "pool initializer did not run"
     if _WORKER_SEED is not None:
         _WORKER_ENGINE.reseed(query_stream(_WORKER_SEED, index))
-    return _WORKER_ENGINE.query(query)
+    return _WORKER_ENGINE.query(query, **_query_kwargs(check))
 
 
 class BatchExecutor:
@@ -200,6 +210,12 @@ class BatchExecutor:
         Bound on submitted-but-unfinished queries (default
         ``4 * workers``) so million-query workloads do not materialise
         a million futures.
+    check:
+        Paranoid mode, forwarded to every ``engine.query()`` call:
+        ``"off"`` (default), ``"positives"`` (independent witness
+        validation of positive answers) or ``"all"``.  A violation
+        raises :class:`~repro.errors.WitnessViolationError`, which the
+        batch collects as an :class:`ErrorResult` unless ``fail_fast``.
     """
 
     def __init__(
@@ -213,10 +229,15 @@ class BatchExecutor:
         timeout_s: Optional[float] = None,
         fail_fast: bool = False,
         max_in_flight: Optional[int] = None,
+        check: str = "off",
     ) -> None:
         if backend not in ("serial", "thread", "process"):
             raise ValueError(
                 f"backend must be 'serial', 'thread' or 'process', got {backend!r}"
+            )
+        if check not in ("off", "positives", "all"):
+            raise ValueError(
+                f"check must be 'off', 'positives' or 'all', got {check!r}"
             )
         if engine is None and factory is None:
             raise ValueError("provide an engine or a factory")
@@ -236,6 +257,7 @@ class BatchExecutor:
         self.timeout_s = timeout_s
         self.fail_fast = fail_fast
         self.max_in_flight = max_in_flight or 4 * workers
+        self.check = check
         self._tls = local()
 
     # ------------------------------------------------------------------
@@ -278,7 +300,7 @@ class BatchExecutor:
                 engine.reseed(query_stream(self.seed, index))
             start = time.perf_counter()
             try:
-                result = engine.query(query)
+                result = engine.query(query, **_query_kwargs(self.check))
             except Exception as exc:
                 if self.fail_fast:
                     raise
@@ -304,15 +326,17 @@ class BatchExecutor:
             self._tls.engine = engine
         return engine
 
-    def _thread_run(self, index: int, query: RSPQuery) -> QueryResult:
+    def _thread_run(
+        self, index: int, query: RSPQuery, check: str = "off"
+    ) -> QueryResult:
         engine = self._thread_engine()
         if self.seed is not None:
             engine.reseed(query_stream(self.seed, index))
-        return engine.query(query)
+        return engine.query(query, **_query_kwargs(check))
 
     def _run_pool(self, queries: List[RSPQuery]) -> List[QueryResult]:
         pool: Executor
-        run: Callable[[int, RSPQuery], QueryResult]
+        run: Callable[[int, RSPQuery, str], QueryResult]
         prepare_query: Callable[[RSPQuery], RSPQuery]
         if self.backend == "thread":
             pool = ThreadPoolExecutor(max_workers=self.workers)
@@ -337,7 +361,10 @@ class BatchExecutor:
             while next_index < n or pending:
                 while next_index < n and len(pending) < self.max_in_flight:
                     future = pool.submit(
-                        run, next_index, prepare_query(queries[next_index])
+                        run,
+                        next_index,
+                        prepare_query(queries[next_index]),
+                        self.check,
                     )
                     deadline = (
                         time.monotonic() + self.timeout_s
@@ -383,6 +410,20 @@ class BatchExecutor:
                                 timeout_s=self.timeout_s,
                             )
         finally:
+            # snapshot first: shutdown() clears the pool's process table
+            workers = (
+                dict(getattr(pool, "_processes", None) or {})
+                if abandoned and isinstance(pool, ProcessPoolExecutor)
+                else {}
+            )
             pool.shutdown(wait=not abandoned, cancel_futures=True)
+            # shutdown(wait=False) leaves abandoned workers running, and
+            # concurrent.futures joins them again at interpreter exit —
+            # a worker stuck in an unbounded search would hang the whole
+            # process long after its TimeoutResult was returned.  Kill
+            # them; the pool is done either way.
+            for worker in workers.values():
+                if worker.is_alive():
+                    worker.terminate()
         # every slot is filled on exit: completed, errored or timed out
         return cast(List[QueryResult], results)

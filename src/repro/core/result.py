@@ -23,6 +23,15 @@ class QueryResult:
     their supported fragments) when they ran to completion; ``timed_out``
     flags a search abandoned on its budget (the paper abandons BBFS past
     one minute on Twitter).
+
+    **Simplicity contract.**  A positive answer that carries a ``path``
+    must set ``path_is_simple`` to a boolean — ``True`` for a simple
+    witness, ``False`` when the engine's semantics permit revisits (the
+    Rare-Labels walk witness).  ``None`` is reserved for answers with no
+    path to describe (negatives, and the two index baselines that prove
+    reachability without materialising a witness); the independent
+    witness oracle (:mod:`repro.verify.witness`) reports ``None`` on a
+    witnessed positive as a ``simplicity-flag`` violation.
     """
 
     reachable: bool

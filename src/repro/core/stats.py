@@ -39,10 +39,14 @@ _COUNTER_FIELDS = (
     "transition_misses",
     "rng_refills",
     "csr_rebuilds",
+    "oracle_checks",
+    "oracle_violations",
 )
 
 #: per-stage wall-clock fields (seconds), also folded by summation
-_STAGE_FIELDS = ("compile_s", "params_s", "walk_s", "verify_s", "total_s")
+_STAGE_FIELDS = (
+    "compile_s", "params_s", "walk_s", "verify_s", "oracle_s", "total_s"
+)
 
 
 @dataclass
@@ -66,6 +70,8 @@ class ExecStats:
     walk_s: float = 0.0
     #: witness-path verification on positive answers
     verify_s: float = 0.0
+    #: paranoid-mode independent oracle checks (repro.verify)
+    oracle_s: float = 0.0
     #: the whole query() call
     total_s: float = 0.0
     # -- hot-path counters (PR 1's ``info["hot_path"]``, folded in) ----
@@ -83,6 +89,10 @@ class ExecStats:
     rng_refills: int = 0
     #: CSR graph-view (re)builds triggered by this query
     csr_rebuilds: int = 0
+    #: results examined by the independent witness oracle (paranoid mode)
+    oracle_checks: int = 0
+    #: oracle checks that found a violated invariant
+    oracle_violations: int = 0
 
     def add(self, other: "ExecStats") -> None:
         """Fold ``other`` into this record (stage and counter sums)."""

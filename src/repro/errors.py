@@ -66,3 +66,39 @@ class TimeBudgetExceeded(ReproError):
     BBFS runs in the paper were abandoned past one minute on Twitter; the
     same mechanism is exposed here through an optional per-query budget.
     """
+
+
+class VerificationError(ReproError):
+    """Base class for the independent oracle layer (:mod:`repro.verify`).
+
+    Raised only by the verification machinery, never by the engines
+    themselves — an engine seeing one of these means the paranoid-mode
+    check it requested failed.
+    """
+
+
+class WitnessViolationError(VerificationError):
+    """A :class:`~repro.core.result.QueryResult` violated an invariant.
+
+    Carries the name of the *first* violated invariant (the witness
+    oracle checks in a fixed order precisely so that this name is
+    deterministic) and a human-readable detail string.
+    """
+
+    def __init__(self, message: str, invariant: str = ""):
+        super().__init__(message)
+        self.invariant = invariant
+
+
+class DivergenceError(VerificationError):
+    """Two engines disagreed outside the paper's legal error model.
+
+    Exact engines answering a supported query must agree exactly;
+    approximate engines may only err on the negative side (one-sided
+    error, Sec. 3.1.2).  Anything else is a divergence.  Carries a
+    replayable fingerprint (dataset, query, seed, engine).
+    """
+
+    def __init__(self, message: str, fingerprint: object = None):
+        super().__init__(message)
+        self.fingerprint = fingerprint

@@ -15,6 +15,8 @@ EXC       EXC001 bare except, EXC002 ad-hoc builtin raise
 SNAP      SNAP001 CSR snapshot mutation outside labeled_graph
 TIM       TIM001 wall-clock read outside timing code
 API       API001 __all__ coverage, API002 stale __all__ entry
+VER       VER001 engine imports the oracle layer, VER002 registered
+          engine without a conformance entry
 ========  ==========================================================
 """
 
@@ -26,6 +28,7 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     public_api,
     rng_discipline,
     snapshots,
+    verify,
     wallclock,
 )
 
@@ -37,5 +40,6 @@ __all__ = [
     "public_api",
     "rng_discipline",
     "snapshots",
+    "verify",
     "wallclock",
 ]

@@ -1,0 +1,89 @@
+"""Independent answer verification (the oracle layer).
+
+Three layers, each usable on its own (docs/architecture.md §5d):
+
+* :mod:`repro.verify.witness` — validates one
+  :class:`~repro.core.result.QueryResult` against graph and query with
+  no shared code paths with the engines, naming the first violated
+  invariant.
+* :mod:`repro.verify.oracle` — runs a query through an engine set and
+  adjudicates under the paper's one-sided error model; disagreements
+  become replayable fingerprints.
+* :mod:`repro.verify.metamorphic` — ground-truth-free symmetry
+  relations (permutation/renaming invariance, monotonicity, union
+  subsumption, reversal).
+
+Engines must never import from this package (lint rule VER001): the
+oracle checks them, so any shared code path would let one bug hide
+another.  The reverse direction — :mod:`repro.verify` building engines
+through the public registry — is the sanctioned one.
+
+:mod:`repro.verify.strategies` (Hypothesis generators) and
+:mod:`repro.verify.corpus` (the fuzz-failure regression corpus) are
+test-side helpers; strategies needs ``hypothesis`` installed and is
+deliberately not imported here.
+"""
+
+from repro.verify.corpus import (
+    case_graph,
+    case_id,
+    case_query,
+    load_cases,
+    make_case,
+    save_case,
+)
+from repro.verify.metamorphic import (
+    identity_permutation,
+    invariance_violation,
+    permute_graph,
+    permute_query,
+    rename_graph_labels,
+    rename_regex_labels,
+    reverse_graph,
+    reverse_query,
+    reverse_regex,
+    union_regex,
+)
+from repro.verify.oracle import (
+    Adjudication,
+    DifferentialOracle,
+    Fingerprint,
+    OracleReport,
+    replay_fingerprint,
+)
+from repro.verify.witness import (
+    INVARIANTS,
+    IndependentMatcher,
+    WitnessReport,
+    check_result,
+    check_witness,
+)
+
+__all__ = [
+    "Adjudication",
+    "DifferentialOracle",
+    "Fingerprint",
+    "INVARIANTS",
+    "IndependentMatcher",
+    "OracleReport",
+    "WitnessReport",
+    "case_graph",
+    "case_id",
+    "case_query",
+    "check_result",
+    "check_witness",
+    "identity_permutation",
+    "invariance_violation",
+    "load_cases",
+    "make_case",
+    "permute_graph",
+    "permute_query",
+    "rename_graph_labels",
+    "rename_regex_labels",
+    "replay_fingerprint",
+    "reverse_graph",
+    "reverse_query",
+    "reverse_regex",
+    "save_case",
+    "union_regex",
+]

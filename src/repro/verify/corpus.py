@@ -1,0 +1,97 @@
+"""The fuzz-failure regression corpus.
+
+Every failing example the differential fuzzer finds is serialised into a
+small JSON case file (graph + query + seed + engine set + the verdict
+that failed) under a corpus directory — ``tests/corpus/`` in this repo.
+The differential test suite replays every stored case *before* running
+fresh fuzzing, so a once-found divergence can never silently return.
+
+Case files are content-addressed (a SHA-1 over the canonical JSON), so
+re-saving the same failure is idempotent and shrunken variants of one
+bug collapse to few files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.graph.labeled_graph import LabeledGraph
+from repro.queries.io import query_from_dict, query_to_dict
+from repro.queries.query import RSPQuery
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def make_case(
+    graph: LabeledGraph,
+    query: RSPQuery,
+    *,
+    seed: Optional[int] = None,
+    engines: Sequence[str] = (),
+    kind: str = "",
+    detail: str = "",
+) -> Dict[str, Any]:
+    """Build the JSON-ready payload for one failing example."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "graph": graph_to_dict(graph),
+        "query": query_to_dict(query),
+        "seed": seed,
+        "engines": list(engines),
+        "kind": kind,
+        "detail": detail,
+    }
+
+
+def case_id(case: Dict[str, Any]) -> str:
+    """Content address of a case (ignores the free-text detail, so the
+    same graph/query/seed failure maps to one file)."""
+    keyed = {
+        key: value
+        for key, value in case.items()
+        if key in ("format_version", "graph", "query", "seed", "engines")
+    }
+    canonical = json.dumps(keyed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def save_case(directory: PathLike, case: Dict[str, Any]) -> Path:
+    """Write one case under its content address; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"case_{case_id(case)}.json"
+    path.write_text(
+        json.dumps(case, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_cases(directory: PathLike) -> List[Dict[str, Any]]:
+    """Every stored case, sorted by file name (stable replay order)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    cases = []
+    for path in sorted(directory.glob("case_*.json")):
+        with open(path, encoding="utf-8") as handle:
+            case = json.load(handle)
+        case["_path"] = str(path)
+        cases.append(case)
+    return cases
+
+
+def case_graph(case: Dict[str, Any]) -> LabeledGraph:
+    """Rebuild the case's graph."""
+    return graph_from_dict(case["graph"])
+
+
+def case_query(case: Dict[str, Any]) -> RSPQuery:
+    """Rebuild the case's query (corpus cases carry no predicates:
+    predicate bodies are code and are never serialised)."""
+    return query_from_dict(case["query"])

@@ -1,0 +1,285 @@
+"""Metamorphic relations that need no ground truth.
+
+An RSPQ answer is a function of the labeled graph and the regex only up
+to a handful of symmetries; each symmetry is a test oracle that costs
+nothing to compute:
+
+* **Vertex-id permutation invariance** — relabeling node ids and
+  mapping the endpoints must not change any exact engine's answer
+  (:func:`permute_graph` / :func:`permute_query`).
+* **Label-renaming invariance** — an injective renaming applied to both
+  the graph's labels and the regex's literals preserves the language
+  and therefore the answer (:func:`rename_graph_labels` /
+  :func:`rename_regex_labels`).
+* **Edge-addition monotonicity** — adding edges can only create paths,
+  never destroy them, so an exact engine's True can never flip to
+  False (:func:`add_edges` in the test harness; no helper needed here).
+* **Regex-union subsumption** — ``L(C) ⊆ L(C|D)``, so reachable under
+  ``C`` implies reachable under ``C|D`` (:func:`union_regex`).
+* **Forward/backward symmetry** — a simple path ``s -> t`` matching
+  ``R`` exists iff a simple path ``t -> s`` matching ``reverse(R)``
+  exists in the reversed graph (:func:`reverse_graph` /
+  :func:`reverse_regex`; symbol semantics are position-symmetric under
+  Definition 3, which interleaves node and edge symbols).
+
+For *approximate* engines only the one-sided reading holds: a certain
+(witnessed) positive must stay explainable after the transformation,
+but the sampled answer itself may flip because the RNG draws differ —
+the property tests therefore pin these relations on exact engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.queries.query import RSPQuery
+from repro.regex.ast_nodes import (
+    Alt,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Literal,
+    Negation,
+    Optional as OptionalNode,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+from repro.regex.compiler import CompiledRegex
+from repro.regex.parser import parse_regex
+
+RegexInput = Union[str, Regex, CompiledRegex]
+
+
+def _as_ast(regex: RegexInput) -> Regex:
+    if isinstance(regex, CompiledRegex):
+        return regex.ast
+    if isinstance(regex, str):
+        return parse_regex(regex)
+    return regex
+
+
+# ---------------------------------------------------------------------------
+# vertex-id permutation
+# ---------------------------------------------------------------------------
+def permute_graph(
+    graph: LabeledGraph, permutation: Sequence[int]
+) -> LabeledGraph:
+    """The same graph with node ``i`` renamed to ``permutation[i]``.
+
+    ``permutation`` must be a bijection over ``range(max_node_id)``;
+    dead slots in the original stay dead slots at their image.
+    """
+    size = graph.max_node_id
+    if sorted(permutation) != list(range(size)):
+        raise ValueError(
+            f"permutation must be a bijection over range({size})"
+        )
+    out = LabeledGraph(directed=graph.directed)
+    out.labeled_elements = graph.labeled_elements
+    out.add_nodes(size)
+    for old in range(size):
+        if not graph.is_alive(old):
+            continue
+        new = permutation[old]
+        out.set_node_labels(new, set(graph.node_labels(old)))
+        out.set_node_attrs(new, dict(graph.node_attrs(old)))
+    for old in range(size):
+        if not graph.is_alive(old):
+            out.remove_node(permutation[old])
+    for u, v in graph.edges():
+        out.add_edge(
+            permutation[u],
+            permutation[v],
+            set(graph.edge_labels(u, v)),
+            dict(graph.edge_attrs(u, v)),
+        )
+    return out
+
+
+def permute_query(query: RSPQuery, permutation: Sequence[int]) -> RSPQuery:
+    """The query against the permuted graph (regex unchanged)."""
+    return RSPQuery(
+        source=permutation[query.source],
+        target=permutation[query.target],
+        regex=query.regex_text,
+        predicates=query.predicates,
+        distance_bound=query.distance_bound,
+        min_distance=query.min_distance,
+        time=query.time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# label renaming
+# ---------------------------------------------------------------------------
+def _renamed(labels, mapping: Dict[str, str]):
+    return {mapping.get(label, label) for label in labels}
+
+
+def rename_graph_labels(
+    graph: LabeledGraph, mapping: Dict[str, str]
+) -> LabeledGraph:
+    """A copy of the graph with every label pushed through ``mapping``
+    (labels not in the mapping pass through unchanged)."""
+    out = graph.copy()
+    for node in out.nodes():
+        labels = out.node_labels(node)
+        if labels:
+            out.set_node_labels(node, _renamed(labels, mapping))
+    for u, v in list(out.edges()):
+        labels = out.edge_labels(u, v)
+        if labels:
+            out.set_edge_labels(u, v, _renamed(labels, mapping))
+    return out
+
+
+def rename_regex_labels(regex: RegexInput, mapping: Dict[str, str]) -> Regex:
+    """The regex with every literal label pushed through ``mapping``.
+
+    ``mapping`` must be injective on the labels it touches for the
+    invariance relation to hold; predicates are left alone (they read
+    attributes, not labels).
+    """
+    ast = _as_ast(regex)
+    if isinstance(ast, Literal):
+        symbol = ast.symbol
+        if isinstance(symbol, str):
+            return Literal(mapping.get(symbol, symbol))
+        return Literal(symbol)
+    if isinstance(ast, (Epsilon, EmptySet)):
+        return ast
+    if isinstance(ast, Concat):
+        return Concat(
+            rename_regex_labels(part, mapping) for part in ast.parts
+        )
+    if isinstance(ast, Alt):
+        return Alt(rename_regex_labels(part, mapping) for part in ast.parts)
+    if isinstance(ast, Star):
+        return Star(rename_regex_labels(ast.inner, mapping))
+    if isinstance(ast, Plus):
+        return Plus(rename_regex_labels(ast.inner, mapping))
+    if isinstance(ast, OptionalNode):
+        return OptionalNode(rename_regex_labels(ast.inner, mapping))
+    if isinstance(ast, Repeat):
+        return Repeat(
+            rename_regex_labels(ast.inner, mapping),
+            ast.min_count,
+            ast.max_count,
+        )
+    if isinstance(ast, Negation):
+        return Negation(rename_regex_labels(ast.inner, mapping))
+    raise TypeError(f"unsupported regex node: {ast!r}")
+
+
+# ---------------------------------------------------------------------------
+# reversal
+# ---------------------------------------------------------------------------
+def reverse_graph(graph: LabeledGraph) -> LabeledGraph:
+    """Every edge flipped; labels and attributes ride along."""
+    out = LabeledGraph(directed=graph.directed)
+    out.labeled_elements = graph.labeled_elements
+    out.add_nodes(graph.max_node_id)
+    for node in range(graph.max_node_id):
+        if not graph.is_alive(node):
+            continue
+        out.set_node_labels(node, set(graph.node_labels(node)))
+        out.set_node_attrs(node, dict(graph.node_attrs(node)))
+    for node in range(graph.max_node_id):
+        if not graph.is_alive(node):
+            out.remove_node(node)
+    for u, v in graph.edges():
+        out.add_edge(
+            v, u, set(graph.edge_labels(u, v)), dict(graph.edge_attrs(u, v))
+        )
+    return out
+
+
+def reverse_regex(regex: RegexInput) -> Regex:
+    """The regex of the reversed language (every word read backwards)."""
+    ast = _as_ast(regex)
+    if isinstance(ast, (Literal, Epsilon, EmptySet)):
+        return ast
+    if isinstance(ast, Concat):
+        return Concat(reverse_regex(part) for part in reversed(ast.parts))
+    if isinstance(ast, Alt):
+        return Alt(reverse_regex(part) for part in ast.parts)
+    if isinstance(ast, Star):
+        return Star(reverse_regex(ast.inner))
+    if isinstance(ast, Plus):
+        return Plus(reverse_regex(ast.inner))
+    if isinstance(ast, OptionalNode):
+        return OptionalNode(reverse_regex(ast.inner))
+    if isinstance(ast, Repeat):
+        return Repeat(reverse_regex(ast.inner), ast.min_count, ast.max_count)
+    if isinstance(ast, Negation):
+        # reversal and complement commute: rev(~L) = ~rev(L)
+        return Negation(reverse_regex(ast.inner))
+    raise TypeError(f"unsupported regex node: {ast!r}")
+
+
+def reverse_query(query: RSPQuery) -> RSPQuery:
+    """The symmetric query: target -> source under the reversed regex,
+    to be answered on :func:`reverse_graph` of the original graph."""
+    return RSPQuery(
+        source=query.target,
+        target=query.source,
+        regex=reverse_regex(query.regex),
+        predicates=query.predicates,
+        distance_bound=query.distance_bound,
+        min_distance=query.min_distance,
+        time=query.time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# union subsumption
+# ---------------------------------------------------------------------------
+def union_regex(regex: RegexInput, other: RegexInput) -> Regex:
+    """``C | D`` — the subsuming union of two constraints."""
+    return Alt((_as_ast(regex), _as_ast(other)))
+
+
+# ---------------------------------------------------------------------------
+# relation checking helpers (used by the property tests)
+# ---------------------------------------------------------------------------
+def invariance_violation(
+    original: bool, transformed: bool, *, exact: bool
+) -> Optional[str]:
+    """For an answer-preserving transformation: None when consistent,
+    else a message.  Exact engines must match exactly; approximate
+    engines are only pinned on the positive side (their negatives are
+    sampling-dependent)."""
+    if exact:
+        if original != transformed:
+            return (
+                f"exact answer changed under an invariant transformation: "
+                f"{original} -> {transformed}"
+            )
+        return None
+    if original and not transformed:
+        # informational only: a certain positive should survive, but a
+        # re-seeded sampler may legally miss it; callers decide severity
+        return "certain positive lost under an invariant transformation"
+    return None
+
+
+def identity_permutation(size: int) -> List[int]:
+    """The do-nothing permutation (handy baseline in tests)."""
+    return list(range(size))
+
+
+__all__ = [
+    "permute_graph",
+    "permute_query",
+    "rename_graph_labels",
+    "rename_regex_labels",
+    "reverse_graph",
+    "reverse_regex",
+    "reverse_query",
+    "union_regex",
+    "invariance_violation",
+    "identity_permutation",
+]

@@ -1,0 +1,285 @@
+"""Hypothesis strategies for the fuzzing harnesses (promoted from
+``tests/strategies.py`` so the verification layer owns its generators).
+
+The regex strategies deliberately restrict the alphabet to single
+characters (``a``-``d``) so the generated expressions have a direct
+translation into Python's :mod:`re` syntax — letting the property tests
+compare our Thompson/NFA pipeline against an independent, trusted
+matcher.  On top of the original generators this module adds coverage
+for the rest of the query grammar: query-time predicates over element
+attributes, distance-bound constraints, and the deterministic negation
+fragment (Appendix A).
+
+This module imports :mod:`hypothesis` and is therefore test-only; the
+rest of :mod:`repro.verify` stays importable without it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.labels import PredicateRegistry
+from repro.queries.query import RSPQuery
+from repro.regex.ast_nodes import (
+    Alt,
+    Concat,
+    Epsilon,
+    Literal,
+    Negation,
+    Optional,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+)
+
+ALPHABET = "abcd"
+
+labels = st.sampled_from(list(ALPHABET))
+words = st.lists(labels, max_size=8)
+
+
+def regexes(max_depth: int = 3) -> st.SearchStrategy[Regex]:
+    """Random regex ASTs over the shared alphabet."""
+    leaves = st.one_of(
+        labels.map(Literal),
+        st.just(Epsilon()),
+    )
+
+    def extend(children):
+        bounds = st.tuples(
+            st.integers(0, 2),
+            st.one_of(st.none(), st.integers(0, 3)),
+        ).map(lambda mn: (mn[0], None if mn[1] is None else mn[0] + mn[1]))
+        return st.one_of(
+            st.tuples(children, children).map(Concat),
+            st.tuples(children, children).map(Alt),
+            children.map(Star),
+            children.map(Plus),
+            children.map(Optional),
+            st.tuples(children, bounds).map(
+                lambda pair: Repeat(pair[0], pair[1][0], pair[1][1])
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def to_python_re(regex: Regex) -> str:
+    """Translate an AST to Python :mod:`re` syntax (single-char labels)."""
+    if isinstance(regex, Literal):
+        return str(regex.symbol)
+    if isinstance(regex, Epsilon):
+        return "(?:)"
+    if isinstance(regex, Concat):
+        return "".join(f"(?:{to_python_re(p)})" for p in regex.parts)
+    if isinstance(regex, Alt):
+        return "|".join(f"(?:{to_python_re(p)})" for p in regex.parts)
+    if isinstance(regex, Star):
+        return f"(?:{to_python_re(regex.inner)})*"
+    if isinstance(regex, Plus):
+        return f"(?:{to_python_re(regex.inner)})+"
+    if isinstance(regex, Optional):
+        return f"(?:{to_python_re(regex.inner)})?"
+    if isinstance(regex, Repeat):
+        if regex.max_count is None:
+            bounds = f"{{{regex.min_count},}}"
+        else:
+            bounds = f"{{{regex.min_count},{regex.max_count}}}"
+        return f"(?:{to_python_re(regex.inner)}){bounds}"
+    raise TypeError(f"unsupported node for re translation: {regex!r}")
+
+
+@st.composite
+def small_edge_labeled_graphs(draw, max_nodes: int = 8):
+    """Small directed edge-labeled graphs for engine-agreement tests."""
+    n_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = LabeledGraph(directed=True)
+    # pinned: inference would flip to "nodes" on edge-free draws
+    graph.labeled_elements = "edges"
+    graph.add_nodes(n_nodes)
+    n_edges = draw(st.integers(min_value=1, max_value=3 * n_nodes))
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        v = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        if u == v:
+            continue
+        label = draw(labels)
+        if graph.has_edge(u, v):
+            graph.set_edge_labels(u, v, graph.edge_labels(u, v) | {label})
+        else:
+            graph.add_edge(u, v, {label})
+    return graph
+
+
+@st.composite
+def small_node_labeled_graphs(draw, max_nodes: int = 8):
+    """Small directed node-labeled graphs."""
+    n_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = LabeledGraph(directed=True)
+    graph.labeled_elements = "nodes"
+    for _ in range(n_nodes):
+        count = draw(st.integers(min_value=1, max_value=2))
+        node_labels = draw(
+            st.lists(labels, min_size=count, max_size=count)
+        )
+        graph.add_node(set(node_labels))
+    n_edges = draw(st.integers(min_value=1, max_value=3 * n_nodes))
+    for _ in range(n_edges):
+        u = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        v = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def diamond_graph() -> LabeledGraph:
+    """The recurring fixture: two labeled routes from 0 to 3."""
+    graph = LabeledGraph(directed=True)
+    graph.add_nodes(4)
+    graph.add_edge(0, 1, {"a"})
+    graph.add_edge(1, 3, {"b"})
+    graph.add_edge(0, 2, {"c"})
+    graph.add_edge(2, 3, {"d"})
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# query-time predicates (Definition 7 coverage)
+# ---------------------------------------------------------------------------
+#: the attribute every generated predicate reads
+PREDICATE_ATTR = "w"
+
+#: names understood by :func:`shared_predicate_registry`
+PREDICATE_NAMES = ("w_ge_1", "w_ge_2", "w_ge_3")
+
+
+def shared_predicate_registry() -> PredicateRegistry:
+    """A fresh registry of threshold predicates over attribute ``w``.
+
+    The thresholds nest (``w_ge_3 ⊆ w_ge_2 ⊆ w_ge_1``), which gives the
+    metamorphic tests a free subsumption relation on predicates too.
+    """
+    registry = PredicateRegistry()
+    for threshold in (1, 2, 3):
+        registry.register(
+            f"w_ge_{threshold}",
+            # bind the threshold by default argument, not by closure
+            lambda attrs, t=threshold: attrs.get(PREDICATE_ATTR, 0) >= t,
+        )
+    return registry
+
+
+@st.composite
+def attributed_edge_graphs(draw, max_nodes: int = 8):
+    """Edge-labeled graphs whose edges also carry the ``w`` attribute
+    the shared predicates read."""
+    graph = draw(small_edge_labeled_graphs(max_nodes=max_nodes))
+    for u, v in list(graph.edges()):
+        weight = draw(st.integers(min_value=0, max_value=3))
+        graph.add_edge(u, v, graph.edge_labels(u, v), {PREDICATE_ATTR: weight})
+    return graph
+
+
+def predicate_regexes(
+    registry: PredicateRegistry,
+) -> st.SearchStrategy[Regex]:
+    """Regexes mixing literal labels and query-time predicate symbols."""
+    atoms = st.one_of(
+        labels.map(Literal),
+        st.sampled_from(PREDICATE_NAMES).map(
+            lambda name: Literal(registry[name])
+        ),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(Concat),
+            st.tuples(children, children).map(Alt),
+            children.map(Star),
+            children.map(Plus),
+            children.map(Optional),
+        )
+
+    return st.recursive(atoms, extend, max_leaves=6)
+
+
+# ---------------------------------------------------------------------------
+# distance-bound constraints (Sec. 5.5.2 coverage)
+# ---------------------------------------------------------------------------
+@st.composite
+def distance_constraints(draw):
+    """``(min_distance, distance_bound)`` pairs, each side optional and
+    always mutually consistent."""
+    low = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=4)))
+    span = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=6)))
+    if span is None:
+        return low, None
+    return low, (low or 0) + span
+
+
+@st.composite
+def constrained_queries(draw, max_nodes: int = 8):
+    """A graph plus a query exercising the full grammar: random regex,
+    random endpoints, optional distance bounds."""
+    graph = draw(small_edge_labeled_graphs(max_nodes=max_nodes))
+    n = graph.max_node_id
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    target = draw(st.integers(min_value=0, max_value=n - 1))
+    regex = draw(regexes())
+    low, high = draw(distance_constraints())
+    query = RSPQuery(
+        source, target, regex, distance_bound=high, min_distance=low
+    )
+    return graph, query
+
+
+# ---------------------------------------------------------------------------
+# negation fragment (Appendix A coverage)
+# ---------------------------------------------------------------------------
+def negation_regexes() -> st.SearchStrategy[Regex]:
+    """Negation regexes inside the supported deterministic fragment.
+
+    Appendix A only admits complements of regexes whose ε-free automaton
+    is deterministic; single literals and literal concatenations always
+    are, so ``~a``, ``~(a b)`` and their literal-concat combinations are
+    guaranteed to compile under ``negation_mode="paper"``.
+    """
+    literal_words = st.lists(labels, min_size=1, max_size=3).map(
+        lambda syms: (
+            Literal(syms[0])
+            if len(syms) == 1
+            else Concat(Literal(s) for s in syms)
+        )
+    )
+    negated = literal_words.map(Negation)
+
+    def with_context(inner: st.SearchStrategy[Regex]):
+        return st.one_of(
+            inner,
+            st.tuples(inner, labels.map(Literal)).map(Concat),
+            st.tuples(labels.map(Literal), inner).map(Concat),
+        )
+
+    return with_context(negated)
+
+
+__all__ = [
+    "ALPHABET",
+    "PREDICATE_ATTR",
+    "PREDICATE_NAMES",
+    "attributed_edge_graphs",
+    "constrained_queries",
+    "diamond_graph",
+    "distance_constraints",
+    "labels",
+    "negation_regexes",
+    "predicate_regexes",
+    "regexes",
+    "shared_predicate_registry",
+    "small_edge_labeled_graphs",
+    "small_node_labeled_graphs",
+    "to_python_re",
+    "words",
+]

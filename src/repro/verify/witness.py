@@ -1,0 +1,392 @@
+"""The independent witness oracle.
+
+ARRIVAL's value proposition is its one-sided error contract: a
+``reachable=True`` answer must be *certain*, backed by a simple witness
+path whose label sequence the query automaton accepts (Theorems 3/4).
+This module re-checks that claim against the graph and the query with
+**no shared code paths with the engines**: no
+:class:`~repro.regex.matcher.ForwardTracker`, no transition interning,
+no step cache, no CSR view — just a fresh compilation and a direct
+powerset simulation that reads the NFA's structure fields.  A bug in the
+hot path therefore cannot hide itself from the oracle.
+
+The checker validates a :class:`~repro.core.result.QueryResult` one
+invariant at a time, **in a fixed order**, and reports the *first*
+violated invariant by name in a :class:`WitnessReport`:
+
+``negative-with-path``
+    a negative answer carrying a witness path (record inconsistency;
+    only checked in ``mode="all"``)
+``unwitnessed``
+    a positive answer without a path where one was required
+``empty-path``
+    a positive answer with a zero-length path list
+``endpoints``
+    the path does not start at the source / end at the target
+``dead-node``
+    the path visits a node that does not exist in the graph
+``broken-edge``
+    two consecutive path nodes are not joined by a graph edge
+``simplicity-flag``
+    a positive answer with a path but ``path_is_simple=None`` — the
+    engine must commit to a boolean on every witnessed positive
+``non-simple``
+    the path repeats a vertex although simplicity was claimed (by the
+    result flag or by the engine's declared path semantics)
+``rejected``
+    the path's label sequence is not accepted by the freshly compiled
+    automaton (covers wrong labels *and* violated query-time
+    predicates)
+``distance-bound`` / ``min-distance``
+    the witness is longer/shorter than the query's length constraints
+
+The fixed order is what lets mutation tests pin a corruption to exactly
+one invariant name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.result import QueryResult
+from repro.graph.labeled_graph import LabeledGraph
+from repro.labels import LabelSet, Predicate
+from repro.queries.query import RSPQuery
+from repro.regex.compiler import compile_regex
+from repro.regex.nfa import NFA, OtherSymbol
+
+# invariant names, in checking order (see module docstring)
+INV_NEGATIVE_WITH_PATH = "negative-with-path"
+INV_UNWITNESSED = "unwitnessed"
+INV_EMPTY_PATH = "empty-path"
+INV_ENDPOINTS = "endpoints"
+INV_DEAD_NODE = "dead-node"
+INV_BROKEN_EDGE = "broken-edge"
+INV_SIMPLICITY_FLAG = "simplicity-flag"
+INV_NON_SIMPLE = "non-simple"
+INV_REJECTED = "rejected"
+INV_DISTANCE_BOUND = "distance-bound"
+INV_MIN_DISTANCE = "min-distance"
+
+#: every invariant the oracle can name, in checking order
+INVARIANTS: Tuple[str, ...] = (
+    INV_NEGATIVE_WITH_PATH,
+    INV_UNWITNESSED,
+    INV_EMPTY_PATH,
+    INV_ENDPOINTS,
+    INV_DEAD_NODE,
+    INV_BROKEN_EDGE,
+    INV_SIMPLICITY_FLAG,
+    INV_NON_SIMPLE,
+    INV_REJECTED,
+    INV_DISTANCE_BOUND,
+    INV_MIN_DISTANCE,
+)
+
+
+@dataclass(frozen=True)
+class WitnessReport:
+    """Outcome of one oracle check.
+
+    ``ok`` is the verdict; ``checked`` distinguishes "validated and
+    passed" from "nothing to validate" (a negative answer, or a
+    path-less positive when no witness was required); ``invariant``
+    names the first violated invariant when ``ok`` is False.
+    """
+
+    ok: bool
+    checked: bool
+    invariant: Optional[str] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _passed(checked: bool = True) -> WitnessReport:
+    return WitnessReport(ok=True, checked=checked)
+
+
+def _violated(invariant: str, detail: str) -> WitnessReport:
+    return WitnessReport(
+        ok=False, checked=True, invariant=invariant, detail=detail
+    )
+
+
+# ---------------------------------------------------------------------------
+# independent automaton simulation
+# ---------------------------------------------------------------------------
+def _symbol_fires(
+    symbol: Any, labels: LabelSet, attrs: Mapping[str, Any]
+) -> bool:
+    """Re-implementation of symbol matching (independent of
+    :func:`repro.regex.nfa.match_symbol` on purpose)."""
+    if isinstance(symbol, str):
+        return symbol in labels
+    if isinstance(symbol, Predicate):
+        # the predicate *is* the query's own definition, not engine code
+        return symbol(attrs)
+    if isinstance(symbol, OtherSymbol):
+        return any(label not in symbol.known for label in labels)
+    raise TypeError(f"unknown automaton symbol: {symbol!r}")
+
+
+class IndependentMatcher:
+    """A from-scratch powerset simulation over an NFA's raw structure.
+
+    Reads only the automaton's data fields (``symbol_transitions``,
+    ``epsilon_transitions``, ``starts``, ``accepts``) and shares no
+    logic with the memoised trackers the engines run: no step cache, no
+    interning, its own ε-closure.
+    """
+
+    def __init__(self, nfa: NFA):
+        self._transitions = nfa.symbol_transitions
+        self._epsilon = nfa.epsilon_transitions
+        self._starts = nfa.starts
+        self._accepts = nfa.accepts
+
+    def _closure(self, states: FrozenSet[int]) -> FrozenSet[int]:
+        seen = set(states)
+        stack = sorted(states)
+        while stack:
+            state = stack.pop()
+            for nxt in self._epsilon[state]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    def initial(self) -> FrozenSet[int]:
+        return self._closure(self._starts)
+
+    def step(
+        self,
+        states: FrozenSet[int],
+        labels: LabelSet,
+        attrs: Mapping[str, Any],
+    ) -> FrozenSet[int]:
+        out: set = set()
+        for state in sorted(states):
+            for symbol, dsts in self._transitions[state].items():
+                if _symbol_fires(symbol, labels, attrs):
+                    out.update(dsts)
+        if not out:
+            return frozenset()
+        return self._closure(frozenset(out))
+
+    def accepting(self, states: FrozenSet[int]) -> bool:
+        return bool(states & self._accepts)
+
+
+# ---------------------------------------------------------------------------
+# element semantics (deliberately re-derived, not imported from matcher)
+# ---------------------------------------------------------------------------
+def _resolve_elements(graph: LabeledGraph, elements: Optional[str]) -> str:
+    for candidate in (elements, graph.labeled_elements):
+        if candidate is not None:
+            if candidate not in ("nodes", "edges", "both"):
+                raise ValueError(
+                    "elements must be 'nodes', 'edges' or 'both', "
+                    f"got {candidate!r}"
+                )
+            return candidate
+    node_labeled = graph.has_node_labels
+    edge_labeled = graph.has_edge_labels
+    if node_labeled and edge_labeled:
+        return "both"
+    if edge_labeled:
+        return "edges"
+    return "nodes"
+
+
+def _path_word(
+    graph: LabeledGraph, path: Sequence[int], elements: str
+) -> List[Tuple[LabelSet, Mapping[str, Any]]]:
+    """The symbol sequence a path contributes (Definition 3 semantics):
+    every consumed element yields its label set and attribute dict."""
+    word: List[Tuple[LabelSet, Mapping[str, Any]]] = []
+    consume_nodes = elements in ("nodes", "both")
+    consume_edges = elements in ("edges", "both")
+    if consume_nodes:
+        word.append((graph.node_labels(path[0]), graph.node_attrs(path[0])))
+    for u, v in zip(path, path[1:]):
+        if consume_edges:
+            word.append((graph.edge_labels(u, v), graph.edge_attrs(u, v)))
+        if consume_nodes:
+            word.append((graph.node_labels(v), graph.node_attrs(v)))
+    return word
+
+
+# ---------------------------------------------------------------------------
+# independent compilation
+# ---------------------------------------------------------------------------
+#: memo for predicate-free string regexes; bounded, cleared when full
+_COMPILE_CACHE_MAX = 64
+_compile_cache: dict = {}
+
+
+def _fresh_compiled(query: RSPQuery, negation_mode: str):
+    """Compile the query's regex independently of the query's own cache.
+
+    The oracle must never trust ``query.meta['_compiled']`` (a stale or
+    corrupted engine-side cache is exactly the kind of bug it exists to
+    catch), so this always goes through :func:`compile_regex` afresh.
+    Predicate-free *string* regexes are memoised by their source text so
+    paranoid mode does not recompile the same workload template for
+    every positive; the key carries no per-query state, which keeps the
+    memo itself independent of the engines.
+    """
+    if query.predicates is not None or not isinstance(query.regex, str):
+        return compile_regex(query.regex, query.predicates, negation_mode)
+    key = (query.regex, negation_mode)
+    cached = _compile_cache.get(key)
+    if cached is None:
+        cached = compile_regex(query.regex, None, negation_mode)
+        if len(_compile_cache) >= _COMPILE_CACHE_MAX:
+            _compile_cache.clear()
+        _compile_cache[key] = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# the oracle
+# ---------------------------------------------------------------------------
+def check_witness(
+    graph: LabeledGraph,
+    query: RSPQuery,
+    result: QueryResult,
+    *,
+    elements: Optional[str] = None,
+    negation_mode: str = "paper",
+    expect_simple: Optional[bool] = None,
+    require_witness: bool = False,
+) -> WitnessReport:
+    """Validate one result's witness against graph and query.
+
+    ``expect_simple`` asserts the engine's declared path semantics on
+    top of the result's own ``path_is_simple`` flag (an engine claiming
+    RSPQ semantics must deliver simple witnesses even if it mislabels
+    them).  ``require_witness=True`` makes a path-less positive a
+    violation — the default tolerates it because two index baselines
+    (LI via-landmark, Zou) legitimately answer without materialising a
+    path.
+    """
+    if not result.reachable:
+        if result.path is not None:
+            return _violated(
+                INV_NEGATIVE_WITH_PATH,
+                f"negative answer carries a path of {len(result.path)} "
+                "node(s)",
+            )
+        return _passed(checked=False)
+
+    path = result.path
+    if path is None:
+        if require_witness:
+            return _violated(
+                INV_UNWITNESSED, "positive answer without a witness path"
+            )
+        return _passed(checked=False)
+    if len(path) == 0:
+        return _violated(INV_EMPTY_PATH, "positive answer with an empty path")
+
+    if path[0] != query.source or path[-1] != query.target:
+        return _violated(
+            INV_ENDPOINTS,
+            f"path runs {path[0]} -> {path[-1]}, query asks "
+            f"{query.source} -> {query.target}",
+        )
+
+    for node in path:
+        if not graph.is_alive(node):
+            return _violated(
+                INV_DEAD_NODE, f"path visits non-existent node {node}"
+            )
+    for u, v in zip(path, path[1:]):
+        if not graph.has_edge(u, v):
+            return _violated(
+                INV_BROKEN_EDGE, f"no edge {u} -> {v} in the graph"
+            )
+
+    if result.path_is_simple is None:
+        return _violated(
+            INV_SIMPLICITY_FLAG,
+            "positive answer with a path must set path_is_simple to a "
+            "boolean (contract gap)",
+        )
+    claims_simple = bool(result.path_is_simple) or bool(expect_simple)
+    actually_simple = len(set(path)) == len(path)
+    if claims_simple and not actually_simple:
+        return _violated(
+            INV_NON_SIMPLE,
+            "simplicity claimed but the path repeats a vertex",
+        )
+
+    compiled = _fresh_compiled(query, negation_mode)
+    matcher = IndependentMatcher(compiled.nfa)
+    resolved = _resolve_elements(graph, elements)
+    word = _path_word(graph, path, resolved)
+    states = matcher.initial()
+    for position, (labels, attrs) in enumerate(word):
+        states = matcher.step(states, labels, attrs)
+        if not states:
+            return _violated(
+                INV_REJECTED,
+                f"automaton dead after symbol {position + 1}/{len(word)} "
+                f"of the witness word (elements={resolved!r})",
+            )
+    if not matcher.accepting(states):
+        return _violated(
+            INV_REJECTED,
+            "witness word consumed but no accept state reached "
+            f"(elements={resolved!r})",
+        )
+
+    n_edges = len(path) - 1
+    if query.distance_bound is not None and n_edges > query.distance_bound:
+        return _violated(
+            INV_DISTANCE_BOUND,
+            f"witness has {n_edges} edges, bound is {query.distance_bound}",
+        )
+    if query.min_distance is not None and n_edges < query.min_distance:
+        return _violated(
+            INV_MIN_DISTANCE,
+            f"witness has {n_edges} edges, minimum is {query.min_distance}",
+        )
+    return _passed()
+
+
+def check_result(
+    graph: Optional[LabeledGraph],
+    query: RSPQuery,
+    result: QueryResult,
+    *,
+    expect_simple: Optional[bool] = None,
+    elements: Optional[str] = None,
+    negation_mode: str = "paper",
+    mode: str = "positives",
+) -> WitnessReport:
+    """Paranoid-mode entry point used by ``EngineBase.query(check=...)``.
+
+    ``mode="positives"`` validates witnessed positive answers only;
+    ``mode="all"`` additionally checks record consistency on negatives
+    (a negative must not carry a path).
+    """
+    if mode not in ("positives", "all"):
+        raise ValueError(
+            f"mode must be 'positives' or 'all', got {mode!r}"
+        )
+    if graph is None:
+        return _passed(checked=False)
+    if not result.reachable and mode != "all":
+        return _passed(checked=False)
+    return check_witness(
+        graph,
+        query,
+        result,
+        elements=elements,
+        negation_mode=negation_mode,
+        expect_simple=expect_simple,
+    )

@@ -1,135 +1,43 @@
-"""Shared hypothesis strategies and small fixture graphs.
-
-The regex strategies deliberately restrict the alphabet to single
-characters (``a``-``d``) so the generated expressions have a direct
-translation into Python's :mod:`re` syntax — letting the property tests
-compare our Thompson/NFA pipeline against an independent, trusted
-matcher.
-"""
+"""Compatibility shim: the shared strategies were promoted into
+:mod:`repro.verify.strategies` so the verification layer owns its
+generators.  Existing tests keep importing from here."""
 
 from __future__ import annotations
 
-from hypothesis import strategies as st
-
-from repro.graph.labeled_graph import LabeledGraph
-from repro.regex.ast_nodes import (
-    Alt,
-    Concat,
-    Epsilon,
-    Literal,
-    Optional,
-    Plus,
-    Regex,
-    Repeat,
-    Star,
+from repro.verify.strategies import (
+    ALPHABET,
+    PREDICATE_ATTR,
+    PREDICATE_NAMES,
+    attributed_edge_graphs,
+    constrained_queries,
+    diamond_graph,
+    distance_constraints,
+    labels,
+    negation_regexes,
+    predicate_regexes,
+    regexes,
+    shared_predicate_registry,
+    small_edge_labeled_graphs,
+    small_node_labeled_graphs,
+    to_python_re,
+    words,
 )
 
-ALPHABET = "abcd"
-
-labels = st.sampled_from(list(ALPHABET))
-words = st.lists(labels, max_size=8)
-
-
-def regexes(max_depth: int = 3) -> st.SearchStrategy[Regex]:
-    """Random regex ASTs over the shared alphabet."""
-    leaves = st.one_of(
-        labels.map(Literal),
-        st.just(Epsilon()),
-    )
-
-    def extend(children):
-        bounds = st.tuples(
-            st.integers(0, 2),
-            st.one_of(st.none(), st.integers(0, 3)),
-        ).map(lambda mn: (mn[0], None if mn[1] is None else mn[0] + mn[1]))
-        return st.one_of(
-            st.tuples(children, children).map(Concat),
-            st.tuples(children, children).map(Alt),
-            children.map(Star),
-            children.map(Plus),
-            children.map(Optional),
-            st.tuples(children, bounds).map(
-                lambda pair: Repeat(pair[0], pair[1][0], pair[1][1])
-            ),
-        )
-
-    return st.recursive(leaves, extend, max_leaves=8)
-
-
-def to_python_re(regex: Regex) -> str:
-    """Translate an AST to Python :mod:`re` syntax (single-char labels)."""
-    if isinstance(regex, Literal):
-        return str(regex.symbol)
-    if isinstance(regex, Epsilon):
-        return "(?:)"
-    if isinstance(regex, Concat):
-        return "".join(f"(?:{to_python_re(p)})" for p in regex.parts)
-    if isinstance(regex, Alt):
-        return "|".join(f"(?:{to_python_re(p)})" for p in regex.parts)
-    if isinstance(regex, Star):
-        return f"(?:{to_python_re(regex.inner)})*"
-    if isinstance(regex, Plus):
-        return f"(?:{to_python_re(regex.inner)})+"
-    if isinstance(regex, Optional):
-        return f"(?:{to_python_re(regex.inner)})?"
-    if isinstance(regex, Repeat):
-        if regex.max_count is None:
-            bounds = f"{{{regex.min_count},}}"
-        else:
-            bounds = f"{{{regex.min_count},{regex.max_count}}}"
-        return f"(?:{to_python_re(regex.inner)}){bounds}"
-    raise TypeError(f"unsupported node for re translation: {regex!r}")
-
-
-@st.composite
-def small_edge_labeled_graphs(draw, max_nodes: int = 8):
-    """Small directed edge-labeled graphs for engine-agreement tests."""
-    n_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
-    graph = LabeledGraph(directed=True)
-    # pinned: inference would flip to "nodes" on edge-free draws
-    graph.labeled_elements = "edges"
-    graph.add_nodes(n_nodes)
-    n_edges = draw(st.integers(min_value=1, max_value=3 * n_nodes))
-    for _ in range(n_edges):
-        u = draw(st.integers(min_value=0, max_value=n_nodes - 1))
-        v = draw(st.integers(min_value=0, max_value=n_nodes - 1))
-        if u == v:
-            continue
-        label = draw(labels)
-        if graph.has_edge(u, v):
-            graph.set_edge_labels(u, v, graph.edge_labels(u, v) | {label})
-        else:
-            graph.add_edge(u, v, {label})
-    return graph
-
-
-@st.composite
-def small_node_labeled_graphs(draw, max_nodes: int = 8):
-    """Small directed node-labeled graphs."""
-    n_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
-    graph = LabeledGraph(directed=True)
-    graph.labeled_elements = "nodes"
-    for _ in range(n_nodes):
-        count = draw(st.integers(min_value=1, max_value=2))
-        node_labels = draw(
-            st.lists(labels, min_size=count, max_size=count)
-        )
-        graph.add_node(set(node_labels))
-    n_edges = draw(st.integers(min_value=1, max_value=3 * n_nodes))
-    for _ in range(n_edges):
-        u = draw(st.integers(min_value=0, max_value=n_nodes - 1))
-        v = draw(st.integers(min_value=0, max_value=n_nodes - 1))
-        if u != v and not graph.has_edge(u, v):
-            graph.add_edge(u, v)
-    return graph
-
-
-def diamond_graph() -> LabeledGraph:
-    """The recurring fixture: two labeled routes from 0 to 3."""
-    graph = LabeledGraph(directed=True)
-    graph.add_nodes(4)
-    graph.add_edge(0, 1, {"a"})
-    graph.add_edge(1, 3, {"b"})
-    graph.add_edge(0, 2, {"c"})
-    graph.add_edge(2, 3, {"d"})
-    return graph
+__all__ = [
+    "ALPHABET",
+    "PREDICATE_ATTR",
+    "PREDICATE_NAMES",
+    "attributed_edge_graphs",
+    "constrained_queries",
+    "diamond_graph",
+    "distance_constraints",
+    "labels",
+    "negation_regexes",
+    "predicate_regexes",
+    "regexes",
+    "shared_predicate_registry",
+    "small_edge_labeled_graphs",
+    "small_node_labeled_graphs",
+    "to_python_re",
+    "words",
+]

@@ -214,6 +214,61 @@ def test_distance_bounds_refused_when_unsupported(name, graph, query_set):
             engine.query(query)
 
 
+# ---------------------------------------------------------------------------
+# the simplicity contract (QueryResult docstring): witnessed positives
+# must commit to a *correct* boolean path_is_simple; None is reserved
+# for path-less answers
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_ENGINES)
+def test_simplicity_flag_is_boolean_on_witnessed_positives(
+    name, graph, query_set
+):
+    engine = build(name, graph)
+    for query in queries_for(name, query_set):
+        result = engine.query(query)
+        if result.reachable and result.path is not None:
+            assert isinstance(result.path_is_simple, bool), (
+                f"{name} left path_is_simple={result.path_is_simple!r} "
+                f"on a witnessed positive for {query}"
+            )
+            assert result.path_is_simple == is_simple(result.path)
+        elif result.path is None:
+            assert result.path_is_simple in (None, True)
+
+
+def _three_cycle():
+    from repro.graph.labeled_graph import LabeledGraph
+
+    cycle = LabeledGraph(directed=True)
+    cycle.add_nodes(3)
+    cycle.add_edge(0, 1, {"a"})
+    cycle.add_edge(1, 2, {"a"})
+    cycle.add_edge(2, 0, {"a"})
+    return cycle
+
+
+def test_rl_non_simple_witness_reports_false_not_none():
+    """The RL walk engine's witness for ``a{4}`` on a 3-cycle must
+    revisit nodes; the contract demands ``path_is_simple=False`` (not
+    ``None``) on that positive."""
+    engine = make_engine("rl", _three_cycle(), max_visits=20_000)
+    result = engine.query(0, 1, "a{4}")
+    assert result.reachable  # the walk 0->1->2->0->1 exists
+    assert result.path is not None
+    assert result.path_is_simple is False
+    assert is_simple(result.path) is False
+
+
+def test_rl_non_simple_witness_passes_paranoid_mode():
+    # the independent oracle accepts a truthful non-simple walk witness
+    # from an engine that declares arbitrary-path semantics
+    engine = make_engine("rl", _three_cycle(), max_visits=20_000)
+    result = engine.query(0, 1, "a{4}", check="positives")
+    assert result.reachable
+    assert result.stats.oracle_checks == 1
+    assert result.stats.oracle_violations == 0
+
+
 @pytest.mark.parametrize("name", ALL_ENGINES)
 def test_fragment_enforced(name, graph, query_set):
     """Engines with a restricted fragment refuse what is outside it."""

@@ -1,7 +1,11 @@
 """BatchExecutor: backends, determinism, timeouts, failure modes."""
 
+import os
+import subprocess
+import sys
 import time
 from functools import partial
+from pathlib import Path
 
 import pytest
 
@@ -173,6 +177,54 @@ def test_thread_timeout_structured():
     assert elapsed < 4.0  # the 5 s sleeper was abandoned, not awaited
     assert sum(bool(r.reachable) for r in report.results) == 4
     assert report.stats.n_timeouts == 1
+
+
+def test_process_timeout_workers_terminated(tmp_path):
+    # An abandoned process worker must be killed, not merely abandoned:
+    # concurrent.futures re-joins leftover workers at interpreter exit,
+    # so a worker stuck past its deadline used to hang the process after
+    # run() had already returned its TimeoutResult.
+    script = tmp_path / "hang.py"
+    script.write_text(
+        "import time\n"
+        "from repro.core import BatchExecutor, TimeoutResult\n"
+        "from repro.core.engine import EngineBase\n"
+        "from repro.core.result import QueryResult\n"
+        "from repro.queries import RSPQuery\n"
+        "\n"
+        "\n"
+        "class StuckEngine(EngineBase):\n"
+        "    name = 'STUCK'\n"
+        "\n"
+        "    def _query(self, query):\n"
+        "        time.sleep(600)\n"
+        "        return QueryResult(reachable=True, method=self.name)\n"
+        "\n"
+        "\n"
+        "if __name__ == '__main__':\n"
+        "    report = BatchExecutor(\n"
+        "        factory=StuckEngine, backend='process', workers=2,\n"
+        "        timeout_s=0.2,\n"
+        "        # two queries: single-query workloads run serially\n"
+        "    ).run([RSPQuery(0, 1, 'a'), RSPQuery(1, 2, 'a')])\n"
+        "    assert all(\n"
+        "        isinstance(r, TimeoutResult) for r in report.results\n"
+        "    )\n"
+        "    print('returned')\n",
+        encoding="utf-8",
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,  # would previously block ~600 s on the stuck worker
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "returned" in completed.stdout
 
 
 # ---------------------------------------------------------------------------

@@ -39,6 +39,8 @@ ALL_RULE_IDS = {
     "RNG004",
     "SNAP001",
     "TIM001",
+    "VER001",
+    "VER002",
 }
 
 
@@ -634,6 +636,110 @@ class TestPublicApiRules:
             tmp_path, {"repro/sub/module.py": source}, select=["API002"]
         )
         assert found == []
+
+
+# ---------------------------------------------------------------------------
+# VER001 / VER002 — oracle independence and conformance coverage
+# ---------------------------------------------------------------------------
+_SPECS_TWO_ENGINES = (
+    "_ENGINE_SPECS = {\n"
+    '    "good": ("repro.core.good", "GoodEngine", False),\n'
+    '    "rogue": ("repro.core.rogue", "RogueEngine", False),\n'
+    "}\n"
+)
+
+_FRAGMENTS_GOOD_ONLY = (
+    "FRAGMENTS = {\n"
+    '    "good": ["a*"],\n'
+    "}\n"
+)
+
+
+class TestVerifyRules:
+    def test_engine_importing_oracle_flagged(self, tmp_path):
+        source = "from repro.verify.witness import check_result\n"
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["VER001"]
+        )
+        assert rule_ids(found) == {"VER001"}
+
+    def test_baseline_plain_import_flagged(self, tmp_path):
+        source = "import repro.verify\n"
+        found = run_lint(
+            tmp_path, {"repro/baselines/thing.py": source}, select=["VER001"]
+        )
+        assert rule_ids(found) == {"VER001"}
+
+    def test_sanctioned_crossing_carries_noqa(self, tmp_path):
+        # the paranoid-mode hook in repro.core.engine is the one allowed
+        # import, and it must be explicit about it
+        source = (
+            "def check(self):\n"
+            "    from repro.verify.witness import check_result"
+            "  # repro: noqa[VER001]\n"
+            "    return check_result\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/engine.py": source}, select=["VER001"]
+        )
+        assert found == []
+
+    def test_non_engine_module_may_import_oracle(self, tmp_path):
+        source = "from repro.verify import check_witness\n"
+        found = run_lint(
+            tmp_path,
+            {"repro/experiments/thing.py": source},
+            select=["VER001"],
+        )
+        assert found == []
+
+    def test_missing_conformance_entry_flagged(self, tmp_path):
+        found = run_lint(
+            tmp_path,
+            {
+                "repro/core/engine.py": _SPECS_TWO_ENGINES,
+                "tests/test_engine_conformance.py": _FRAGMENTS_GOOD_ONLY,
+            },
+            select=["VER002"],
+        )
+        assert len(found) == 1
+        assert found[0].rule_id == "VER002"
+        assert "'rogue'" in found[0].message
+
+    def test_full_conformance_coverage_passes(self, tmp_path):
+        fragments = (
+            "FRAGMENTS = {\n"
+            '    "good": ["a*"],\n'
+            '    "rogue": ["b*"],\n'
+            "}\n"
+        )
+        found = run_lint(
+            tmp_path,
+            {
+                "repro/core/engine.py": _SPECS_TWO_ENGINES,
+                "tests/test_engine_conformance.py": fragments,
+            },
+            select=["VER002"],
+        )
+        assert found == []
+
+    def test_inert_without_reachable_conformance_table(self, tmp_path):
+        # CI lints src only; with no tests/ on disk next to the registry
+        # the rule abstains rather than false-alarming
+        found = run_lint(
+            tmp_path,
+            {"repro/core/engine.py": _SPECS_TWO_ENGINES},
+            select=["VER002"],
+        )
+        assert found == []
+
+    def test_real_registry_is_fully_covered(self):
+        # the live cross-check: every engine in the real _ENGINE_SPECS
+        # has a FRAGMENTS entry in this repo's conformance suite
+        from repro.core.engine import engine_names
+        from test_engine_conformance import FRAGMENTS
+
+        assert set(engine_names()) <= set(FRAGMENTS)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Run provenance for persisted benchmark payloads.
+
+Every ``results/BENCH_*.json`` writer stamps its payload through
+:func:`write_payload`, so a checked-in or CI-uploaded artifact always
+records *where it came from*: the git commit it measured, when it ran,
+and the toolchain (python / numpy versions, cpu count) behind the
+numbers.  Without the stamp two JSON files with different jumps/s are
+just a mystery; with it they are a bisection.
+"""
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+
+def git_sha():
+    """The repo's current commit sha, or None outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def run_metadata():
+    """Provenance block shared by every benchmark JSON artifact."""
+    return {
+        "git_sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_payload(path, payload):
+    """Persist ``payload`` as JSON with the provenance block attached.
+
+    ``payload`` is shallow-copied so callers keep a stamp-free dict;
+    the ``meta`` key is reserved for the provenance block.
+    """
+    stamped = dict(payload)
+    stamped["meta"] = run_metadata()
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(
+        json.dumps(stamped, indent=2) + "\n", encoding="utf-8"
+    )
+    return stamped

@@ -13,7 +13,6 @@ core); the determinism assertions always run — scheduling must never
 change answers.
 """
 
-import json
 import os
 import time
 from functools import partial
@@ -26,6 +25,7 @@ from repro.datasets import twitter_like
 from repro.graph.stats import labels_by_frequency
 from repro.queries import RSPQuery
 
+from _meta import write_payload
 from conftest import RESULTS_DIR, n_queries, scaled
 
 WALK_LENGTH = 20
@@ -143,9 +143,8 @@ def report():
             runs[0]["answers"] == runs[1]["answers"] == runs[2]["answers"]
         ),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_batch.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_payload(path, payload)
     print(
         "\nbatch: "
         + ", ".join(

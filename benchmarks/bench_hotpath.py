@@ -13,7 +13,6 @@ Two halves, both persisted machine-readably to
   draw-for-draw — asserting the answers are identical.
 """
 
-import json
 import time
 
 import numpy as np
@@ -24,6 +23,7 @@ from repro.datasets import dblp_like, freebase_like, gplus_like, twitter_like
 from repro.graph.stats import labels_by_frequency
 from repro.queries import RSPQuery, WorkloadGenerator
 
+from _meta import write_payload
 from conftest import RESULTS_DIR, n_queries, scaled
 
 WALK_LENGTH = 24
@@ -132,9 +132,8 @@ def report():
         payload["fast"]["jumps_per_second"]
         / payload["baseline"]["jumps_per_second"]
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_hotpath.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_payload(path, payload)
     print(
         f"\nhot path: {payload['fast']['jumps_per_second']:,.0f} j/s fast "
         f"vs {payload['baseline']['jumps_per_second']:,.0f} j/s baseline "

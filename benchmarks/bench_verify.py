@@ -17,7 +17,6 @@ timer measures exactly the work paranoid mode adds.  Both numbers are
 recorded; only the stage-based one gates.
 """
 
-import json
 import time
 from functools import partial
 
@@ -30,6 +29,7 @@ from repro.datasets import twitter_like
 from repro.graph.stats import labels_by_frequency
 from repro.queries import RSPQuery
 
+from _meta import write_payload
 from conftest import RESULTS_DIR, n_queries, scaled
 
 WALK_LENGTH = 20
@@ -130,9 +130,8 @@ def report():
         "max_overhead_pct": MAX_OVERHEAD_PCT,
         "answers_identical": off["answers"] == paranoid["answers"],
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_verify.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_payload(path, payload)
     print(
         f"\nverify: off {off['queries_per_second']:.1f} q/s, "
         f"positives {paranoid['queries_per_second']:.1f} q/s, "

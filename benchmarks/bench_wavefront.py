@@ -1,0 +1,201 @@
+"""Wavefront kernel — jumps/second of the SoA superstep loop.
+
+Three engines over the identical seeded workload on a 10k-node
+synthetic graph, persisted machine-readably to
+``results/BENCH_wavefront.json``:
+
+* ``arrival-wf`` — the vectorized wavefront kernel
+  (:mod:`repro.core.wavefront`): whole-frontier supersteps, batched
+  CSR gather / RNG / meeting join;
+* ``arrival`` — the PR-1 scalar fast path (CSR view + interned
+  transition tables, one walk-jump per Python iteration);
+* ``arrival`` with ``fast_path=False`` — the original frozenset loop.
+
+Reported per engine: total jumps, jumps/second, and end-to-end query
+latency (mean/p50/p95 over the workload); for the wavefront
+additionally supersteps and supersteps/second.  The acceptance bar —
+the wavefront sustains >= 3x the scalar fast path's jumps/s — gates
+only at full benchmark scale (``REPRO_BENCH_SCALE >= 1``): on the
+reduced CI budget the graph is small enough that per-query setup
+dominates and the ratio is noise.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Arrival, ArrivalWavefront
+from repro.datasets import twitter_like
+from repro.graph.stats import labels_by_frequency
+from repro.queries import RSPQuery, WorkloadGenerator
+from repro.verify import DifferentialOracle
+
+from _meta import write_payload
+from conftest import BENCH_SCALE, RESULTS_DIR, n_queries, scaled
+
+WALK_LENGTH = 24
+NUM_WALKS = 120
+SEED = 31
+
+
+def wavefront_workload(graph, count, seed):
+    """Kleene-star queries over the most frequent labels (the same
+    shape as bench_hotpath's: walks stay alive, so the time goes into
+    the jump loop the kernels differ on)."""
+    top = labels_by_frequency(graph)[:4]
+    regexes = [
+        "(" + " | ".join(top) + ")*",
+        "(" + " | ".join(top[:2]) + ")+",
+    ]
+    rng = np.random.default_rng(seed)
+    return [
+        RSPQuery(
+            int(rng.integers(graph.num_nodes)),
+            int(rng.integers(graph.num_nodes)),
+            regexes[i % len(regexes)],
+        )
+        for i in range(count)
+    ]
+
+
+def measure(engine, queries):
+    """Throughput and latency over the workload, after one warmup query
+    (the first query pays the CSR build and fills the transition
+    tables)."""
+    engine.query(queries[0])
+    jumps = 0
+    supersteps = 0
+    latencies = []
+    start = time.perf_counter()
+    for query in queries:
+        t0 = time.perf_counter()
+        result = engine.query(query)
+        latencies.append(time.perf_counter() - t0)
+        jumps += result.jumps
+        supersteps += result.info.get("supersteps", 0)
+    elapsed = time.perf_counter() - start
+    lat = np.asarray(latencies)
+    out = {
+        "jumps": jumps,
+        "seconds": elapsed,
+        "jumps_per_second": jumps / elapsed if elapsed else float("inf"),
+        "latency_mean_ms": float(lat.mean() * 1e3),
+        "latency_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "latency_p95_ms": float(np.percentile(lat, 95) * 1e3),
+    }
+    if supersteps:
+        out["supersteps"] = supersteps
+        out["supersteps_per_second"] = (
+            supersteps / elapsed if elapsed else float("inf")
+        )
+    return out
+
+
+def divergence_sweep():
+    """Adjudicate wavefront vs scalar vs BBFS on a seeded workload.
+
+    The sweep the CI perf-smoke job fails on: any divergence (a false
+    positive, an error, an exact-engine disagreement) from the
+    wavefront engine is a red build, whatever the throughput numbers
+    say."""
+    graph = twitter_like(n_nodes=150, seed=7)
+    generator = WorkloadGenerator(graph, seed=11)
+    queries = [
+        generator.sample_query(positive_bias=0.5)
+        for _ in range(max(40, n_queries(40)))
+    ]
+    oracle = DifferentialOracle(
+        graph,
+        engines=("arrival", "arrival-wf", "bbfs"),
+        dataset="twitter_like(150)",
+        seed=SEED,
+        engine_kwargs={
+            "arrival": {"walk_length": 16, "num_walks": 64},
+            "arrival-wf": {"walk_length": 16, "num_walks": 64},
+            "bbfs": {"max_expansions": 20_000},
+        },
+    )
+    report = oracle.run(queries)
+    return {
+        "queries": report.n_queries,
+        "divergences": [fp.as_dict() for fp in report.divergences],
+        "recall": report.recall(),
+    }
+
+
+@pytest.fixture(scope="module")
+def report():
+    graph = twitter_like(n_nodes=round(scaled(10_000)), seed=17)
+    queries = wavefront_workload(graph, count=n_queries(30), seed=29)
+    kwargs = dict(walk_length=WALK_LENGTH, num_walks=NUM_WALKS, seed=SEED)
+    payload = {
+        "graph": {"n_nodes": graph.num_nodes, "n_edges": graph.num_edges},
+        "workload": {
+            "n_queries": len(queries),
+            "walk_length": WALK_LENGTH,
+            "num_walks": NUM_WALKS,
+        },
+        "wavefront": measure(ArrivalWavefront(graph, **kwargs), queries),
+        "scalar": measure(Arrival(graph, **kwargs), queries),
+        "baseline": measure(
+            Arrival(graph, fast_path=False, **kwargs), queries
+        ),
+        "divergence_sweep": divergence_sweep(),
+    }
+    payload["speedup_vs_scalar"] = (
+        payload["wavefront"]["jumps_per_second"]
+        / payload["scalar"]["jumps_per_second"]
+    )
+    payload["speedup_vs_baseline"] = (
+        payload["wavefront"]["jumps_per_second"]
+        / payload["baseline"]["jumps_per_second"]
+    )
+    path = RESULTS_DIR / "BENCH_wavefront.json"
+    write_payload(path, payload)
+    print(
+        f"\nwavefront: {payload['wavefront']['jumps_per_second']:,.0f} j/s "
+        f"({payload['wavefront'].get('supersteps_per_second', 0):,.0f} "
+        f"supersteps/s) vs scalar "
+        f"{payload['scalar']['jumps_per_second']:,.0f} j/s "
+        f"({payload['speedup_vs_scalar']:.2f}x) vs baseline "
+        f"{payload['baseline']['jumps_per_second']:,.0f} j/s "
+        f"({payload['speedup_vs_baseline']:.2f}x) -> {path}\n"
+    )
+    return payload
+
+
+def test_wavefront_ran_the_workload(report):
+    assert report["wavefront"]["jumps"] > 0
+    assert report["wavefront"]["supersteps"] > 0
+    assert report["scalar"]["jumps"] > 0
+    assert report["baseline"]["jumps"] > 0
+
+
+def test_wavefront_at_least_3x_scalar(report):
+    if BENCH_SCALE < 1.0:
+        pytest.skip(
+            "throughput bar gates at full scale only (reduced graphs "
+            "are setup-dominated)"
+        )
+    assert report["speedup_vs_scalar"] >= 3.0, report
+
+
+def test_wavefront_beats_baseline(report):
+    assert report["speedup_vs_baseline"] > 1.0, report
+
+
+def test_no_wavefront_divergences(report):
+    sweep = report["divergence_sweep"]
+    assert sweep["queries"] >= 40
+    assert sweep["divergences"] == []
+
+
+def test_query_throughput_wavefront(benchmark, report):
+    graph = twitter_like(n_nodes=round(scaled(2_000)), seed=17)
+    query = wavefront_workload(graph, count=1, seed=29)[0]
+    engine = ArrivalWavefront(
+        graph, walk_length=16, num_walks=60, seed=SEED
+    )
+    engine.query(query)  # warmup: view build + table fill
+    benchmark(engine.query, query)

@@ -30,6 +30,9 @@ Typical use::
 from __future__ import annotations
 
 import time
+
+import numpy as np
+
 from typing import (
     Any,
     Dict,
@@ -49,20 +52,27 @@ from repro.core.parameters import (
 )
 from repro.core.result import QueryResult
 from repro.core.stats import ExecStats
-from repro.core.walks import SideRunner
+from repro.core.walks import SideRunner, interned_start_ids
+from repro.core.wavefront import (
+    WavefrontResult,
+    WavefrontSide,
+    run_wavefront,
+)
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.labels import PredicateRegistry
 from repro.queries.query import RSPQuery
 from repro.regex.compiler import CompiledRegex, RegexLike, compile_regex
-from repro.regex.interner import InternedStepTable
+from repro.regex.interner import EMPTY_STATE_ID, InternedStepTable
 from repro.regex.matcher import (
     COMPATIBLE,
+    BackwardTracker,
+    ForwardTracker,
     _StepCache,
     check_path,
     resolve_elements,
 )
-from repro.rng import RngLike, ensure_rng
+from repro.rng import RngLike, WavefrontSampler, ensure_rng
 
 
 #: the two transition-memo shapes the hot-path counters aggregate over
@@ -134,6 +144,19 @@ class Arrival(EngineBase):
         only).  False keeps the historical one-``integers``-call-per-
         jump draw order, so a pinned seed makes fast and baseline paths
         choose identical jumps.
+    walk_mode:
+        "scalar" (per-walk inner loop, default) or "wavefront" (the
+        vectorized SoA kernel of :mod:`repro.core.wavefront`, which
+        advances every walk of a side per superstep).  The wavefront
+        engages only where it is sound and expressible — the fast-path
+        gate plus hashmap meeting, bidirectional sampling and no trace
+        sink; everything else silently takes the scalar path.  Its RNG
+        stream is its own (deterministic per seed and width, not
+        jump-identical to scalar runs).
+    wavefront_width:
+        Walk slots per side held in flight by the wavefront kernel
+        (clamped to the side's walk budget).  Part of the determinism
+        key: same seed + same width = same answers.
     seed:
         Seed / generator for all randomness.
     """
@@ -161,6 +184,8 @@ class Arrival(EngineBase):
         step_cache: bool = True,
         fast_path: bool = True,
         rng_batch: bool = True,
+        walk_mode: str = "scalar",
+        wavefront_width: int = 256,
         negation_mode: str = "paper",
         walk_length_multiplier: float = 2.0,
         diameter_sample_size: int = 32,
@@ -169,6 +194,12 @@ class Arrival(EngineBase):
     ) -> None:
         if meeting not in ("hashmap", "naive"):
             raise ValueError(f"meeting must be 'hashmap' or 'naive', got {meeting!r}")
+        if walk_mode not in ("scalar", "wavefront"):
+            raise ValueError(
+                f"walk_mode must be 'scalar' or 'wavefront', got {walk_mode!r}"
+            )
+        if wavefront_width < 1:
+            raise ValueError("wavefront_width must be positive")
         self.graph = graph
         self.elements = resolve_elements(graph, elements)
         self.label_mode = label_mode
@@ -186,6 +217,8 @@ class Arrival(EngineBase):
         #: since the fast path *is* transition memoisation)
         self.fast_path = fast_path
         self.rng_batch = rng_batch
+        self.walk_mode = walk_mode
+        self.wavefront_width = wavefront_width
         self.negation_mode = negation_mode
         self.rng = ensure_rng(seed)
         self.estimator = StationaryOverlapEstimator()
@@ -211,6 +244,14 @@ class Arrival(EngineBase):
         self._label_interner = LabelSetInterner()
         self._graph_view: Optional[GraphView] = None
         self._fast_tables: Dict[Tuple[int, bool], InternedStepTable] = {}
+        # wavefront samplers cached per (direction, slot count): the
+        # per-slot child-stream spawn is measurable per-query work.  The
+        # generator that spawned each sampler is remembered so reseed()
+        # (which replaces self.rng) invalidates the cache.
+        self._wave_samplers: Dict[
+            Tuple[bool, int],
+            Tuple[np.random.Generator, WavefrontSampler],
+        ] = {}
         #: graph-view (re)builds performed by this engine — incremented
         #: on first use and after every graph mutation
         self.view_rebuilds = 0
@@ -366,6 +407,36 @@ class Arrival(EngineBase):
             else tuple(self._step_caches.values())
         )
 
+        # the wavefront kernel engages only where the fast path is
+        # sound *and* the walk loop has nothing the SoA layout cannot
+        # express: hashmap meeting, bidirectional sampling, no trace
+        if (
+            self.walk_mode == "wavefront"
+            and use_fast
+            and view is not None
+            and forward_tables is not None
+            and backward_tables is not None
+            and self.meeting == "hashmap"
+            and self.bidirectional
+            and trace is None
+        ):
+            return self._run_wavefront(
+                compiled,
+                stats,
+                source=source,
+                target=target,
+                walk_length=walk_length,
+                num_walks=num_walks,
+                distance_bound=distance_bound,
+                min_distance=min_distance,
+                view=view,
+                forward_tables=forward_tables,
+                backward_tables=backward_tables,
+                transitions_before=transitions_before,
+                rebuilds_before=rebuilds_before,
+                stage_start=stage_start,
+            )
+
         forward = SideRunner(
             self.graph, compiled, self.elements, source,
             forward=True, walk_length=walk_length, rng=self.rng,
@@ -392,8 +463,6 @@ class Arrival(EngineBase):
         # cannot begin any accepted word; that is a certain negative
         # (probed in exact mode so the answer does not depend on label
         # sampling)
-        from repro.regex.matcher import ForwardTracker
-
         source_alive = bool(
             ForwardTracker(compiled, self.graph, self.elements).start(source)
         )
@@ -464,6 +533,181 @@ class Arrival(EngineBase):
             exact=True,
             path_is_simple=True,
             expansions=forward.completed_walks + backward.completed_walks,
+            jumps=jumps,
+            info=info,
+            stats=stats,
+        )
+
+    def _wavefront_sampler(
+        self, forward: bool, n_slots: int
+    ) -> WavefrontSampler:
+        """A per-(direction, width) sampler, cached across queries.
+
+        Streams continue across queries (like the scalar path's draws
+        from ``self.rng``), so answers stay deterministic per engine
+        seed; replacing ``self.rng`` via :meth:`reseed` spawns fresh
+        samplers, so the batch executor's per-query reseeding yields
+        scheduling-independent streams.
+        """
+        key = (forward, n_slots)
+        cached = self._wave_samplers.get(key)
+        if cached is not None and cached[0] is self.rng:
+            return cached[1]
+        sampler = WavefrontSampler(self.rng, n_slots)
+        self._wave_samplers[key] = (self.rng, sampler)
+        return sampler
+
+    def _run_wavefront(
+        self,
+        compiled: CompiledRegex,
+        stats: ExecStats,
+        *,
+        source: int,
+        target: int,
+        walk_length: int,
+        num_walks: int,
+        distance_bound: Optional[int],
+        min_distance: Optional[int],
+        view: GraphView,
+        forward_tables: InternedStepTable,
+        backward_tables: InternedStepTable,
+        transitions_before: Tuple[int, int],
+        rebuilds_before: int,
+        stage_start: float,
+    ) -> QueryResult:
+        """The vectorized walk loop (:mod:`repro.core.wavefront`).
+
+        Pre-flight (compile, parameters, view/table wiring) and
+        post-flight (witness verification, stats, estimator feeding)
+        mirror the scalar path exactly; only the walk loop in between
+        is replaced by the SoA supersteps.
+        """
+        forward_tracker = ForwardTracker(compiled, self.graph, self.elements)
+        backward_tracker = BackwardTracker(
+            compiled, self.graph, self.elements
+        )
+        start_forward = interned_start_ids(
+            forward_tracker, forward_tables, source, forward=True
+        )
+        start_backward = interned_start_ids(
+            backward_tracker, backward_tables, target, forward=False
+        )
+        resolved = forward_tracker.elements
+        consume_nodes = resolved in ("nodes", "both")
+        consume_edges = resolved in ("edges", "both")
+        # a dead forward start is a certain negative, exactly as on the
+        # scalar path (the source's symbol cannot begin any accepted
+        # word)
+        source_alive = start_forward[0] != EMPTY_STATE_ID
+
+        outcome: Optional[WavefrontResult] = None
+        if source_alive:
+            forward_budget = (num_walks + 1) // 2
+            # the backward side keeps at least one walk even for
+            # num_walks == 1: its origin registration is what lets
+            # forward walks recognise an arrival at the target (Case 2)
+            backward_budget = max(1, num_walks // 2)
+            forward_width = max(
+                1, min(self.wavefront_width, forward_budget)
+            )
+            backward_width = max(
+                1, min(self.wavefront_width, backward_budget)
+            )
+            forward_side = WavefrontSide(
+                view.arrays(forward=True),
+                forward_tables,
+                source,
+                forward=True,
+                walk_length=walk_length,
+                budget=forward_budget,
+                width=forward_width,
+                rng=self.rng,
+                start_ids=start_forward,
+                consume_nodes=consume_nodes,
+                consume_edges=consume_edges,
+                max_edges=distance_bound,
+                min_edges=min_distance,
+                sampler=self._wavefront_sampler(True, forward_width),
+            )
+            backward_side = WavefrontSide(
+                view.arrays(forward=False),
+                backward_tables,
+                target,
+                forward=False,
+                walk_length=walk_length,
+                budget=backward_budget,
+                width=backward_width,
+                rng=self.rng,
+                start_ids=start_backward,
+                consume_nodes=consume_nodes,
+                consume_edges=consume_edges,
+                max_edges=distance_bound,
+                min_edges=min_distance,
+                sampler=self._wavefront_sampler(False, backward_width),
+            )
+            outcome = run_wavefront(forward_side, backward_side)
+        stats.walk_s = time.perf_counter() - stage_start
+
+        joined: Optional[List[int]] = None
+        completed = 0
+        jumps = 0
+        info: Dict[str, Any] = {
+            "walk_length": walk_length,
+            "num_walks": num_walks,
+            "forward_walks": 0,
+            "backward_walks": 0,
+            "stored_keys": 0,
+            "fast_path": True,
+            "walk_mode": "wavefront",
+            "supersteps": 0,
+        }
+        if outcome is not None:
+            joined = outcome.joined
+            completed = outcome.forward_walks + outcome.backward_walks
+            jumps = outcome.jumps
+            info["forward_walks"] = outcome.forward_walks
+            info["backward_walks"] = outcome.backward_walks
+            info["stored_keys"] = outcome.stored_keys
+            info["supersteps"] = outcome.supersteps
+            for endpoint in outcome.forward_endpoints:
+                self.estimator.record_forward(endpoint)
+            for endpoint in outcome.backward_endpoints:
+                self.estimator.record_backward(endpoint)
+            stats.candidates_scanned = outcome.scanned
+            stats.rng_refills = outcome.rng_refills
+        transition_hits, transition_misses = _table_deltas(
+            transitions_before, (forward_tables, backward_tables)
+        )
+        stats.transition_hits = transition_hits
+        stats.transition_misses = transition_misses
+        stats.csr_rebuilds = self.view_rebuilds - rebuilds_before
+
+        if joined is None:
+            miss_bound = self._miss_probability_bound(num_walks)
+            if miss_bound is not None:
+                info["miss_probability_bound"] = miss_bound
+            return QueryResult(
+                reachable=False,
+                method=self.name,
+                exact=not source_alive,
+                expansions=completed,
+                jumps=jumps,
+                info=info,
+                stats=stats,
+            )
+        # the guarantee of no false positives: verify the witness
+        stage_start = time.perf_counter()
+        assert check_path(
+            compiled, self.graph, joined, self.elements
+        ) == COMPATIBLE, "internal error: joined path is not compatible"
+        stats.verify_s = time.perf_counter() - stage_start
+        return QueryResult(
+            reachable=True,
+            path=joined,
+            method=self.name,
+            exact=True,
+            path_is_simple=True,
+            expansions=completed,
             jumps=jumps,
             info=info,
             stats=stats,
@@ -587,3 +831,34 @@ class Arrival(EngineBase):
             self.estimator.record_forward(endpoint)
         for endpoint in backward.endpoints:
             self.estimator.record_backward(endpoint)
+
+
+class ArrivalWavefront(Arrival):
+    """ARRIVAL with the vectorized wavefront walk kernel as default.
+
+    Semantically the same engine as :class:`Arrival` — same parameters,
+    same one-sided error model, same gates — constructed with
+    ``walk_mode="wavefront"`` so eligible queries (exact mode, no
+    predicates, hashmap meeting, bidirectional) take the SoA superstep
+    loop of :mod:`repro.core.wavefront`; everything else silently falls
+    back to the scalar runner.  Registered separately (``arrival-wf``)
+    so the conformance suite, the batch executor sweeps and the
+    differential oracle exercise the wavefront mode as a first-class
+    engine.  Answers are deterministic per (seed, ``wavefront_width``)
+    but drawn from the wavefront's own RNG stream — reproducible, not
+    jump-identical to ``arrival``.
+    """
+
+    name = "ARRIVAL-WF"
+    approximate = True
+    supports_distance_bounds = True
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        walk_length: Optional[int] = None,
+        num_walks: Optional[int] = None,
+        **kwargs: Any,
+    ) -> None:
+        kwargs.setdefault("walk_mode", "wavefront")
+        super().__init__(graph, walk_length, num_walks, **kwargs)

@@ -29,7 +29,10 @@ engine routes every other query down the frozenset path.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+import numpy as np
+import numpy.typing as npt
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.labels import LabelSet
@@ -61,6 +64,32 @@ class LabelSetInterner:
         return len(self.sets)
 
 
+class SideArrays:
+    """One walk direction of a :class:`GraphView` as numpy arrays.
+
+    The scalar inner loop wants plain lists (per-element numpy access
+    allocates a scalar object); the wavefront kernel wants the opposite
+    — whole-frontier fancy indexing over contiguous arrays.  A
+    ``SideArrays`` carries the same CSR rows and label-set ids as the
+    view's list fields, as ``int32`` arrays, frozen like everything
+    else here.
+    """
+
+    __slots__ = ("indptr", "indices", "edge_ls", "node_ls")
+
+    def __init__(
+        self,
+        indptr: npt.NDArray[np.int32],
+        indices: npt.NDArray[np.int32],
+        edge_ls: npt.NDArray[np.int32],
+        node_ls: npt.NDArray[np.int32],
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_ls = edge_ls
+        self.node_ls = node_ls
+
+
 class GraphView:
     """One graph version, flattened for the walk inner loop.
 
@@ -71,6 +100,10 @@ class GraphView:
     ``(in_indices[i], v)``).  ``node_ls[n]`` is node ``n``'s label-set
     id for every allocated id (dead nodes included — their rows are
     empty, so walks never reach them).
+
+    :meth:`arrays` exposes the same data per direction as numpy arrays
+    for the wavefront kernel (:mod:`repro.core.wavefront`), converted
+    lazily once per view — i.e. once per graph version.
     """
 
     __slots__ = (
@@ -83,6 +116,8 @@ class GraphView:
         "in_edge_ls",
         "node_ls",
         "label_sets",
+        "_out_arrays",
+        "_in_arrays",
     )
 
     def __init__(
@@ -106,6 +141,31 @@ class GraphView:
         self.in_edge_ls = in_edge_ls
         self.node_ls = node_ls
         self.label_sets = label_sets
+        self._out_arrays: Optional[SideArrays] = None
+        self._in_arrays: Optional[SideArrays] = None
+
+    def arrays(self, forward: bool) -> SideArrays:
+        """The requested direction as frozen ``int32`` arrays."""
+        cached = self._out_arrays if forward else self._in_arrays
+        if cached is not None:
+            return cached
+        if forward:
+            built = SideArrays(
+                np.asarray(self.out_indptr, dtype=np.int32),
+                np.asarray(self.out_indices, dtype=np.int32),
+                np.asarray(self.out_edge_ls, dtype=np.int32),
+                np.asarray(self.node_ls, dtype=np.int32),
+            )
+            self._out_arrays = built
+        else:
+            built = SideArrays(
+                np.asarray(self.in_indptr, dtype=np.int32),
+                np.asarray(self.in_indices, dtype=np.int32),
+                np.asarray(self.in_edge_ls, dtype=np.int32),
+                np.asarray(self.node_ls, dtype=np.int32),
+            )
+            self._in_arrays = built
+        return built
 
 
 def build_graph_view(

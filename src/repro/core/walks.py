@@ -36,7 +36,7 @@ feed ``QueryResult.info``.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -53,6 +53,30 @@ from repro.regex.interner import EMPTY_STATE_ID, InternedStepTable
 from repro.regex.matcher import BackwardTracker, ForwardTracker
 from repro.regex.nfa import StateSet
 from repro.rng import BatchedIndexSampler, LegacyIndexSampler
+
+
+def interned_start_ids(
+    tracker: Union[ForwardTracker, BackwardTracker],
+    tables: InternedStepTable,
+    origin: int,
+    forward: bool,
+) -> Tuple[int, int]:
+    """Interned ``(meeting key, continuation)`` state ids at a walk
+    origin.
+
+    Start states are identical for every walk of one side (walks always
+    restart from the same origin), so both the scalar runner and the
+    wavefront kernel compute them once through the frozenset tracker and
+    keep the interned pair.  Forward walks key and continue on the same
+    set; backward walks may have a live key with a dead continuation
+    (the origin's own symbol ends an accepted word but cannot be
+    extended — the paper's Case 1 on the next step).
+    """
+    if forward:
+        sid = tables.intern(tracker.start(origin))
+        return (sid, sid)
+    start_key, current = tracker.start(origin)
+    return (tables.intern(start_key), tables.intern(current))
 
 
 class SideRunner:
@@ -204,19 +228,9 @@ class SideRunner:
         self.jumps += 1
         if self.fast:
             if self._start_ids is None:
-                # start states are identical for every walk of this
-                # runner; compute once through the frozenset tracker
-                # and keep the interned pair
-                tables = self._tables
-                if self.forward:
-                    sid = tables.intern(self._tracker.start(self.origin))
-                    self._start_ids = (sid, sid)
-                else:
-                    start_key, current = self._tracker.start(self.origin)
-                    self._start_ids = (
-                        tables.intern(start_key),
-                        tables.intern(current),
-                    )
+                self._start_ids = interned_start_ids(
+                    self._tracker, self._tables, self.origin, self.forward
+                )
             key_sid, self._sid = self._start_ids
             if key_sid == EMPTY_STATE_ID:
                 self._finish_walk()

@@ -1,0 +1,559 @@
+"""Vectorized wavefront walk kernel: all walks of one side per superstep.
+
+The scalar fast path (:mod:`repro.core.walks`) still advances one walk
+one jump at a time — a Python-level loop iteration per candidate scan,
+per automaton probe, per RNG draw.  This module replaces that with a
+structure-of-arrays **wavefront**: one :class:`WavefrontSide` holds up
+to ``width`` concurrently-running walks of one direction as parallel
+``int32`` arrays and advances *all* of them per superstep in a handful
+of NumPy kernel calls:
+
+* **CSR gather** — frontier degrees, a ``np.repeat`` owner map and a
+  flat-slot arithmetic pull every frontier node's neighbour row from the
+  frozen :class:`~repro.core.fastpath.SideArrays` at once;
+* **masks** — simplicity is one fancy-indexed read of a per-slot
+  visited-node bitmap (``bool[width, n_nodes]``, memory-gated with a
+  broadcast path-matrix compare as fallback on huge graphs); potential
+  compatibility is
+  :meth:`~repro.regex.interner.InternedStepTable.bulk_step` over the
+  interned ``(state_id, symbol_key)`` tables, with the same forward /
+  backward admission rule as the scalar runner (backward admits on key
+  *and* continuation non-empty);
+* **choice** — one uniform per walk slot per superstep from a
+  :class:`~repro.rng.WavefrontSampler`, turned into a per-walk index by
+  ``floor(u * k)`` over ``np.bincount`` admissible counts;
+* **restart in place** — dead slots restart from the origin while the
+  side's walk budget lasts; finished rows are archived first so meeting
+  joins can still slice their prefixes.
+
+**Meeting detection as a batched join.**  Every registered position
+becomes an ``int64`` key ``(node << 32) | nfa_state`` (states expanded
+through the interner's padded matrix).  Each superstep probes the fresh
+keys against the *opposite* side's accumulated sorted key array
+(:class:`_KeyTable`); only actual key matches — rare — fall back to the
+scalar per-candidate adjudication (:func:`~repro.core.meeting.try_join`
+on the sliced prefixes, i.e. Case-3 simplicity + length range; key
+equality already guarantees compatibility, Cor. 1).  Since each side
+probes its *new* keys against *everything* the opposite side has
+registered so far, every (forward key, backward key) pair is examined
+exactly as in the scalar hashmap — no meeting is lost to batching.
+
+**RNG stream contract.**  Jump randomness comes from one
+``SeedSequence``-derived child stream per walk slot; every slot consumes
+exactly one uniform per superstep whether or not it moved.  Answers are
+therefore deterministic for a fixed (engine seed, wavefront width) — but
+the stream is *not* the scalar path's stream, so wavefront answers are
+reproducible without being jump-identical to scalar runs; equivalence is
+established by the differential oracle sweep, not stream identity.
+
+The kernel is only wired up where the fast path is sound (exact mode, no
+query-time predicates) *and* the walk loop has nothing the SoA layout
+cannot express: hashmap meeting, bidirectional sampling, no trace sink.
+:class:`~repro.core.arrival.Arrival` owns that gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.fastpath import SideArrays
+from repro.core.meeting import try_join
+from repro.regex.interner import EMPTY_STATE_ID, InternedStepTable
+from repro.rng import WavefrontSampler
+
+_Int32 = npt.NDArray[np.int32]
+_Int64 = npt.NDArray[np.int64]
+_Bool = npt.NDArray[np.bool_]
+
+#: bit position of the node / walk id in packed int64 keys and refs
+_SHIFT = np.int64(32)
+_LOW_MASK = 0xFFFFFFFF
+
+#: byte budget for the per-slot visited bitmap (width x n_nodes bools);
+#: above it the kernel falls back to the broadcast path compare
+_VISITED_BITMAP_CAP = 64 * 1024 * 1024
+
+
+class _KeyTable:
+    """One side's registered meeting keys, probe-able in bulk.
+
+    Two views of the same registrations: a lazily re-merged sorted
+    ``int64`` key array for O(log K) batched membership tests
+    (:meth:`contains`), and the raw per-superstep chunks with parallel
+    ``(walk_id << 32) | position`` refs for entry retrieval on the rare
+    actual hits (:meth:`entries`).
+    """
+
+    __slots__ = ("_chunks", "_sorted", "_pending")
+
+    def __init__(self) -> None:
+        self._chunks: List[Tuple[_Int64, _Int64]] = []
+        self._sorted: _Int64 = np.zeros(0, dtype=np.int64)
+        self._pending: List[_Int64] = []
+
+    def add(self, keys: _Int64, refs: _Int64) -> None:
+        """Register one superstep's keys (parallel refs array)."""
+        if keys.size == 0:
+            return
+        self._chunks.append((keys, refs))
+        self._pending.append(keys)
+
+    def contains(self, keys: _Int64) -> _Bool:
+        """Element-wise membership of ``keys`` in the registered set."""
+        if self._pending:
+            self._sorted = np.sort(
+                np.concatenate([self._sorted, *self._pending])
+            )
+            self._pending = []
+        table = self._sorted
+        out: _Bool = np.zeros(keys.shape, dtype=np.bool_)
+        if table.size == 0 or keys.size == 0:
+            return out
+        pos = np.searchsorted(table, keys)
+        valid = pos < table.size
+        out[valid] = table[pos[valid]] == keys[valid]
+        return out
+
+    def entries(self, key: int) -> List[int]:
+        """All refs registered under ``key``, in registration order."""
+        found: List[int] = []
+        for chunk_keys, chunk_refs in self._chunks:
+            matches = chunk_refs[chunk_keys == key]
+            if matches.size:
+                found.extend(int(ref) for ref in matches)
+        return found
+
+    @property
+    def n_distinct(self) -> int:
+        """Distinct registered keys (the scalar index's ``n_keys``)."""
+        if self._pending:
+            self.contains(np.zeros(0, dtype=np.int64))  # force the merge
+        return int(np.unique(self._sorted).size)
+
+
+class WavefrontSide:
+    """One direction of the bidirectional sampler, SoA over ``width``
+    concurrent walk slots.
+
+    Mirrors :class:`~repro.core.walks.SideRunner` semantics walk-for-
+    walk (begin / jump / finish, the admission rule, key registration,
+    Case-3 adjudication) but holds every in-progress walk of the side
+    at once and advances them together in :meth:`superstep`.
+    """
+
+    def __init__(
+        self,
+        arrays: SideArrays,
+        tables: InternedStepTable,
+        origin: int,
+        forward: bool,
+        walk_length: int,
+        budget: int,
+        width: int,
+        rng: np.random.Generator,
+        start_ids: Tuple[int, int],
+        consume_nodes: bool,
+        consume_edges: bool,
+        max_edges: Optional[int] = None,
+        min_edges: Optional[int] = None,
+        sampler: Optional[WavefrontSampler] = None,
+    ) -> None:
+        if budget < 1:
+            raise ValueError("walk budget must be positive")
+        if walk_length < 2:
+            raise ValueError("walk_length must be at least 2")
+        self._arrays = arrays
+        self._tables = tables
+        self.origin = origin
+        self.forward = forward
+        self.walk_length = walk_length
+        self.budget = budget
+        self.width = max(1, min(width, budget))
+        self._start_key_sid, self._start_cont_sid = start_ids
+        self._consume_nodes = consume_nodes
+        self._consume_edges = consume_edges
+        self._max_edges = max_edges
+        self._min_edges = min_edges
+
+        w = self.width
+        # frontier SoA: current node / continuation state / position per
+        # slot, plus the -1-padded path matrix the simplicity mask and
+        # the meeting joins slice
+        self.node: _Int32 = np.zeros(w, dtype=np.int32)
+        self.sid: _Int32 = np.zeros(w, dtype=np.int32)
+        self.depth: _Int32 = np.zeros(w, dtype=np.int32)
+        self.path: _Int32 = np.full((w, walk_length), -1, dtype=np.int32)
+        self.alive: _Bool = np.zeros(w, dtype=np.bool_)
+        self._walk_ids: _Int64 = np.full(w, -1, dtype=np.int64)
+        # walk archive: slot of each started walk while it runs, its
+        # final path row once finished (meeting refs outlive restarts)
+        self._walk_slot: List[int] = []
+        self._archive: List[Optional[_Int32]] = []
+        self._keys = _KeyTable()
+        # the engine may pass a cached sampler (spawning one child
+        # stream per slot is measurable per-query work); cache keys are
+        # (direction, width), so the slot count always matches
+        self._sampler = (
+            sampler if sampler is not None else WavefrontSampler(rng, w)
+        )
+        # simplicity as a visited bitmap: one fancy-indexed probe per
+        # candidate instead of an O(frontier x walk_length) broadcast
+        # compare; gated on memory, the compare stays as fallback
+        n_nodes = int(arrays.node_ls.size)
+        self._visited: Optional[_Bool] = (
+            np.zeros((w, n_nodes), dtype=np.bool_)
+            if w * n_nodes <= _VISITED_BITMAP_CAP
+            else None
+        )
+
+        self.started = 0
+        self.completed = 0
+        self.jumps = 0
+        self.scanned = 0
+        self.supersteps = 0
+        self.endpoints: List[int] = []
+        if self._start_key_sid == EMPTY_STATE_ID:
+            # the origin's own symbol cannot start/end any accepted
+            # word: every walk of this side dies on arrival (Case 1 at
+            # length 1) — burn the whole budget at once, registering
+            # nothing, exactly as the scalar runner would jump-by-jump
+            self.started = self.completed = budget
+            self.jumps += budget
+            self.endpoints.extend([origin] * budget)
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """No walk in flight and no budget left to start one."""
+        return self.started >= self.budget and not bool(self.alive.any())
+
+    @property
+    def rng_refills(self) -> int:
+        return self._sampler.refills
+
+    @property
+    def stored_keys(self) -> int:
+        return self._keys.n_distinct
+
+    def walk_paths(self) -> List[List[int]]:
+        """Node sequences of every *completed* walk (tests/debugging)."""
+        return [
+            [int(node) for node in row]
+            for row in self._archive
+            if row is not None
+        ]
+
+    # ------------------------------------------------------------------
+    def superstep(self, opposite: "WavefrontSide") -> Optional[List[int]]:
+        """Advance the whole wavefront by one action per slot.
+
+        Dead slots restart from the origin (one begin action); slots
+        that were alive take one jump or finish (length cap / no
+        admissible candidate).  Every newly registered position is
+        probed against ``opposite``'s accumulated keys; the first
+        simple joined path in range is returned (Case 3).
+        """
+        if self.exhausted:
+            return None
+        self.supersteps += 1
+        uniforms = self._sampler.uniforms()
+        was_alive = self.alive.copy()
+        fresh = self._restart()
+        moved, moved_nodes, moved_keys = self._advance(was_alive, uniforms)
+        n_fresh = int(fresh.size)
+        if n_fresh + int(moved.size) == 0:
+            return None
+        slots = np.concatenate([fresh, moved])
+        nodes = np.concatenate(
+            [
+                np.full(n_fresh, self.origin, dtype=np.int32),
+                moved_nodes,
+            ]
+        )
+        key_sids = np.concatenate(
+            [
+                np.full(n_fresh, self._start_key_sid, dtype=np.int32),
+                moved_keys,
+            ]
+        )
+        depths = self.depth[slots]
+        return self._register_and_probe(
+            slots, nodes, key_sids, depths, opposite
+        )
+
+    # ------------------------------------------------------------------
+    def _restart(self) -> _Int64:
+        """Begin fresh walks in dead slots while the budget lasts."""
+        remaining = self.budget - self.started
+        dead: _Int64 = np.nonzero(~self.alive)[0]
+        fresh = dead[: max(0, remaining)]
+        if fresh.size == 0:
+            return fresh
+        for slot in fresh.tolist():
+            self._walk_ids[slot] = len(self._archive)
+            self._walk_slot.append(int(slot))
+            self._archive.append(None)
+        self.path[fresh, :] = -1
+        self.path[fresh, 0] = self.origin
+        if self._visited is not None:
+            self._visited[fresh] = False
+            self._visited[fresh, self.origin] = True
+        self.node[fresh] = self.origin
+        self.depth[fresh] = 0
+        self.sid[fresh] = self._start_cont_sid
+        self.alive[fresh] = True
+        self.started += int(fresh.size)
+        self.jumps += int(fresh.size)
+        return fresh
+
+    def _advance(
+        self, was_alive: _Bool, uniforms: npt.NDArray[np.float64]
+    ) -> Tuple[_Int64, _Int32, _Int32]:
+        """One jump for every slot that was alive before the restarts.
+
+        Returns the slots that moved with their new nodes and meeting-
+        key state ids; slots with no admissible candidate (or at the
+        length cap) are finished in place.
+        """
+        nothing = (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.int32),
+        )
+        act: _Int64 = np.nonzero(was_alive)[0]
+        if act.size == 0:
+            return nothing
+        # Cases 1-2 without a scan: length cap reached, or the
+        # continuation state died (backward origins whose key outlived
+        # their continuation)
+        done = (self.depth[act] + 1 >= self.walk_length) | (
+            self.sid[act] == EMPTY_STATE_ID
+        )
+        self._finish(act[done])
+        stepping = act[~done]
+        if stepping.size == 0:
+            return nothing
+
+        # bulk CSR gather: all frontier neighbour rows, flattened
+        arrays = self._arrays
+        cur = self.node[stepping]
+        starts = arrays.indptr[cur].astype(np.int64)
+        degrees = arrays.indptr[cur + 1].astype(np.int64) - starts
+        total = int(degrees.sum())
+        self.scanned += total
+        if total == 0:
+            self._finish(stepping)
+            return nothing
+        owner = np.repeat(np.arange(stepping.size, dtype=np.int64), degrees)
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(degrees)]
+        )
+        flat = np.arange(total, dtype=np.int64) - offsets[owner] + starts[owner]
+        neighbor = arrays.indices[flat]
+
+        # simplicity: bitmap probe when it fits; otherwise the path
+        # matrix is -1-padded, so a full-row broadcast compare is exact
+        # (node ids are non-negative)
+        visited: _Bool
+        if self._visited is not None:
+            visited = self._visited[stepping[owner], neighbor]
+        else:
+            visited = (
+                self.path[stepping][owner] == neighbor[:, None]
+            ).any(axis=1)
+
+        # potential compatibility via the interned step tables; same
+        # admission rule as the scalar runner
+        cur_sids = self.sid[stepping][owner]
+        if self.forward:
+            next_sid = cur_sids
+            if self._consume_edges:
+                next_sid = self._tables.bulk_step(
+                    next_sid, arrays.edge_ls[flat]
+                )
+            if self._consume_nodes:
+                next_sid = self._tables.bulk_step(
+                    next_sid, arrays.node_ls[neighbor]
+                )
+            key_sid = next_sid
+            admissible = ~visited & (next_sid != EMPTY_STATE_ID)
+        else:
+            # the edge symbol lies between the predecessor and the
+            # suffix: consuming it yields the key; the predecessor's
+            # own symbol only feeds the continuation
+            key_sid = cur_sids
+            if self._consume_edges:
+                key_sid = self._tables.bulk_step(
+                    key_sid, arrays.edge_ls[flat]
+                )
+            next_sid = key_sid
+            if self._consume_nodes:
+                next_sid = self._tables.bulk_step(
+                    key_sid, arrays.node_ls[neighbor]
+                )
+            admissible = (
+                ~visited
+                & (key_sid != EMPTY_STATE_ID)
+                & (next_sid != EMPTY_STATE_ID)
+            )
+
+        # uniform choice per walk: bincount the admissible candidates,
+        # finish walks with none, index the rest by floor(u * k)
+        adm_idx: _Int64 = np.nonzero(admissible)[0]
+        counts = np.bincount(owner[adm_idx], minlength=stepping.size)
+        self._finish(stepping[counts == 0])
+        movers: _Int64 = np.nonzero(counts > 0)[0]
+        if movers.size == 0:
+            return nothing
+        group_start = np.searchsorted(owner[adm_idx], movers)
+        picks = (uniforms[stepping[movers]] * counts[movers]).astype(np.int64)
+        chosen = adm_idx[group_start + picks]
+
+        slots: _Int64 = stepping[movers]
+        new_nodes = neighbor[chosen].astype(np.int32)
+        if self._visited is not None:
+            self._visited[slots, new_nodes] = True
+        self.depth[slots] += 1
+        self.path[slots, self.depth[slots]] = new_nodes
+        self.node[slots] = new_nodes
+        self.sid[slots] = next_sid[chosen].astype(np.int32)
+        self.jumps += int(slots.size)
+        return slots, new_nodes, key_sid[chosen].astype(np.int32)
+
+    def _finish(self, slots: _Int64) -> None:
+        """Terminate walks (Cases 1-2): archive rows, record endpoints."""
+        if slots.size == 0:
+            return
+        for slot in slots.tolist():
+            walk_id = int(self._walk_ids[slot])
+            row: _Int32 = self.path[
+                slot, : int(self.depth[slot]) + 1
+            ].copy()
+            self._archive[walk_id] = row
+        self.endpoints.extend(int(node) for node in self.node[slots])
+        self.completed += int(slots.size)
+        self.alive[slots] = False
+
+    # ------------------------------------------------------------------
+    def _register_and_probe(
+        self,
+        slots: _Int64,
+        nodes: _Int32,
+        key_sids: _Int32,
+        depths: _Int32,
+        opposite: "WavefrontSide",
+    ) -> Optional[List[int]]:
+        """Expand key sets, probe the opposite side, register.
+
+        Key construction is one fancy-indexed read of the interner's
+        padded state matrix; the membership probe is one batched
+        ``searchsorted``.  Only rows whose key actually matches fall
+        into the per-candidate Python adjudication — compatibility is
+        already guaranteed by key equality, so that loop only slices
+        prefixes and checks simplicity / length range.
+        """
+        states = self._tables.key_state_matrix()[key_sids]
+        valid: _Bool = states >= 0
+        keys = (nodes.astype(np.int64)[:, None] << _SHIFT) | np.where(
+            valid, states, 0
+        )
+        refs = (self._walk_ids[slots][:, None] << _SHIFT) | depths.astype(
+            np.int64
+        )[:, None]
+        rows = np.broadcast_to(
+            np.arange(slots.size, dtype=np.int64)[:, None], valid.shape
+        )
+        flat_keys: _Int64 = keys[valid]
+        flat_refs: _Int64 = np.broadcast_to(refs, valid.shape)[valid]
+        flat_rows: _Int64 = rows[valid]
+
+        joined: Optional[List[int]] = None
+        hits = opposite._keys.contains(flat_keys)
+        if bool(hits.any()):
+            seen: Set[Tuple[int, int]] = set()
+            for index in np.nonzero(hits)[0].tolist():
+                row = int(flat_rows[index])
+                slot = int(slots[row])
+                my_path = [
+                    int(node)
+                    for node in self.path[slot, : int(depths[row]) + 1]
+                ]
+                for ref in opposite._keys.entries(int(flat_keys[index])):
+                    if (row, ref) in seen:
+                        continue  # several shared states, one entry
+                    seen.add((row, ref))
+                    joined = try_join(
+                        my_path,
+                        opposite.prefix(ref >> 32, ref & _LOW_MASK),
+                        current_is_forward=self.forward,
+                        max_edges=self._max_edges,
+                        min_edges=self._min_edges,
+                    )
+                    if joined is not None:
+                        break
+                if joined is not None:
+                    break
+        self._keys.add(flat_keys, flat_refs)
+        return joined
+
+    def prefix(self, walk_id: int, position: int) -> List[int]:
+        """Nodes of a registered walk up to ``position`` inclusive."""
+        archived = self._archive[walk_id]
+        row: _Int32 = (
+            archived
+            if archived is not None
+            else self.path[self._walk_slot[walk_id]]
+        )
+        return [int(node) for node in row[: position + 1]]
+
+
+@dataclass
+class WavefrontResult:
+    """Outcome and hot-path counters of one wavefront run."""
+
+    joined: Optional[List[int]]
+    forward_walks: int
+    backward_walks: int
+    jumps: int
+    scanned: int
+    supersteps: int
+    rng_refills: int
+    stored_keys: int
+    forward_endpoints: List[int]
+    backward_endpoints: List[int]
+
+
+def run_wavefront(
+    forward_side: WavefrontSide,
+    backward_side: WavefrontSide,
+) -> WavefrontResult:
+    """Drive both wavefronts to a Case-3 join or budget exhaustion.
+
+    Supersteps alternate forward / backward exactly like the scalar
+    engine's step loop, so each side's fresh keys are probed against
+    everything the opposite side has registered up to that instant.
+    """
+    joined: Optional[List[int]] = None
+    while not (forward_side.exhausted and backward_side.exhausted):
+        joined = forward_side.superstep(backward_side)
+        if joined is not None:
+            break
+        joined = backward_side.superstep(forward_side)
+        if joined is not None:
+            break
+    return WavefrontResult(
+        joined=joined,
+        forward_walks=forward_side.completed,
+        backward_walks=backward_side.completed,
+        jumps=forward_side.jumps + backward_side.jumps,
+        scanned=forward_side.scanned + backward_side.scanned,
+        supersteps=forward_side.supersteps + backward_side.supersteps,
+        rng_refills=forward_side.rng_refills + backward_side.rng_refills,
+        stored_keys=forward_side.stored_keys + backward_side.stored_keys,
+        forward_endpoints=forward_side.endpoints,
+        backward_endpoints=backward_side.endpoints,
+    )

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 RngLike = Union[None, int, np.random.Generator]
 
@@ -98,6 +99,58 @@ class BatchedIndexSampler:
             self.refills += 1
         self._position = position + 1
         return int(self._buffer[position] * n)
+
+
+class WavefrontSampler:
+    """One uniform per walk slot per superstep, drawn in per-slot blocks.
+
+    The wavefront kernel (:mod:`repro.core.wavefront`) advances every
+    walk of one side at once and needs one uniform double per slot per
+    superstep.  Drawing them slot-by-slot would reintroduce the per-jump
+    ``Generator`` overhead the kernel exists to remove, so each slot owns
+    a :class:`~numpy.random.SeedSequence`-derived child stream (via
+    :func:`spawn`) and draws ``block`` uniforms at a time; a superstep
+    consumes one column of the resulting ``(n_slots, block)`` matrix.
+
+    **Stream contract.**  For a fixed parent generator state and a fixed
+    ``n_slots``, slot ``i`` always sees the same uniform sequence — the
+    kernel's answers are deterministic per (seed, width), independent of
+    which slots happen to be alive (every slot's uniform is consumed
+    each superstep, used or not).  The stream is *not* the scalar walk
+    engine's stream: wavefront answers are reproducible but not
+    jump-identical to :class:`LegacyIndexSampler` /
+    :class:`BatchedIndexSampler` runs.
+    """
+
+    __slots__ = ("_streams", "_block", "_buffer", "_column", "refills")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n_slots: int,
+        block: int = 128,
+    ) -> None:
+        if n_slots < 1:
+            raise ValueError("n_slots must be positive")
+        if block < 1:
+            raise ValueError("block size must be positive")
+        self._streams = spawn(rng, n_slots)
+        self._block = block
+        self._buffer: Optional[npt.NDArray[np.float64]] = None
+        self._column = block
+        self.refills = 0
+
+    def uniforms(self) -> npt.NDArray[np.float64]:
+        """The next superstep's uniforms, one per slot, in ``[0, 1)``."""
+        if self._buffer is None or self._column >= self._block:
+            self._buffer = np.stack(
+                [stream.random(self._block) for stream in self._streams]
+            )
+            self._column = 0
+            self.refills += 1
+        column = self._buffer[:, self._column]
+        self._column += 1
+        return column
 
 
 def weighted_index(rng: np.random.Generator, weights: Sequence[float]) -> int:

@@ -1,0 +1,271 @@
+"""Wavefront kernel — equivalence, determinism, and walk invariants.
+
+Three layers of evidence that the vectorized superstep loop
+(:mod:`repro.core.wavefront`) is the scalar fast path in SoA clothing:
+
+* a cross-dataset differential sweep (>= 200 queries over three
+  synthetic graphs) through :class:`repro.verify.DifferentialOracle`
+  with BBFS as the exact adjudicator — zero divergences (in particular
+  zero false positives, the paper's hard guarantee) and recall within
+  two points of the scalar engine;
+* determinism — the same engine seed yields identical answers across
+  fresh engine instances and across every
+  :class:`~repro.core.executor.BatchExecutor` backend / worker count;
+* Hypothesis property tests driving :class:`WavefrontSide` directly:
+  every completed walk is simple and every prefix stays potentially
+  compatible under the direction's tracker (the Sec. 3.2 invariants
+  the SoA masks must enforce).
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Arrival, BatchExecutor, make_engine
+from repro.core.walks import interned_start_ids
+from repro.core.wavefront import WavefrontSide, run_wavefront
+from repro.datasets import dblp_like, gplus_like, twitter_like
+from repro.queries import WorkloadGenerator
+from repro.regex.interner import EMPTY_STATE_ID
+from repro.regex.matcher import BackwardTracker, ForwardTracker
+from repro.verify import DifferentialOracle
+
+SEED = 17
+
+ENGINE_KWARGS = {
+    "arrival": {"walk_length": 16, "num_walks": 64},
+    "arrival-wf": {"walk_length": 16, "num_walks": 64},
+    "bbfs": {"max_expansions": 20_000},
+}
+
+
+def _dataset(name):
+    if name == "twitter":
+        return twitter_like(n_nodes=80, n_hubs=4, seed=7)
+    if name == "gplus":
+        return gplus_like(n_nodes=80, seed=7)
+    return dblp_like(n_nodes=80, seed=7)
+
+
+def _workload(graph, count, seed=11):
+    generator = WorkloadGenerator(graph, seed=seed)
+    return [
+        generator.sample_query(positive_bias=0.5) for _ in range(count)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# cross-dataset answer equivalence (>= 200 queries total)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["twitter", "gplus", "dblp"])
+def test_differential_sweep_no_divergences(name):
+    graph = _dataset(name)
+    queries = _workload(graph, count=70)
+    oracle = DifferentialOracle(
+        graph,
+        engines=("arrival", "arrival-wf", "bbfs"),
+        dataset=name,
+        seed=SEED,
+        engine_kwargs=ENGINE_KWARGS,
+    )
+    report = oracle.run(queries)
+    assert report.n_queries == 70
+    assert report.ok, [fp.as_dict() for fp in report.divergences]
+    recall = report.recall()
+    scalar = recall.get("arrival")
+    wavefront = recall.get("arrival-wf")
+    if scalar is not None and wavefront is not None:
+        # different RNG streams, same sampling process: the wavefront
+        # may legally miss different positives, but not systematically
+        assert wavefront >= scalar - 0.02, recall
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+def _answers(engine, queries):
+    return [
+        (result.reachable, tuple(result.path or ()))
+        for result in (engine.query(query) for query in queries)
+    ]
+
+
+def test_same_seed_same_answers_across_engine_instances():
+    graph = twitter_like(n_nodes=80, n_hubs=4, seed=7)
+    queries = _workload(graph, count=24, seed=13)
+    first = _answers(
+        make_engine(
+            "arrival-wf", graph, seed=SEED, **ENGINE_KWARGS["arrival-wf"]
+        ),
+        queries,
+    )
+    second = _answers(
+        make_engine(
+            "arrival-wf", graph, seed=SEED, **ENGINE_KWARGS["arrival-wf"]
+        ),
+        queries,
+    )
+    assert first == second
+
+
+def test_same_engine_is_deterministic_after_reseed():
+    graph = twitter_like(n_nodes=80, n_hubs=4, seed=7)
+    queries = _workload(graph, count=24, seed=13)
+    engine = make_engine(
+        "arrival-wf", graph, seed=SEED, **ENGINE_KWARGS["arrival-wf"]
+    )
+    first = _answers(engine, queries)
+    engine.reseed(np.random.default_rng(SEED))
+    # reseeding must invalidate the cached per-slot sampler streams
+    assert _answers(engine, queries) == first
+
+
+@pytest.mark.parametrize(
+    "backend,workers",
+    [("serial", 1), ("thread", 2), ("thread", 4), ("process", 2)],
+)
+def test_batch_answers_independent_of_backend(backend, workers):
+    graph = twitter_like(n_nodes=60, n_hubs=4, seed=7)
+    queries = _workload(graph, count=12, seed=13)
+    factory = partial(
+        make_engine,
+        "arrival-wf",
+        graph,
+        seed=SEED,
+        **ENGINE_KWARGS["arrival-wf"],
+    )
+    reference = (
+        BatchExecutor(factory=factory, backend="serial", seed=97)
+        .run(queries)
+        .results
+    )
+    swept = (
+        BatchExecutor(
+            factory=factory, backend=backend, workers=workers, seed=97
+        )
+        .run(queries)
+        .results
+    )
+    assert [(r.reachable, r.path) for r in swept] == [
+        (r.reachable, r.path) for r in reference
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the wavefront gate
+# ---------------------------------------------------------------------------
+def test_eligible_queries_take_the_wavefront_path():
+    graph = twitter_like(n_nodes=60, n_hubs=4, seed=7)
+    engine = make_engine(
+        "arrival-wf", graph, seed=SEED, **ENGINE_KWARGS["arrival-wf"]
+    )
+    result = engine.query(0, 1, "(follows:h0 | follows:h1)*")
+    assert result.info.get("walk_mode") == "wavefront"
+    assert result.info.get("fast_path") is True
+
+
+def test_gate_falls_back_to_scalar_without_the_fast_path():
+    graph = twitter_like(n_nodes=60, n_hubs=4, seed=7)
+    engine = Arrival(
+        graph,
+        walk_length=16,
+        num_walks=64,
+        seed=SEED,
+        walk_mode="wavefront",
+        fast_path=False,
+    )
+    result = engine.query(0, 1, "(follows:h0 | follows:h1)*")
+    assert result.info.get("walk_mode") != "wavefront"
+
+
+# ---------------------------------------------------------------------------
+# walk invariants (Hypothesis): simplicity + potential compatibility
+# ---------------------------------------------------------------------------
+REGEXES = [
+    "(follows:h0 | follows:h1)*",
+    "follows:h0+",
+    "follows:h0 follows:h1*",
+    "(follows:h0 follows:h1) | (follows:h1 follows:h0)",
+]
+
+
+def _build_sides(graph, regex, source, target, seed, width):
+    """Construct both WavefrontSides exactly as the engine gate does."""
+    engine = Arrival(
+        graph, walk_length=10, num_walks=24, seed=seed,
+        walk_mode="wavefront",
+    )
+    compiled = engine.compile(regex)
+    view = engine._current_view()
+    forward_tables = engine._fast_table(compiled, True)
+    backward_tables = engine._fast_table(compiled, False)
+    forward_tracker = ForwardTracker(compiled, graph, engine.elements)
+    backward_tracker = BackwardTracker(compiled, graph, engine.elements)
+    start_forward = interned_start_ids(
+        forward_tracker, forward_tables, source, forward=True
+    )
+    start_backward = interned_start_ids(
+        backward_tracker, backward_tables, target, forward=False
+    )
+    if start_forward[0] == EMPTY_STATE_ID:
+        return None  # certain negative: no walks to inspect
+    resolved = forward_tracker.elements
+    consume = dict(
+        consume_nodes=resolved in ("nodes", "both"),
+        consume_edges=resolved in ("edges", "both"),
+    )
+    forward_side = WavefrontSide(
+        view.arrays(forward=True), forward_tables, source, forward=True,
+        walk_length=10, budget=12, width=width, rng=engine.rng,
+        start_ids=start_forward, **consume,
+    )
+    backward_side = WavefrontSide(
+        view.arrays(forward=False), backward_tables, target,
+        forward=False, walk_length=10, budget=12, width=width,
+        rng=engine.rng, start_ids=start_backward, **consume,
+    )
+    return forward_side, backward_side, forward_tracker, backward_tracker
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_wavefront_walks_are_simple_and_potentially_compatible(data):
+    graph = twitter_like(n_nodes=40, n_hubs=3, seed=7)
+    nodes = list(graph.nodes())
+    source = data.draw(st.sampled_from(nodes), label="source")
+    target = data.draw(st.sampled_from(nodes), label="target")
+    regex = data.draw(st.sampled_from(REGEXES), label="regex")
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    width = data.draw(st.sampled_from([1, 3, 8, 32]), label="width")
+    built = _build_sides(graph, regex, source, target, seed, width)
+    if built is None:
+        return
+    forward_side, backward_side, forward_tracker, backward_tracker = built
+    run_wavefront(forward_side, backward_side)
+
+    for path in forward_side.walk_paths():
+        assert path[0] == source
+        assert len(set(path)) == len(path), f"non-simple walk {path}"
+        states = forward_tracker.start(path[0])
+        assert states
+        for u, v in zip(path, path[1:]):
+            # the admission mask requires a live continuation set after
+            # every jump — replay the exact tracker semantics
+            states = forward_tracker.extend(states, u, v)
+            assert states, f"forward walk left compatibility at {path}"
+
+    for path in backward_side.walk_paths():
+        assert path[0] == target
+        assert len(set(path)) == len(path), f"non-simple walk {path}"
+        key, current = backward_tracker.start(path[0])
+        assert key
+        for v, u in zip(path, path[1:]):
+            # walker sits at v, moves to predecessor u over edge u -> v;
+            # backward admission needs key AND continuation non-empty
+            key, current = backward_tracker.extend(current, u, v)
+            assert key and current, (
+                f"backward walk left compatibility at {path}"
+            )

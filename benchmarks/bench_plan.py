@@ -1,0 +1,248 @@
+"""Plan cache — cold vs warm serving latency.
+
+The plan/execute split exists for serving workloads that repeat a
+handful of query templates over a slowly-changing graph: the template's
+setup cost (regex parse, Thompson NFA + reversal, static analyses,
+parameter estimates) should be paid once, not per query.  This bench
+measures exactly that seam and persists the numbers to
+``results/BENCH_plan.json``:
+
+* **cold** — every query is served by a fresh engine with a fresh
+  :class:`~repro.core.plan.PlanCache`, so planning re-runs end to end;
+* **warm** — one engine, one shared cache, templates primed, so every
+  query is a plan hit and only the walk loop runs;
+* both sides reseed per query with the same seeds, so the answers must
+  be **byte-identical** — the cache is a latency lever, never an
+  answer lever (asserted);
+* a :class:`~repro.verify.oracle.DifferentialOracle` sweep (>= 200
+  queries, ARRIVAL vs exact BBFS) runs entirely through prepared plans
+  — ``engine.query`` *is* ``execute(prepare(query))`` since the split —
+  and must adjudicate zero divergences.
+
+The >= 2x warm speedup is asserted at full scale only
+(``REPRO_BENCH_SCALE`` < 1.0 skips the threshold, not the bench).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Arrival
+from repro.core.plan import PlanCache
+from repro.datasets import dblp_like, gplus_like, twitter_like
+from repro.graph.stats import labels_by_frequency
+from repro.queries import RSPQuery, WorkloadGenerator
+from repro.verify.oracle import DifferentialOracle
+
+from _meta import write_payload
+from conftest import BENCH_SCALE, RESULTS_DIR, n_queries, scaled
+
+# small explicit walk budgets: the serving regime this cache targets is
+# many cheap queries per template, where per-query setup dominates
+WALK_LENGTH = 8
+NUM_WALKS = 16
+
+
+def serving_templates(graph):
+    """A handful of deliberately sizeable templates (the NFA build cost
+    scales with the regex, which is what cold planning pays)."""
+    top = labels_by_frequency(graph)[:6]
+    a, b, c, d, e, f = (top + top)[:6]
+    return [
+        f"({a}|{b}|{c})* {d} ({a}|{b})*",
+        f"({b}|{a})* {c} ({e}|{d}|{c})*",
+        f"({a}|{b}|{c}|{d})+ ({e}|{f})?",
+        f"{a}* ({b}|{c}) ({d}|{e})* ({a}|{f})?",
+        f"(({a}|{b})* {c})? ({d}|{e}|{f})*",
+        f"({c}|{b}|{a}) ({f}|{e}|{d}|{c}|{b}|{a})*",
+    ]
+
+
+def serving_workload(graph, count, seed):
+    """``count`` queries cycling a small template set between random
+    endpoints — the repeated-template serving shape."""
+    templates = serving_templates(graph)
+    rng = np.random.default_rng(seed)
+    queries = []
+    for index in range(count):
+        queries.append(
+            RSPQuery(
+                int(rng.integers(graph.num_nodes)),
+                int(rng.integers(graph.num_nodes)),
+                templates[index % len(templates)],
+            )
+        )
+    return queries
+
+
+def run_cold(graph, queries, seeds):
+    """Fresh engine + fresh plan cache per query: planning every time."""
+    answers = []
+    start = time.perf_counter()
+    for query, seed in zip(queries, seeds):
+        engine = Arrival(
+            graph,
+            walk_length=WALK_LENGTH,
+            num_walks=NUM_WALKS,
+            seed=seed,
+            plan_cache=PlanCache(),
+        )
+        answers.append(engine.query(query))
+    seconds = time.perf_counter() - start
+    return answers, seconds
+
+
+def run_warm(graph, queries, seeds):
+    """One engine, one cache, templates primed: plan hits only."""
+    cache = PlanCache()
+    engine = Arrival(
+        graph,
+        walk_length=WALK_LENGTH,
+        num_walks=NUM_WALKS,
+        seed=0,
+        plan_cache=cache,
+    )
+    for template in serving_templates(graph):
+        engine.prepare(RSPQuery(0, 0, template))
+    answers = []
+    start = time.perf_counter()
+    for query, seed in zip(queries, seeds):
+        engine.reseed(seed)
+        answers.append(engine.query(query))
+    seconds = time.perf_counter() - start
+    return answers, seconds, cache
+
+
+def oracle_sweep():
+    """>= 200 queries, ARRIVAL vs exact BBFS, all through prepared
+    plans; the plan cache must not create a single divergence."""
+    datasets = [
+        ("gplus", gplus_like(n_nodes=60, seed=5)),
+        ("dblp", dblp_like(n_nodes=60, seed=5)),
+    ]
+    per_dataset = max(100, n_queries(100))
+    total = 0
+    divergences = []
+    for name, graph in datasets:
+        generator = WorkloadGenerator(graph, seed=13)
+        oracle = DifferentialOracle(
+            graph,
+            engines=("arrival", "bbfs"),
+            dataset=name,
+            seed=41,
+            engine_kwargs={
+                "arrival": {"walk_length": 12, "num_walks": 60},
+                # keep the exact side tractable; a truncated BBFS answer
+                # is adjudicated under the one-sided error model, never
+                # silently trusted
+                "bbfs": {"max_expansions": 200_000, "time_budget": 1.0},
+            },
+        )
+        queries = [
+            generator.sample_query(positive_bias=0.5)
+            for _ in range(per_dataset)
+        ]
+        report = oracle.run(queries)
+        total += report.n_queries
+        divergences.extend(f.as_dict() for f in report.divergences)
+    return {
+        "datasets": [name for name, _ in datasets],
+        "queries": total,
+        "divergences": divergences,
+    }
+
+
+@pytest.fixture(scope="module")
+def report():
+    graph = twitter_like(n_nodes=round(scaled(5_000)), seed=19)
+    queries = serving_workload(graph, count=n_queries(240), seed=23)
+    seeds = list(range(1_000, 1_000 + len(queries)))
+    cold_answers, cold_seconds = run_cold(graph, queries, seeds)
+    warm_answers, warm_seconds, cache = run_warm(graph, queries, seeds)
+    identical = all(
+        cold.reachable == warm.reachable and cold.path == warm.path
+        for cold, warm in zip(cold_answers, warm_answers)
+    )
+    payload = {
+        "graph": {"n_nodes": graph.num_nodes, "n_edges": graph.num_edges},
+        "workload": {
+            "n_queries": len(queries),
+            "n_templates": len(serving_templates(graph)),
+            "walk_length": WALK_LENGTH,
+            "num_walks": NUM_WALKS,
+        },
+        "cold": {
+            "seconds": cold_seconds,
+            "per_query_ms": 1_000.0 * cold_seconds / len(queries),
+        },
+        "warm": {
+            "seconds": warm_seconds,
+            "per_query_ms": 1_000.0 * warm_seconds / len(queries),
+        },
+        "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        "answers_identical": identical,
+        "plan_cache": cache.counters(),
+        "oracle": oracle_sweep(),
+    }
+    path = RESULTS_DIR / "BENCH_plan.json"
+    write_payload(path, payload)
+    print(
+        f"\nplan cache: cold {payload['cold']['per_query_ms']:.3f} ms/q "
+        f"vs warm {payload['warm']['per_query_ms']:.3f} ms/q "
+        f"({payload['speedup']:.2f}x); answers identical: {identical}; "
+        f"oracle {payload['oracle']['queries']} queries, "
+        f"{len(payload['oracle']['divergences'])} divergences -> {path}\n"
+    )
+    return payload
+
+
+def test_warm_at_least_2x(report):
+    if BENCH_SCALE < 1.0:
+        pytest.skip("speedup threshold asserted at full scale only")
+    assert report["speedup"] >= 2.0, report
+
+
+def test_answers_byte_identical(report):
+    assert report["answers_identical"], report
+
+
+def test_warm_side_actually_hit_the_cache(report):
+    counters = report["plan_cache"]
+    assert counters["plans"]["hits"] >= report["workload"]["n_queries"]
+    # every template compiled exactly once
+    assert counters["compiles"] == report["workload"]["n_templates"]
+
+
+def test_oracle_sweep_zero_divergences(report):
+    oracle = report["oracle"]
+    assert oracle["queries"] >= 200
+    assert oracle["divergences"] == []
+
+
+def test_prepared_query_latency_warm(benchmark, report):
+    graph = twitter_like(n_nodes=round(scaled(2_000)), seed=19)
+    query = serving_workload(graph, count=1, seed=23)[0]
+    engine = Arrival(
+        graph, walk_length=WALK_LENGTH, num_walks=NUM_WALKS, seed=31
+    )
+    engine.query(query)  # prime: plan + CSR view + tables
+    benchmark(engine.query, query)
+
+
+def test_cold_plan_latency(benchmark, report):
+    graph = twitter_like(n_nodes=round(scaled(2_000)), seed=19)
+    query = serving_workload(graph, count=1, seed=23)[0]
+
+    def cold_query():
+        engine = Arrival(
+            graph,
+            walk_length=WALK_LENGTH,
+            num_walks=NUM_WALKS,
+            seed=31,
+            plan_cache=PlanCache(),
+        )
+        return engine.query(query)
+
+    cold_query()  # prime the graph-side CSR view
+    benchmark(cold_query)

@@ -25,10 +25,10 @@ from typing import List, Optional, Tuple
 
 from repro.core.engine import EngineBase
 from repro.core.meeting import MeetingIndex
+from repro.core.plan import Plan, PlanCache
 from repro.core.result import QueryResult
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
-from repro.regex.compiler import RegexLike, compile_regex
 from repro.regex.matcher import (
     BackwardTracker,
     COMPATIBLE,
@@ -58,34 +58,26 @@ class BBFSEngine(EngineBase):
         max_expansions: Optional[int] = 1_000_000,
         time_budget: Optional[float] = None,
         negation_mode: str = "paper",
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.graph = graph
         self.elements = resolve_elements(graph, elements)
         self.max_expansions = max_expansions
         self.time_budget = time_budget
         self.negation_mode = negation_mode
-        self._compiled_cache: dict = {}
+        self.plan_cache = plan_cache
 
-    def compile(self, regex: RegexLike, predicates=None):
-        """Compile (and memoise) a regex for this engine."""
-        key = (str(regex), self.negation_mode)
-        if key not in self._compiled_cache:
-            self._compiled_cache[key] = compile_regex(
-                regex, predicates, self.negation_mode
-            )
-        return self._compiled_cache[key]
-
-    def _query(self, query) -> QueryResult:
+    def _execute(self, plan: Plan) -> QueryResult:
         """Exact RSPQ answer (subject to the expansion/time budgets)."""
-        source, target, regex = query.source, query.target, query.regex
-        predicates = query.predicates
+        query = plan.query
+        source, target = query.source, query.target
         distance_bound = query.distance_bound
         min_distance = query.min_distance
         if not self.graph.is_alive(source):
             raise QueryError(f"source node {source} does not exist")
         if not self.graph.is_alive(target):
             raise QueryError(f"target node {target} does not exist")
-        compiled = self.compile(regex, predicates)
+        compiled = plan.compiled
 
         if source == target:
             if min_distance is not None and min_distance > 0:

@@ -22,13 +22,15 @@ does not guarantee simple witnesses.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.baselines.product_bfs import product_reachability
 from repro.core.engine import EngineBase
+from repro.core.plan import Plan, PlanCache
 from repro.core.result import QueryResult
 from repro.errors import QueryError, UnsupportedQueryError
 from repro.graph.labeled_graph import LabeledGraph
+from repro.queries.query import RSPQuery
 from repro.regex.ast_nodes import (
     Concat,
     Literal,
@@ -38,7 +40,7 @@ from repro.regex.ast_nodes import (
     Repeat,
     Star,
 )
-from repro.regex.compiler import CompiledRegex, RegexLike, compile_regex
+from repro.regex.compiler import CompiledRegex, RegexLike
 from repro.regex.matcher import resolve_elements
 
 
@@ -69,15 +71,15 @@ class FanEngine(EngineBase):
         *,
         elements: Optional[str] = None,
         max_visits: Optional[int] = None,
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.graph = graph
         self.elements = resolve_elements(graph, elements)
         self.max_visits = max_visits
-        self._compiled_cache: dict = {}
+        self.plan_cache = plan_cache
 
-    def compile(self, regex: RegexLike, predicates=None) -> CompiledRegex:
-        """Compile after validating the fragment restriction."""
-        compiled = compile_regex(regex, predicates)
+    @staticmethod
+    def _require_fragment(compiled: CompiledRegex) -> CompiledRegex:
         if not in_fan_fragment(compiled.ast):
             raise UnsupportedQueryError(
                 "Fan et al. supports only concatenations of single-label "
@@ -85,15 +87,27 @@ class FanEngine(EngineBase):
             )
         return compiled
 
-    def _query(self, query) -> QueryResult:
+    def compile(self, regex: RegexLike, predicates=None) -> CompiledRegex:
+        """Compile after validating the fragment restriction."""
+        return self._require_fragment(super().compile(regex, predicates))
+
+    def _plan_params(
+        self, query: RSPQuery, compiled: CompiledRegex
+    ) -> Dict[str, Any]:
+        # validation at plan time: only fragment-conforming templates
+        # ever enter the plan cache, so cache hits are pre-validated
+        self._require_fragment(compiled)
+        return {}
+
+    def _execute(self, plan: Plan) -> QueryResult:
         """Exact arbitrary-path answer within the supported fragment."""
-        source, target, regex = query.source, query.target, query.regex
-        predicates = query.predicates
+        query = plan.query
+        source, target = query.source, query.target
         if not self.graph.is_alive(source):
             raise QueryError(f"source node {source} does not exist")
         if not self.graph.is_alive(target):
             raise QueryError(f"target node {target} does not exist")
-        compiled = self.compile(regex, predicates)
+        compiled = plan.compiled
         result = product_reachability(
             self.graph, source, target, compiled, self.elements,
             max_visits=self.max_visits,

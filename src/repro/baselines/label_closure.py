@@ -25,13 +25,15 @@ itself faithful to the technique.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional
 
 from repro.core.engine import EngineBase
+from repro.core.plan import Plan, PlanCache
 from repro.core.result import QueryResult
 from repro.errors import IndexBuildError, QueryError, UnsupportedQueryError
 from repro.graph.labeled_graph import LabeledGraph
-from repro.regex.compiler import compile_regex
+from repro.queries.query import RSPQuery
+from repro.regex.compiler import CompiledRegex
 from repro.regex.matcher import resolve_elements
 
 Antichain = List[FrozenSet[str]]
@@ -58,8 +60,10 @@ class LabelClosureIndex(EngineBase):
         elements: Optional[str] = None,
         memory_budget_bytes: Optional[int] = None,
         build: bool = True,
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.graph = graph
+        self.plan_cache = plan_cache
         self.elements = resolve_elements(graph, elements)
         self._consume_nodes = self.elements in ("nodes", "both")
         self._consume_edges = self.elements in ("edges", "both")
@@ -193,19 +197,28 @@ class LabelClosureIndex(EngineBase):
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def prepare(self) -> None:
+    def _prepare_engine(self) -> None:
         """Build the closure now if construction was deferred."""
         if not self.built:
             self.build()
 
-    def _query(self, query) -> QueryResult:
-        """Answer a type-1 query from the closure in O(answer) time."""
-        compiled = compile_regex(query.regex, query.predicates)
+    def _plan_params(
+        self, query: RSPQuery, compiled: CompiledRegex
+    ) -> Dict[str, Any]:
+        # validated at plan time, so only type-1 templates enter the
+        # cache; the resolved label set is the whole prepared plan
         labels = compiled.label_set_form
         if labels is None:
             raise UnsupportedQueryError(
                 "the label-closure index only supports query type 1"
             )
+        return {"labels": labels}
+
+    def _execute(self, plan: Plan) -> QueryResult:
+        """Answer a prepared type-1 query from the closure in
+        O(answer) time."""
+        query = plan.query
+        labels = plan.params["labels"]
         return self.query_label_set(query.source, query.target, labels)
 
     def query_label_set(

@@ -31,10 +31,11 @@ from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.engine import EngineBase
+from repro.core.plan import Plan, PlanCache
 from repro.core.result import QueryResult
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
-from repro.regex.compiler import CompiledRegex, RegexLike, compile_regex
+from repro.regex.compiler import CompiledRegex
 from repro.regex.matcher import (
     BackwardTracker,
     ForwardTracker,
@@ -61,12 +62,13 @@ class RareLabelsEngine(EngineBase):
         elements: Optional[str] = None,
         max_visits: Optional[int] = None,
         negation_mode: str = "paper",
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.graph = graph
         self.elements = resolve_elements(graph, elements)
         self.max_visits = max_visits
         self.negation_mode = negation_mode
-        self._compiled_cache: dict = {}
+        self.plan_cache = plan_cache
         self._label_counts = self._count_labels()
 
     def _count_labels(self) -> Dict[str, int]:
@@ -95,25 +97,16 @@ class RareLabelsEngine(EngineBase):
         rarest = min(literals, key=self.label_frequency)
         return rarest, self.label_frequency(rarest)
 
-    def compile(self, regex: RegexLike, predicates=None) -> CompiledRegex:
-        """Compile (and memoise) a regex for this engine."""
-        key = (str(regex), self.negation_mode)
-        if key not in self._compiled_cache:
-            self._compiled_cache[key] = compile_regex(
-                regex, predicates, self.negation_mode
-            )
-        return self._compiled_cache[key]
-
-    def _query(self, query) -> QueryResult:
+    def _execute(self, plan: Plan) -> QueryResult:
         """Reachability under *arbitrary* (possibly non-simple) path
         semantics — exact for that semantics; an upper bound for RSPQ."""
-        source, target, regex = query.source, query.target, query.regex
-        predicates = query.predicates
+        query = plan.query
+        source, target = query.source, query.target
         if not self.graph.is_alive(source):
             raise QueryError(f"source node {source} does not exist")
         if not self.graph.is_alive(target):
             raise QueryError(f"target node {target} does not exist")
-        compiled = self.compile(regex, predicates)
+        compiled = plan.compiled
 
         rare = self.rarest_mandatory_label(compiled)
         if rare is not None and rare[1] == 0:

@@ -153,6 +153,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--workers", type=int, default=4,
                           help="worker count for parallel backends")
+    evaluate.add_argument(
+        "--plan-cache", choices=("on", "off"), default="on",
+        help="reuse compiled query plans across the workload (warm "
+        "serving); 'off' replans every query from scratch",
+    )
+    evaluate.add_argument(
+        "--plan-cache-size", type=int, default=256, metavar="N",
+        help="maximum cached plans per engine scope (LRU-evicted "
+        "beyond this; only meaningful with --plan-cache on)",
+    )
 
     verify = commands.add_parser(
         "verify", help="differentially verify engine answers on a "
@@ -331,6 +341,14 @@ def _cmd_evaluate(args) -> int:
     executor_kwargs = dict(
         backend=args.backend, workers=args.workers, seed=args.seed
     )
+    # one shared artifact cache: repeated templates plan once, and the
+    # baseline reuses the same compiled automata (max_plans=0 switches
+    # the cache off and replans every query)
+    from repro.core.plan import PlanCache
+
+    plan_cache = PlanCache(
+        max_plans=args.plan_cache_size if args.plan_cache == "on" else 0
+    )
     factory = partial(
         make_engine,
         args.engine,
@@ -338,6 +356,7 @@ def _cmd_evaluate(args) -> int:
         walk_length=estimate_walk_length(graph, seed=args.seed),
         num_walks=recommended_num_walks(graph.num_nodes),
         seed=args.seed,
+        plan_cache=plan_cache,
     )
     records = evaluate_workload(
         None, queries, truths, factory=factory, **executor_kwargs
@@ -347,6 +366,7 @@ def _cmd_evaluate(args) -> int:
         baseline_factory = partial(
             make_engine, "bbfs", graph,
             max_expansions=200_000, time_budget=5.0,
+            plan_cache=plan_cache,
         )
         baseline_records = evaluate_workload(
             None, queries, truths, factory=baseline_factory,
@@ -363,6 +383,14 @@ def _cmd_evaluate(args) -> int:
     print(f"mean time: {metrics.mean_time * 1000:.3f} ms")
     if metrics.speedup is not None:
         print(f"mean speedup vs BBFS: {metrics.speedup:.1f}x")
+    if args.plan_cache == "on" and args.backend != "process":
+        # process workers hold their own cache copies; the parent's
+        # counters would read zero there
+        plans = plan_cache.counters()["plans"]
+        print(f"plan cache: {plans['hits']} hits / "
+              f"{plans['misses']} misses / "
+              f"{plans['evictions']} evictions "
+              f"({plan_cache.compiles} compiles)")
     if oracle.undecided:
         print(f"warning: {oracle.undecided} queries undecided within the "
               "oracle budget")

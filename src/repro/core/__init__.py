@@ -19,6 +19,14 @@ from repro.core.executor import (
     ErrorResult,
     TimeoutResult,
 )
+from repro.core.plan import (
+    Plan,
+    PlanArtifact,
+    PlanCache,
+    compile_query,
+    fingerprint_regex,
+    plan_query,
+)
 from repro.core.router import AutoEngine
 from repro.core.unlabeled import UnlabeledWalkReachability
 from repro.core.parameters import (
@@ -43,7 +51,13 @@ __all__ = [
     "EngineCapabilities",
     "ErrorResult",
     "ExecStats",
+    "Plan",
+    "PlanArtifact",
+    "PlanCache",
     "TimeoutResult",
+    "compile_query",
+    "fingerprint_regex",
+    "plan_query",
     "UnlabeledWalkReachability",
     "engine_class",
     "engine_names",

@@ -45,6 +45,7 @@ from typing import (
 
 from repro.core.engine import EngineBase
 from repro.core.fastpath import GraphView, LabelSetInterner, build_graph_view
+from repro.core.plan import Plan, PlanCache
 from repro.core.parameters import (
     StationaryOverlapEstimator,
     estimate_walk_length_cached,
@@ -60,9 +61,8 @@ from repro.core.wavefront import (
 )
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
-from repro.labels import PredicateRegistry
 from repro.queries.query import RSPQuery
-from repro.regex.compiler import CompiledRegex, RegexLike, compile_regex
+from repro.regex.compiler import CompiledRegex, RegexLike
 from repro.regex.interner import EMPTY_STATE_ID, InternedStepTable
 from repro.regex.matcher import (
     COMPATIBLE,
@@ -190,6 +190,7 @@ class Arrival(EngineBase):
         walk_length_multiplier: float = 2.0,
         diameter_sample_size: int = 32,
         calibration_regexes: Optional[Iterable[RegexLike]] = None,
+        plan_cache: Optional[PlanCache] = None,
         seed: RngLike = None,
     ) -> None:
         if meeting not in ("hashmap", "naive"):
@@ -233,7 +234,29 @@ class Arrival(EngineBase):
         self._calibration_regexes: Optional[List[RegexLike]] = (
             list(calibration_regexes) if calibration_regexes else None
         )
-        self._compiled_cache: Dict[Tuple[str, str], CompiledRegex] = {}
+        self.plan_cache = plan_cache
+        # the engine half of the plan-cache key, frozen from the
+        # constructor configuration: the lazy walk_length/num_walks
+        # properties mutate instance state later, so scoping on live
+        # attributes would silently split the cache mid-run
+        self._plan_token: Tuple[Any, ...] = (
+            walk_length,
+            num_walks,
+            self.elements,
+            label_mode,
+            meeting,
+            adaptive,
+            bidirectional,
+            step_cache,
+            fast_path,
+            rng_batch,
+            walk_mode,
+            wavefront_width,
+            negation_mode,
+            walk_length_multiplier,
+            diameter_sample_size,
+            bool(calibration_regexes),
+        )
         # transition memoisation, shared across queries per compiled
         # regex and direction (see repro.regex.matcher._StepCache)
         self._step_caches: Dict[Tuple[int, bool], _StepCache] = {}
@@ -308,37 +331,46 @@ class Arrival(EngineBase):
             self._num_walks = walks
         return walks
 
-    def compile(
-        self, regex: RegexLike, predicates: Optional[PredicateRegistry] = None
-    ) -> CompiledRegex:
-        """Compile (and memoise by source text) a regex for this engine."""
-        if isinstance(regex, CompiledRegex):
-            return regex
-        key = (str(regex), self.negation_mode)
-        compiled = self._compiled_cache.get(key)
-        if compiled is None:
-            compiled = compile_regex(regex, predicates, self.negation_mode)
-            self._compiled_cache[key] = compiled
-        return compiled
+    def _plan_scope(self) -> Tuple[Any, ...]:
+        """Plan-cache scope: the constructor configuration, frozen."""
+        return (self.name, self._plan_token)
+
+    def _plan_params(
+        self, query: RSPQuery, compiled: CompiledRegex
+    ) -> Dict[str, Any]:
+        """Cache the walk budgets in the plan artifact.
+
+        ``walk_length`` is graph-memoised by version, so re-deriving it
+        on a version bump gives the same estimate a fresh engine would.
+        ``num_walks`` is cached only outside adaptive mode — the
+        Sec. 4.3 refinement changes across queries by design, so
+        adaptive engines read it live at execution time.
+        """
+        params: Dict[str, Any] = {"walk_length": self.walk_length}
+        if not self.adaptive:
+            params["num_walks"] = self.num_walks
+        return params
 
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def _query(
+    def _execute(
         self,
-        query: RSPQuery,
+        plan: Plan,
         *,
         walk_length_scale: float = 1.0,
         num_walks_scale: float = 1.0,
         trace: Optional[List[Dict[str, Any]]] = None,
         **kwargs: Any,
     ) -> QueryResult:
-        """Answer one RSPQ: is ``query.target`` reachable from
+        """Answer one prepared RSPQ: is ``query.target`` reachable from
         ``query.source`` by a simple path compatible with
         ``query.regex``?
 
-        (Called through :meth:`EngineBase.query`, which also accepts the
-        positional ``(source, target, regex)`` form.)
+        (Called through :meth:`EngineBase.query` /
+        :meth:`EngineBase.execute`; the compiled automaton and the walk
+        budgets come from the plan, so a warm plan pays neither compile
+        nor estimation here.)
         ``distance_bound`` caps the witness path's edge count
         (Sec. 5.5.2); the ``*_scale`` factors implement the Fig. 7
         K-sweeps.  Passing a list as ``trace`` collects one event per
@@ -347,10 +379,9 @@ class Arrival(EngineBase):
         """
         if kwargs:  # absorbed only for LSP; unknown knobs stay errors
             raise TypeError(f"unexpected engine kwargs: {sorted(kwargs)}")
+        query = plan.query
         source = query.source
         target = query.target
-        regex = query.regex
-        predicates = query.predicates
         distance_bound = query.distance_bound
         min_distance = query.min_distance
         stats = ExecStats(engine=self.name)
@@ -364,13 +395,21 @@ class Arrival(EngineBase):
             and min_distance > distance_bound
         ):
             raise QueryError("min_distance exceeds distance_bound")
-        stage_start = time.perf_counter()
-        compiled = self.compile(regex, predicates)
-        stats.compile_s = time.perf_counter() - stage_start
+        compiled = plan.compiled
 
         stage_start = time.perf_counter()
-        walk_length = max(2, round(self.walk_length * walk_length_scale))
-        num_walks = max(1, round(self.num_walks * num_walks_scale))
+        params = plan.params
+        base_length = params.get("walk_length")
+        if base_length is None:
+            base_length = self.walk_length
+        if self.adaptive:
+            base_walks = self.num_walks
+        else:
+            base_walks = params.get("num_walks")
+            if base_walks is None:
+                base_walks = self.num_walks
+        walk_length = max(2, round(base_length * walk_length_scale))
+        num_walks = max(1, round(base_walks * num_walks_scale))
         stats.params_s = time.perf_counter() - stage_start
         if distance_bound is not None:
             if distance_bound < 0:
@@ -784,14 +823,15 @@ class Arrival(EngineBase):
             self._step_caches[key] = cache
         return cache
 
-    def prepare(self) -> None:
+    def _prepare_engine(self) -> None:
         """Pay one-time setup now: walkLength / numWalks estimation (the
         only randomness outside the walk loop) and, when the fast path
         is on, the CSR graph-view build.
 
-        The batch executor calls this under a dedicated setup RNG stream
-        so the estimates — and with them every answer — are identical no
-        matter which query runs first on which worker."""
+        The batch executor calls this (via no-argument ``prepare()``)
+        under a dedicated setup RNG stream so the estimates — and with
+        them every answer — are identical no matter which query runs
+        first on which worker."""
         _ = self.walk_length
         _ = self.num_walks
         if self.fast_path:

@@ -12,16 +12,30 @@ surface:
   support, whether an index must be built, the regex fragment, path
   semantics, dynamic-graph support, distance-bound support.
 * :class:`Engine` — the structural protocol: ``name``, ``capabilities``,
-  ``query(RSPQuery) -> QueryResult``, plus the two hooks the batch
-  executor relies on (``reseed`` for deterministic per-query RNG
-  streams, ``prepare`` for paying one-time setup under a controlled
-  stream).
+  ``query(RSPQuery) -> QueryResult``, plus the hooks the batch executor
+  relies on (``reseed`` for deterministic per-query RNG streams,
+  ``prepare`` for paying one-time setup under a controlled stream).
 * :class:`EngineBase` — the shared implementation: *one* normalisation
   of the public query surface (positional ``(source, target, regex)``
   or a single :class:`~repro.queries.query.RSPQuery`), capability
   derivation from the per-engine class flags, stats attachment, and the
-  default ``reseed``/``prepare``.  Engines implement ``_query(query,
-  **engine_kwargs)`` only.
+  default ``reseed``/``prepare``.
+
+Since the plan/execute split (:mod:`repro.core.plan`), every query runs
+in two stages the base class wires together:
+
+* ``prepare(query) -> Plan`` — canonicalize + fingerprint the regex,
+  resolve compiled automata and parameter estimates through the
+  engine's :class:`~repro.core.plan.PlanCache`;
+* ``execute(plan) -> QueryResult`` — run the prepared plan.
+
+``query()`` is now exactly ``execute(prepare(query))``.  Engines
+implement ``_execute(plan, **engine_kwargs)`` (the default falls back
+to the legacy ``_query(query, **engine_kwargs)`` hook, so simple
+engines and test doubles keep working unchanged) and may override
+``_plan_params`` to cache per-template parameter estimates and
+``_prepare_engine`` for one-time setup.
+
 * :func:`make_engine` / :func:`engine_names` — the engine registry the
   CLI and benchmarks build from (lazy imports; the registry is the one
   place that knows every concrete engine).
@@ -46,6 +60,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.core.plan import Plan, PlanCache, compile_query, plan_query
 from repro.core.result import QueryResult
 from repro.core.stats import ExecStats
 from repro.errors import (
@@ -56,7 +71,7 @@ from repro.errors import (
 from repro.graph.labeled_graph import LabeledGraph
 from repro.labels import PredicateRegistry
 from repro.queries.query import RSPQuery
-from repro.regex.compiler import RegexLike
+from repro.regex.compiler import CompiledRegex, RegexLike
 from repro.rng import RngLike, ensure_rng
 
 #: the first positional argument of the public query surface: a node id
@@ -111,8 +126,19 @@ class Engine(Protocol):
         engines)."""
         ...
 
-    def prepare(self) -> None:
-        """Pay one-time setup (parameter estimation, index build) now."""
+    def prepare(
+        self,
+        source: Optional[QueryInput] = None,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+    ) -> Optional[Plan]:
+        """No arguments: pay one-time setup (parameter estimation,
+        index build) now.  With a query: resolve it to a reusable
+        :class:`~repro.core.plan.Plan` through the plan cache."""
+        ...
+
+    def execute(self, plan: Plan, **kwargs: Any) -> QueryResult:
+        """Run one prepared plan."""
         ...
 
 
@@ -193,6 +219,13 @@ class EngineBase:
     approximate = False
     #: True when ``distance_bound`` / ``min_distance`` are honoured
     supports_distance_bounds = False
+    #: negation compilation mode; engines taking it as a constructor
+    #: argument overwrite the class default on the instance
+    negation_mode: str = "paper"
+    #: the engine's plan cache; created lazily, or injected at
+    #: construction so several engines (the router and its sub-engines,
+    #: a serving fleet) share prepared artifacts
+    plan_cache: Optional[PlanCache] = None
 
     @property
     def capabilities(self) -> EngineCapabilities:
@@ -231,6 +264,10 @@ class EngineBase:
         :class:`~repro.errors.WitnessViolationError`; the check is
         timed into ``stats.oracle_s`` and counted in
         ``stats.oracle_checks`` / ``stats.oracle_violations``.
+
+        Internally this is exactly ``execute(prepare(query))``: the
+        query is resolved to a :class:`~repro.core.plan.Plan` through
+        the engine's plan cache, then the plan runs.
         """
         if check not in ("off", "positives", "all"):
             raise QueryError(
@@ -244,6 +281,69 @@ class EngineBase:
             distance_bound=distance_bound,
             min_distance=min_distance,
         )
+        started = time.perf_counter()
+        plan = self._plan_for(query)
+        return self._finish(plan, check=check, kwargs=kwargs, started=started)
+
+    # -- the plan/execute split ----------------------------------------
+    def prepare(
+        self,
+        source: Optional[QueryInput] = None,
+        target: Optional[int] = None,
+        regex: Optional[RegexLike] = None,
+        *,
+        predicates: Optional[PredicateRegistry] = None,
+        distance_bound: Optional[int] = None,
+        min_distance: Optional[int] = None,
+    ) -> Optional[Plan]:
+        """One-time setup, or plan one query for later execution.
+
+        Called with no arguments (the legacy surface, what the batch
+        executor does before a run) it pays the engine's one-time setup
+        — parameter estimation, index builds, CSR views — via the
+        :meth:`_prepare_engine` hook and returns ``None``.
+
+        Called with a query (positional triple or one
+        :class:`~repro.queries.query.RSPQuery`) it resolves the query
+        through the plan cache and returns a reusable
+        :class:`~repro.core.plan.Plan` for :meth:`execute`.
+        """
+        if source is None:
+            if target is not None or regex is not None:
+                raise QueryError(
+                    "prepare() needs (source, target, regex), one "
+                    "RSPQuery, or no arguments at all"
+                )
+            self._prepare_engine()
+            return None
+        query = as_query(
+            source,
+            target,
+            regex,
+            predicates=predicates,
+            distance_bound=distance_bound,
+            min_distance=min_distance,
+        )
+        return self._plan_for(query)
+
+    def execute(
+        self, plan: Plan, *, check: str = "off", **kwargs: Any
+    ) -> QueryResult:
+        """Run one prepared plan (see :meth:`query` for ``check``).
+
+        A plan may be executed repeatedly; its one-time planning cost
+        is folded into the stats of the first execution only.
+        """
+        if check not in ("off", "positives", "all"):
+            raise QueryError(
+                f"check must be 'off', 'positives' or 'all', got {check!r}"
+            )
+        return self._finish(
+            plan, check=check, kwargs=kwargs, started=time.perf_counter()
+        )
+
+    def _plan_for(self, query: RSPQuery) -> Plan:
+        """Capability-check and plan one normalised query."""
         if (
             (query.distance_bound is not None or query.min_distance is not None)
             and not self.supports_distance_bounds
@@ -252,8 +352,23 @@ class EngineBase:
                 f"{self.name} does not support distance-bounded queries"
             )
         start = time.perf_counter()
-        result = self._query(query, **kwargs)
-        elapsed = time.perf_counter() - start
+        plan = plan_query(self, query, self._ensure_plan_cache())
+        plan.plan_s = time.perf_counter() - start
+        return plan
+
+    def _finish(
+        self,
+        plan: Plan,
+        *,
+        check: str,
+        kwargs: Dict[str, Any],
+        started: float,
+    ) -> QueryResult:
+        """Execute ``plan`` and attach stats (the shared back half of
+        :meth:`query` and :meth:`execute`)."""
+        plan_s, compile_s, params_s, hit, evictions = plan.consume_counters()
+        result = self._execute(plan, **kwargs)
+        elapsed = time.perf_counter() - started
         stats = result.stats
         if stats is None:
             stats = ExecStats(engine=self.name)
@@ -261,11 +376,73 @@ class EngineBase:
         if not stats.engine:
             stats.engine = self.name
         stats.total_s = elapsed
+        stats.plan_s += plan_s
+        stats.compile_s += compile_s
+        stats.params_s += params_s
+        if hit is not None:
+            if hit:
+                stats.plan_hits += 1
+            else:
+                stats.plan_misses += 1
+            stats.plan_evictions += evictions
         stats.expansions = result.expansions
         stats.jumps = result.jumps
         if check != "off":
-            self._oracle_check(query, result, stats, check)
+            self._oracle_check(plan.query, result, stats, check)
         return result
+
+    def _ensure_plan_cache(self) -> PlanCache:
+        """The engine's plan cache, created on first use."""
+        cache = self.plan_cache
+        if cache is None:
+            cache = PlanCache()
+            self.plan_cache = cache
+        return cache
+
+    def compile(
+        self,
+        regex: RegexLike,
+        predicates: Optional[PredicateRegistry] = None,
+    ) -> CompiledRegex:
+        """Compile a regex through the planner's memoised funnel.
+
+        This (or ``prepare``) is how engine code obtains compiled
+        automata; calling :func:`repro.regex.compiler.compile_regex`
+        directly from engine modules is flagged by lint rule PLN001.
+        """
+        return compile_query(
+            regex,
+            predicates,
+            str(self.negation_mode),
+            cache=self._ensure_plan_cache(),
+        )
+
+    def _plan_scope(self) -> Tuple[Any, ...]:
+        """The engine half of the plan-cache key.
+
+        Two engines (or two configurations of one engine) whose scopes
+        differ never reuse each other's :class:`PlanArtifact` — though
+        they still share compiled automata via the fingerprint memo.
+        """
+        return (self.name, str(self.negation_mode), self.capabilities)
+
+    def _plan_params(
+        self, query: RSPQuery, compiled: CompiledRegex
+    ) -> Dict[str, Any]:
+        """Per-template parameter estimates to cache in the plan
+        artifact (default: none).  ARRIVAL caches walk length and
+        numWalks here."""
+        return {}
+
+    def _execute(self, plan: Plan, **kwargs: Any) -> QueryResult:
+        """Run one prepared plan (engine hook).
+
+        The default delegates to the legacy ``_query`` hook so engines
+        and test doubles that predate the plan split keep working; the
+        ported engines override this and read ``plan.compiled`` /
+        ``plan.params`` instead of recompiling.
+        """
+        return self._query(plan.query, **kwargs)
 
     def _oracle_check(
         self,
@@ -320,13 +497,13 @@ class EngineBase:
         if hasattr(self, "rng"):
             self.rng = ensure_rng(seed)
 
-    def prepare(self) -> None:
+    def _prepare_engine(self) -> None:
         """Pay one-time setup now (default: nothing to do).
 
         Engines with lazily estimated parameters or lazily built views
-        override this so the executor can trigger that work under a
-        dedicated, deterministic setup stream instead of whichever
-        query happens to run first.
+        override this so the executor can trigger that work (via
+        no-argument :meth:`prepare`) under a dedicated, deterministic
+        setup stream instead of whichever query happens to run first.
         """
 
 

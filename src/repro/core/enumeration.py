@@ -21,9 +21,10 @@ from collections import deque
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.core.arrival import Arrival
+from repro.core.plan import compile_query
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
-from repro.regex.compiler import RegexLike, compile_regex
+from repro.regex.compiler import RegexLike
 from repro.regex.matcher import ForwardTracker, resolve_elements
 
 
@@ -51,7 +52,7 @@ def enumerate_compatible_paths(
         raise QueryError(f"source node {source} does not exist")
     if not graph.is_alive(target):
         raise QueryError(f"target node {target} does not exist")
-    compiled = compile_regex(regex, predicates)
+    compiled = compile_query(regex, predicates)
     elements = resolve_elements(graph, elements)
     tracker = ForwardTracker(compiled, graph, elements)
 

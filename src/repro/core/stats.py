@@ -32,6 +32,9 @@ if TYPE_CHECKING:
 
 #: integer counter fields folded by summation in :meth:`ExecStats.add`
 _COUNTER_FIELDS = (
+    "plan_hits",
+    "plan_misses",
+    "plan_evictions",
     "expansions",
     "jumps",
     "candidates_scanned",
@@ -45,7 +48,13 @@ _COUNTER_FIELDS = (
 
 #: per-stage wall-clock fields (seconds), also folded by summation
 _STAGE_FIELDS = (
-    "compile_s", "params_s", "walk_s", "verify_s", "oracle_s", "total_s"
+    "plan_s",
+    "compile_s",
+    "params_s",
+    "walk_s",
+    "verify_s",
+    "oracle_s",
+    "total_s",
 )
 
 
@@ -62,6 +71,8 @@ class ExecStats:
     #: name of the engine that produced the answer
     engine: str = ""
     # -- per-stage wall seconds ----------------------------------------
+    #: plan resolution through the plan cache (repro.core.plan)
+    plan_s: float = 0.0
     #: regex -> NFA compilation (memoised: ~0 on cache hits)
     compile_s: float = 0.0
     #: walkLength / numWalks estimation (ARRIVAL; ~0 once cached)
@@ -75,6 +86,12 @@ class ExecStats:
     #: the whole query() call
     total_s: float = 0.0
     # -- hot-path counters (PR 1's ``info["hot_path"]``, folded in) ----
+    #: plan-cache hits (a prepared artifact was reused)
+    plan_hits: int = 0
+    #: plan-cache misses (this query paid a fresh compile/estimate)
+    plan_misses: int = 0
+    #: plan-cache evictions this query's planning caused
+    plan_evictions: int = 0
     #: walks performed (ARRIVAL) or partial paths expanded (baselines)
     expansions: int = 0
     #: random-walk jumps (ARRIVAL only)

@@ -14,6 +14,7 @@ PKL       PKL001 unpicklable callable handed to the process backend
 EXC       EXC001 bare except, EXC002 ad-hoc builtin raise
 SNAP      SNAP001 CSR snapshot mutation outside labeled_graph
 TIM       TIM001 wall-clock read outside timing code
+PLN       PLN001 raw compile_regex bypassing the plan funnel
 API       API001 __all__ coverage, API002 stale __all__ entry
 VER       VER001 engine imports the oracle layer, VER002 registered
           engine without a conformance entry
@@ -25,6 +26,7 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     engines,
     exceptions,
     picklable,
+    planner,
     public_api,
     rng_discipline,
     snapshots,
@@ -37,6 +39,7 @@ __all__ = [
     "engines",
     "exceptions",
     "picklable",
+    "planner",
     "public_api",
     "rng_discipline",
     "snapshots",

@@ -1,0 +1,133 @@
+"""Plan-funnel discipline rule.
+
+Since the plan/execute split, every engine-side compilation goes
+through :func:`repro.core.plan.compile_query` so that canonicalization,
+fingerprinting and the versioned artifact cache see *every* automaton
+an engine runs.  A direct :func:`repro.regex.compiler.compile_regex`
+call in an engine module bypasses the funnel: the compile is invisible
+to the cache counters, skips canonicalization (so ``(a|b)*`` and
+``(b|a)*`` stop sharing an NFA), and silently reintroduces the
+per-query recompiles the split removed.
+
+PLN001 therefore bans ``compile_regex`` calls in the engine packages
+(:mod:`repro.core`, :mod:`repro.baselines`), with two sanctioned
+exceptions:
+
+* :mod:`repro.core.plan` itself, the one module whose job is to call
+  the raw compiler;
+* calls inside an engine's *plan-time* hooks (``prepare``,
+  ``_prepare_engine``, ``_plan_params``, ``_plan_scope``), where an
+  engine may legitimately pre-build automata — those still run under
+  the planner's accounting.
+
+The verify layer (:mod:`repro.verify`) is deliberately out of scope:
+the witness oracle *must* compile independently of the planner so a
+canonicalization bug cannot hide from it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+
+__all__ = ["PlanFunnelRule"]
+
+#: packages whose compilations must go through the plan funnel
+_ENGINE_PACKAGES = ("repro.core", "repro.baselines")
+
+#: the funnel itself — the one engine module allowed to touch the
+#: raw compiler
+_FUNNEL_MODULE = "repro.core.plan"
+
+_COMPILER_MODULE = "repro.regex.compiler"
+_COMPILE_NAME = "compile_regex"
+
+#: enclosing functions in which a compile is plan-time by construction
+_PLAN_TIME_FUNCTIONS = frozenset(
+    {"prepare", "_prepare_engine", "_plan_params", "_plan_scope"}
+)
+
+
+def _function_spans(
+    tree: ast.Module,
+) -> List[Tuple[int, int, str]]:
+    """``(lineno, end_lineno, name)`` for every function in the file."""
+    spans: List[Tuple[int, int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            spans.append(
+                (node.lineno, node.end_lineno or node.lineno, node.name)
+            )
+    return spans
+
+
+def _innermost_function(
+    spans: List[Tuple[int, int, str]], line: int
+) -> str:
+    """Name of the innermost function containing ``line`` ("" if none).
+
+    The innermost enclosing def is the one with the largest start line
+    among those whose span covers ``line`` — nesting means containment.
+    """
+    best = ("", -1)
+    for start, end, name in spans:
+        if start <= line <= end and start > best[1]:
+            best = (name, start)
+    return best[0]
+
+
+@register
+class PlanFunnelRule(Rule):
+    """Engine compilations must go through repro.core.plan."""
+
+    rule_id = "PLN001"
+    description = (
+        "direct compile_regex use in an engine module outside the "
+        "plan-time hooks; compile through repro.core.plan.compile_query "
+        "so the plan cache sees it"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_module(*_ENGINE_PACKAGES):
+            return
+        if ctx.in_module(_FUNNEL_MODULE):
+            return
+        spans = _function_spans(ctx.tree)
+        # local names bound to the raw compile function (any alias of
+        # ``from repro.regex.compiler import compile_regex``)
+        raw_names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.level == 0
+                and node.module == _COMPILER_MODULE
+            ):
+                for alias in node.names:
+                    if alias.name == _COMPILE_NAME:
+                        raw_names.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called_raw = (
+                isinstance(func, ast.Name) and func.id in raw_names
+            ) or (
+                isinstance(func, ast.Attribute)
+                and func.attr == _COMPILE_NAME
+            )
+            if not called_raw:
+                continue
+            enclosing = _innermost_function(spans, node.lineno)
+            if enclosing in _PLAN_TIME_FUNCTIONS:
+                continue
+            yield ctx.violation(
+                node,
+                self.rule_id,
+                f"{_COMPILE_NAME} call outside the plan-time hooks in "
+                f"engine module {ctx.module}; route it through "
+                "repro.core.plan.compile_query (or move it into "
+                "prepare/_plan_params) so the artifact cache and its "
+                "counters see the compile",
+            )

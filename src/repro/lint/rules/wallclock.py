@@ -36,12 +36,14 @@ _CLOCK_FUNCTIONS = frozenset(
 )
 
 #: modules whose job is timing: the engine base total, the executor's
-#: deadlines and batch wall time, ARRIVAL's ExecStats stage fills, and
-#: every experiment/measurement module
+#: deadlines and batch wall time, ARRIVAL's ExecStats stage fills, the
+#: planner's compile-time accounting, and every experiment/measurement
+#: module
 _TIMING_MODULES = (
     "repro.core.arrival",
     "repro.core.engine",
     "repro.core.executor",
+    "repro.core.plan",
     "repro.core.stats",
     "repro.experiments",
 )

@@ -1,0 +1,102 @@
+"""A small bounded LRU map with observability counters.
+
+Both caching layers that memoise compiled regex artifacts — the plan
+cache of :mod:`repro.core.plan` and the independent compile memo of
+:mod:`repro.verify.witness` — need the same container: a dict bounded
+by entry count that evicts the least recently used entry and can report
+how it behaved (hits, misses, evictions).  It lives in this neutral
+top-level module on purpose: the verification layer must stay free of
+engine code paths (lint rule VER001), and a plain data structure with
+no query semantics is the one thing both sides may share.
+
+``max_entries == 0`` is a valid configuration meaning *caching
+disabled*: every lookup misses and :meth:`LRUCache.put` stores nothing.
+That is how ``--plan-cache off`` is implemented without a second code
+path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    * :meth:`get` marks the entry as most recently used.
+    * :meth:`put` inserts/refreshes an entry, evicting the oldest one
+      when the bound is exceeded.
+    * ``hits`` / ``misses`` / ``evictions`` count cache behaviour for
+      the stats layer; they are observability only and never change
+      answers.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value (refreshing its recency), or None."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: K) -> Optional[V]:
+        """The cached value without touching recency or counters."""
+        return self._entries.get(key)
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh ``key``; evict the LRU entry past the cap."""
+        if self.max_entries == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept: they describe history)."""
+        self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        """JSON-friendly snapshot of the behaviour counters."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def items(self) -> Tuple[Tuple[K, V], ...]:
+        """Entries oldest-first (a snapshot, safe to iterate freely)."""
+        return tuple(self._entries.items())

@@ -52,6 +52,7 @@ from typing import Any, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 from repro.core.result import QueryResult
 from repro.graph.labeled_graph import LabeledGraph
 from repro.labels import LabelSet, Predicate
+from repro.lru import LRUCache
 from repro.queries.query import RSPQuery
 from repro.regex.compiler import compile_regex
 from repro.regex.nfa import NFA, OtherSymbol
@@ -222,9 +223,12 @@ def _path_word(
 # ---------------------------------------------------------------------------
 # independent compilation
 # ---------------------------------------------------------------------------
-#: memo for predicate-free string regexes; bounded, cleared when full
+#: memo for predicate-free string regexes; the same bounded LRU the
+#: plan cache uses, but keyed by raw source text — the oracle does NOT
+#: share the planner's canonicalized fingerprints (a canonicalization
+#: bug must not be able to alias two different queries here)
 _COMPILE_CACHE_MAX = 64
-_compile_cache: dict = {}
+_compile_cache: LRUCache = LRUCache(_COMPILE_CACHE_MAX)
 
 
 def _fresh_compiled(query: RSPQuery, negation_mode: str):
@@ -236,7 +240,8 @@ def _fresh_compiled(query: RSPQuery, negation_mode: str):
     Predicate-free *string* regexes are memoised by their source text so
     paranoid mode does not recompile the same workload template for
     every positive; the key carries no per-query state, which keeps the
-    memo itself independent of the engines.
+    memo itself independent of the engines, and the LRU bound evicts
+    cold templates one at a time instead of flushing the whole memo.
     """
     if query.predicates is not None or not isinstance(query.regex, str):
         return compile_regex(query.regex, query.predicates, negation_mode)
@@ -244,9 +249,7 @@ def _fresh_compiled(query: RSPQuery, negation_mode: str):
     cached = _compile_cache.get(key)
     if cached is None:
         cached = compile_regex(query.regex, None, negation_mode)
-        if len(_compile_cache) >= _COMPILE_CACHE_MAX:
-            _compile_cache.clear()
-        _compile_cache[key] = cached
+        _compile_cache.put(key, cached)
     return cached
 
 

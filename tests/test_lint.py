@@ -33,6 +33,7 @@ ALL_RULE_IDS = {
     "EXC001",
     "EXC002",
     "PKL001",
+    "PLN001",
     "RNG001",
     "RNG002",
     "RNG003",
@@ -645,6 +646,102 @@ class TestWallClockRule:
         )
         found = run_lint(
             tmp_path, {"repro/baselines/thing.py": source}, select=["TIM001"]
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# PLN001 — plan-funnel discipline
+# ---------------------------------------------------------------------------
+class TestPlanFunnelRule:
+    def test_raw_compile_in_engine_module(self, tmp_path):
+        source = (
+            "from repro.regex.compiler import compile_regex\n"
+            "def _execute(plan):\n"
+            "    return compile_regex(plan)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/baselines/thing.py": source}, select=["PLN001"]
+        )
+        assert rule_ids(found) == {"PLN001"}
+
+    def test_aliased_import_still_caught(self, tmp_path):
+        source = (
+            "from repro.regex.compiler import compile_regex as raw\n"
+            "def _query(regex):\n"
+            "    return raw(regex)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["PLN001"]
+        )
+        assert rule_ids(found) == {"PLN001"}
+
+    def test_attribute_call_caught(self, tmp_path):
+        source = (
+            "from repro.regex import compiler\n"
+            "def _execute(plan):\n"
+            "    return compiler.compile_regex(plan)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["PLN001"]
+        )
+        assert rule_ids(found) == {"PLN001"}
+
+    def test_module_level_call_caught(self, tmp_path):
+        source = (
+            "from repro.regex.compiler import compile_regex\n"
+            "CACHED = compile_regex('a*')\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["PLN001"]
+        )
+        assert rule_ids(found) == {"PLN001"}
+
+    def test_plan_time_hooks_exempt(self, tmp_path):
+        source = (
+            "from repro.regex.compiler import compile_regex\n"
+            "def prepare(self):\n"
+            "    return compile_regex('a*')\n"
+            "def _prepare_engine(self):\n"
+            "    return compile_regex('b*')\n"
+            "def _plan_params(self, query, compiled):\n"
+            "    return {'nfa': compile_regex(query)}\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/baselines/thing.py": source}, select=["PLN001"]
+        )
+        assert found == []
+
+    def test_funnel_module_exempt(self, tmp_path):
+        source = (
+            "from repro.regex.compiler import compile_regex\n"
+            "def compile_query(regex):\n"
+            "    return compile_regex(regex)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/plan.py": source}, select=["PLN001"]
+        )
+        assert found == []
+
+    def test_non_engine_packages_exempt(self, tmp_path):
+        source = (
+            "from repro.regex.compiler import compile_regex\n"
+            "def check(query):\n"
+            "    return compile_regex(query)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/verify/thing.py": source}, select=["PLN001"]
+        )
+        assert found == []
+
+    def test_compile_query_funnel_passes(self, tmp_path):
+        source = (
+            "from repro.core.plan import compile_query\n"
+            "def _execute(plan):\n"
+            "    return compile_query(plan)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/baselines/thing.py": source}, select=["PLN001"]
         )
         assert found == []
 

@@ -208,6 +208,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "column, e.g. --chart 'K:Recall'",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro.lint invariant linter",
+        add_help=False,
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.lint",
+    )
+
     return parser
 
 
@@ -463,6 +474,12 @@ def _cmd_verify(args) -> int:
     return 1 if payload["n_divergences"] else 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(list(args.lint_args))
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "workload": _cmd_workload,
@@ -472,12 +489,20 @@ _HANDLERS = {
     "enumerate": _cmd_enumerate,
     "verify": _cmd_verify,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "lint":
+        # forwarded verbatim: argparse's REMAINDER mishandles a leading
+        # option token (e.g. `repro lint --list-rules`)
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(raw[1:])
+    args = _build_parser().parse_args(raw)
     try:
         return _HANDLERS[args.command](args)
     except ReproError as error:

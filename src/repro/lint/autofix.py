@@ -1,0 +1,140 @@
+"""Autofixes for the mechanical rules (``--fix``).
+
+Only rules whose remedy is a deterministic text edit are fixable:
+
+* **EXC001** — ``except:`` becomes ``except Exception:`` (same
+  semantics minus the accidental capture of ``SystemExit`` /
+  ``KeyboardInterrupt``);
+* **API001 / API002** — the ``__all__`` list literal is regenerated
+  from the module's actual public bindings: missing names inserted,
+  stale entries dropped, sorted, one name per line when it was
+  multi-line before.  A missing ``__all__`` is *not* invented — where
+  the declaration belongs is an authorship decision.
+
+Dataflow and whole-program findings (MUT/RNG/PLN/EXC003) are never
+auto-fixed: their remedy is a design change, and a mechanical rewrite
+would hide the bug instead of fixing it.
+
+Fixing is idempotent and re-lints from source each pass: a fix can
+unlock no new findings for these rules, so one pass suffices.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.lint.framework import FileContext, discover_files
+from repro.lint.rules.public_api import (
+    _declared_all,
+    _is_public,
+    _module_bindings,
+)
+
+__all__ = ["FIXABLE_RULES", "apply_fixes"]
+
+#: rules ``--fix`` can repair mechanically
+FIXABLE_RULES = frozenset({"EXC001", "API001", "API002"})
+
+_BARE_EXCEPT_RE = re.compile(r"(^\s*)except(\s*):")
+
+
+def _fix_bare_excepts(source: str) -> Tuple[str, int]:
+    """``except:`` -> ``except Exception:`` on every handler line."""
+    fixed = 0
+    lines = source.splitlines(keepends=True)
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return source, 0
+    handler_lines = {
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.type is None
+    }
+    for number in handler_lines:
+        index = number - 1
+        if index >= len(lines):
+            continue
+        replaced, count = _BARE_EXCEPT_RE.subn(
+            r"\1except Exception\2:", lines[index], count=1
+        )
+        if count:
+            lines[index] = replaced
+            fixed += 1
+    return "".join(lines), fixed
+
+
+def _regenerate_all(path: Path, relpath: str, source: str) -> Tuple[str, int]:
+    """Rewrite the ``__all__`` literal from the real public surface."""
+    try:
+        ctx = FileContext(path, relpath, source)
+    except (SyntaxError, ValueError):
+        return source, 0
+    declaration, listed = _declared_all(ctx)
+    if declaration is None:
+        return source, 0
+    value = (
+        declaration.value
+        if isinstance(declaration, (ast.Assign, ast.AnnAssign))
+        else None
+    )
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return source, 0
+    bindings = _module_bindings(ctx)
+    expected: Set[str] = {
+        name for name in bindings if _is_public(name)
+    }
+    if expected == listed:
+        return source, 0
+    end_lineno = declaration.end_lineno or declaration.lineno
+    multi_line = end_lineno > declaration.lineno
+    indent = " " * declaration.col_offset
+    names = sorted(expected)
+    if multi_line:
+        body = "".join(f'{indent}    "{name}",\n' for name in names)
+        text = f"{indent}__all__ = [\n{body}{indent}]"
+    else:
+        inner = ", ".join(f'"{name}"' for name in names)
+        text = f"{indent}__all__ = [{inner}]"
+    lines = source.splitlines(keepends=True)
+    tail = "\n" if lines and lines[end_lineno - 1].endswith("\n") else ""
+    lines[declaration.lineno - 1 : end_lineno] = [text + tail]
+    return "".join(lines), 1
+
+
+def apply_fixes(
+    paths: Sequence[str],
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """Fix every fixable finding under ``paths`` in place.
+
+    Returns ``relpath -> number of edits`` for the files changed.
+    ``select`` narrows which fixable rules run (ids outside
+    :data:`FIXABLE_RULES` are ignored here — the caller still lints
+    with the full selection afterwards)."""
+    wanted = FIXABLE_RULES if not select else FIXABLE_RULES & set(select)
+    edited: Dict[str, int] = {}
+    roots = [Path(path) for path in paths]
+    for file_path in discover_files(roots):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError, ValueError):
+            continue
+        updated = source
+        edits = 0
+        if "EXC001" in wanted:
+            updated, count = _fix_bare_excepts(updated)
+            edits += count
+        if wanted & {"API001", "API002"} and file_path.name == "__init__.py":
+            updated, count = _regenerate_all(
+                file_path, file_path.as_posix(), updated
+            )
+            edits += count
+        if edits and updated != source:
+            file_path.write_text(updated, encoding="utf-8")
+            edited[file_path.as_posix()] = edits
+    return edited

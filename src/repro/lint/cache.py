@@ -1,0 +1,207 @@
+"""Incremental result cache for :mod:`repro.lint`.
+
+The cache makes warm lint runs on an unchanged tree re-analyze zero
+files.  Correctness rests on two observations about the rule split:
+
+* a ``check_file`` rule's findings depend only on that file's content
+  and the rule's own logic — so a per-file entry is keyed by the
+  file's content hash plus the *rules signature* (every selected rule
+  id with its :attr:`~repro.lint.framework.Rule.version`; bumping a
+  rule's version invalidates its cached results without touching the
+  tree);
+* a ``check_project`` rule's findings may depend on any file — so
+  whole-program results are cached under one key derived from the
+  signature plus the hash of *every* file in the run, and served only
+  on an exact match.
+
+Cached violations are stored after suppression filtering (the
+suppression table is itself a pure function of the file content, so
+this is sound) and keyed by the reported relpath, which keeps entries
+stable across runs from the same root.
+
+The store is one JSON document, written atomically; a missing,
+corrupt, or version-skewed cache file degrades to a cold run, never to
+an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.framework import Rule, Violation
+
+__all__ = [
+    "LintCache",
+    "file_digest",
+    "project_key",
+    "rules_signature",
+]
+
+#: bump when the on-disk layout changes
+_CACHE_FORMAT = 1
+
+_CACHE_FILENAME = "lint-cache.json"
+
+
+def file_digest(source: str) -> str:
+    """Content hash of one source file."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_signature(rules: Sequence[Type[Rule]]) -> str:
+    """Digest over the selected rule set: ids and versions."""
+    payload = ",".join(
+        f"{cls.rule_id}={cls.version}"
+        for cls in sorted(rules, key=lambda cls: cls.rule_id)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def project_key(
+    signature: str, files: Iterable[Tuple[str, str]]
+) -> str:
+    """Digest over the whole run: rules signature plus every
+    ``(relpath, content hash)`` pair."""
+    digest = hashlib.sha256(signature.encode("utf-8"))
+    for relpath, content_hash in sorted(files):
+        digest.update(relpath.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(content_hash.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _encode(violations: Sequence[Violation]) -> List[List[object]]:
+    return [list(violation) for violation in violations]
+
+
+def _decode(rows: object) -> Optional[List[Violation]]:
+    if not isinstance(rows, list):
+        return None
+    out: List[Violation] = []
+    for row in rows:
+        if (
+            not isinstance(row, list)
+            or len(row) != 5
+            or not isinstance(row[0], str)
+            or not isinstance(row[1], int)
+            or not isinstance(row[2], int)
+            or not isinstance(row[3], str)
+            or not isinstance(row[4], str)
+        ):
+            return None
+        out.append(Violation(row[0], row[1], row[2], row[3], row[4]))
+    return out
+
+
+class LintCache:
+    """The per-run view of the on-disk cache.
+
+    Usage: construct, :meth:`get_file` / :meth:`get_project` during the
+    run, :meth:`put_file` / :meth:`put_project` for fresh results, then
+    :meth:`save` once at the end.
+    """
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.cache_dir = cache_dir
+        self.path = cache_dir / _CACHE_FILENAME
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._project: Dict[str, object] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(raw, dict)
+            or raw.get("format") != _CACHE_FORMAT
+            or not isinstance(raw.get("files"), dict)
+            or not isinstance(raw.get("project"), dict)
+        ):
+            return
+        files = raw["files"]
+        assert isinstance(files, dict)
+        for relpath, entry in files.items():
+            if isinstance(relpath, str) and isinstance(entry, dict):
+                self._files[relpath] = entry
+        project = raw["project"]
+        assert isinstance(project, dict)
+        self._project = project
+
+    # ------------------------------------------------------------------
+    def get_file(
+        self, relpath: str, content_hash: str, signature: str
+    ) -> Optional[List[Violation]]:
+        """Cached per-file violations, or None on a miss."""
+        entry = self._files.get(relpath)
+        if entry is None:
+            return None
+        if entry.get("hash") != content_hash or entry.get("sig") != signature:
+            return None
+        return _decode(entry.get("violations"))
+
+    def put_file(
+        self,
+        relpath: str,
+        content_hash: str,
+        signature: str,
+        violations: Sequence[Violation],
+    ) -> None:
+        self._files[relpath] = {
+            "hash": content_hash,
+            "sig": signature,
+            "violations": _encode(violations),
+        }
+        self._dirty = True
+
+    def get_project(self, key: str) -> Optional[List[Violation]]:
+        """Cached whole-program violations, or None on a miss."""
+        if self._project.get("key") != key:
+            return None
+        return _decode(self._project.get("violations"))
+
+    def put_project(
+        self, key: str, violations: Sequence[Violation]
+    ) -> None:
+        self._project = {
+            "key": key,
+            "violations": _encode(violations),
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def prune(self, known_relpaths: Iterable[str]) -> None:
+        """Drop entries for files no longer part of the run."""
+        keep = set(known_relpaths)
+        stale = [relpath for relpath in self._files if relpath not in keep]
+        for relpath in stale:
+            del self._files[relpath]
+            self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache atomically; IO failures are non-fatal."""
+        if not self._dirty:
+            return
+        payload = json.dumps(
+            {
+                "format": _CACHE_FORMAT,
+                "files": self._files,
+                "project": self._project,
+            },
+            sort_keys=True,
+        )
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            return
+        self._dirty = False

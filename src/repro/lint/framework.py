@@ -18,6 +18,10 @@ The framework is deliberately small and dependency-free:
 Suppression: append ``# repro: noqa[RULE-ID]`` (or several ids,
 comma-separated) to the *reported* line to silence specific rules
 there, or a bare ``# repro: noqa`` to silence every rule on that line.
+For a statement spanning several physical lines, a marker on *any*
+line of the span silences the whole statement — violations anchor to
+the statement's first line, but black-style formatting routinely puts
+the offending expression (and the comment) lines below it.
 """
 
 from __future__ import annotations
@@ -25,6 +29,8 @@ from __future__ import annotations
 import ast
 import json
 import re
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     ClassVar,
@@ -41,6 +47,7 @@ from typing import (
 
 __all__ = [
     "FileContext",
+    "LintReport",
     "ProjectContext",
     "Rule",
     "Violation",
@@ -49,6 +56,7 @@ __all__ = [
     "register",
     "render_json",
     "render_text",
+    "run_lint",
     "SYNTAX_RULE_ID",
 ]
 
@@ -149,7 +157,16 @@ class FileContext:
     # ------------------------------------------------------------------
     @property
     def suppressions(self) -> Dict[int, Set[str]]:
-        """line number -> rule ids silenced there (``*`` = every rule)."""
+        """line number -> rule ids silenced there (``*`` = every rule).
+
+        Built in two passes: the raw per-line comment table, then a
+        walk over every statement span so a marker on *any* physical
+        line of a multi-line statement suppresses the whole span (a
+        violation anchors to the statement's ``lineno``, but the
+        comment usually sits on the closing line).  Compound
+        statements (``def``/``if``/``with``/...) spread only over
+        their *header* lines — a noqa inside the body must not
+        silence the header."""
         if self._suppressions is None:
             table: Dict[int, Set[str]] = {}
             for number, text in enumerate(self.lines, start=1):
@@ -163,6 +180,16 @@ class FileContext:
                     table[number] = {
                         rule.strip() for rule in rules.split(",") if rule.strip()
                     }
+            for start, end in _statement_spans(self.tree):
+                if end <= start:
+                    continue
+                merged: Set[str] = set()
+                for number in range(start, end + 1):
+                    merged.update(table.get(number, set()))
+                if not merged:
+                    continue
+                for number in range(start, end + 1):
+                    table[number] = set(merged)
             self._suppressions = table
         return self._suppressions
 
@@ -171,6 +198,45 @@ class FileContext:
         if entry is None:
             return False
         return _SUPPRESS_ALL in entry or rule_id in entry
+
+
+#: statements whose body is code of its own — only their *header* lines
+#: form one suppression span
+_COMPOUND_STMT = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.If,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.TryStar,
+    ast.Match,
+)
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """``(first, last)`` physical-line spans of every statement, with
+    compound statements clipped to their header."""
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = node.end_lineno or start
+        if isinstance(node, _COMPOUND_STMT):
+            if isinstance(node, ast.Match):
+                first_inner = node.cases[0].pattern.lineno if node.cases else start
+            else:
+                body: List[ast.stmt] = getattr(node, "body", [])
+                first_inner = body[0].lineno if body else start
+            end = max(start, first_inner - 1)
+        if end > start:
+            spans.append((start, end))
+    return spans
 
 
 class ProjectContext:
@@ -206,6 +272,10 @@ class Rule:
 
     rule_id: ClassVar[str] = ""
     description: ClassVar[str] = ""
+    #: bump when the rule's logic changes — folded into the incremental
+    #: cache signature so stale cached findings are invalidated even
+    #: though the tree itself did not change
+    version: ClassVar[int] = 0
 
     def check_file(self, ctx: FileContext) -> Iterator[Violation]:
         """Per-file findings (default: none)."""
@@ -276,11 +346,16 @@ def discover_files(paths: Sequence[Path]) -> List[Path]:
 
 def _relpath(path: Path, roots: Sequence[Path]) -> str:
     for root in roots:
+        if root == path:
+            continue  # a file given as its own root would render as "."
         try:
             return path.relative_to(root).as_posix()
         except ValueError:
             continue
-    return path.as_posix()
+    try:
+        return path.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
 
 
 def _select_rules(
@@ -302,6 +377,198 @@ def _select_rules(
     return rules
 
 
+@dataclass
+class LintReport:
+    """Outcome of one :func:`run_lint` invocation."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: python files in the run
+    files_total: int = 0
+    #: files whose per-file rules actually executed this run
+    files_analyzed: int = 0
+    #: files served entirely from the incremental cache
+    files_from_cache: int = 0
+    #: whole-program results served from the cache (exact-tree match)
+    project_from_cache: bool = False
+
+
+@dataclass
+class _SourceEntry:
+    path: Path
+    relpath: str
+    source: str
+    digest: str
+    read_error: Optional[str] = None
+
+
+def _read_sources(roots: Sequence[Path]) -> List[_SourceEntry]:
+    from repro.lint.cache import file_digest
+
+    entries: List[_SourceEntry] = []
+    for file_path in discover_files(roots):
+        relpath = _relpath(file_path, roots)
+        read_error: Optional[str] = None
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError, ValueError) as exc:
+            source = ""
+            read_error = str(exc)
+        entries.append(
+            _SourceEntry(
+                file_path, relpath, source, file_digest(source), read_error
+            )
+        )
+    return entries
+
+
+def _check_file_rules(
+    rules: Sequence[Rule], ctx: FileContext
+) -> List[Violation]:
+    """Run every per-file rule over one file and filter suppressions.
+
+    Module-level on purpose: parallel runs submit this to the pool, and
+    PKL001's own policy (no locally defined callables across a worker
+    boundary) applies to the linter too."""
+    found: List[Violation] = []
+    for rule in rules:
+        found.extend(rule.check_file(ctx))
+    return [
+        violation
+        for violation in found
+        if not ctx.is_suppressed(violation.line, violation.rule_id)
+    ]
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    cache_dir: Optional[Path] = None,
+    jobs: int = 1,
+) -> LintReport:
+    """Lint files/directories and return a :class:`LintReport`.
+
+    With ``cache_dir`` set, per-file results are reused for files whose
+    content hash matches the previous run (under the same rule set and
+    rule versions), and whole-program results are reused when the
+    entire tree is unchanged — a fully warm run re-analyzes zero files
+    and never parses.  ``jobs > 1`` analyzes files concurrently.
+
+    Unparseable files surface as :data:`SYNTAX_RULE_ID` violations
+    rather than aborting the run.
+    """
+    from repro.lint.cache import LintCache, project_key, rules_signature
+
+    roots = [Path(path) for path in paths]
+    rule_classes = _select_rules(select, ignore)
+    signature = rules_signature(rule_classes)
+    entries = _read_sources(roots)
+    report = LintReport(files_total=len(entries))
+
+    cache = LintCache(cache_dir) if cache_dir is not None else None
+    tree_key = project_key(
+        signature, [(entry.relpath, entry.digest) for entry in entries]
+    )
+
+    # fully warm fast path: unchanged tree, same rules -> no parsing
+    if cache is not None:
+        cached_project = cache.get_project(tree_key)
+        if cached_project is not None:
+            cached_files: List[Violation] = []
+            complete = True
+            for entry in entries:
+                cached = cache.get_file(
+                    entry.relpath, entry.digest, signature
+                )
+                if cached is None:
+                    complete = False
+                    break
+                cached_files.extend(cached)
+            if complete:
+                report.violations = sorted(
+                    set(cached_files) | set(cached_project)
+                )
+                report.files_from_cache = len(entries)
+                report.project_from_cache = True
+                return report
+
+    file_rules = [
+        cls() for cls in rule_classes if cls.check_file is not Rule.check_file
+    ]
+    project_rules = [
+        cls()
+        for cls in rule_classes
+        if cls.check_project is not Rule.check_project
+    ]
+
+    contexts: List[FileContext] = []
+    violations: List[Violation] = []
+    to_analyze: List[FileContext] = []
+    analyzed_relpaths: List[Tuple[str, str]] = []
+    for entry in entries:
+        try:
+            if entry.read_error is not None:
+                raise ValueError(entry.read_error)
+            ctx = FileContext(entry.path, entry.relpath, entry.source)
+        except (SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            broken = Violation(
+                entry.relpath, line, 1, SYNTAX_RULE_ID, f"cannot parse: {exc}"
+            )
+            violations.append(broken)
+            if cache is not None:
+                cache.put_file(
+                    entry.relpath, entry.digest, signature, [broken]
+                )
+            continue
+        contexts.append(ctx)
+        cached = (
+            cache.get_file(entry.relpath, entry.digest, signature)
+            if cache is not None
+            else None
+        )
+        if cached is not None:
+            violations.extend(cached)
+            report.files_from_cache += 1
+        else:
+            to_analyze.append(ctx)
+            analyzed_relpaths.append((entry.relpath, entry.digest))
+
+    if jobs > 1 and len(to_analyze) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_check_file_rules, file_rules, ctx)
+                for ctx in to_analyze
+            ]
+            fresh = [future.result() for future in futures]
+    else:
+        fresh = [_check_file_rules(file_rules, ctx) for ctx in to_analyze]
+    for (relpath, digest), found in zip(analyzed_relpaths, fresh):
+        violations.extend(found)
+        if cache is not None:
+            cache.put_file(relpath, digest, signature, found)
+    report.files_analyzed = len(to_analyze)
+
+    project = ProjectContext(contexts)
+    project_violations: List[Violation] = []
+    for rule in project_rules:
+        project_violations.extend(rule.check_project(project))
+    project_violations = [
+        violation
+        for violation in project_violations
+        if not _suppressed(project, violation)
+    ]
+    violations.extend(project_violations)
+    if cache is not None:
+        cache.put_project(tree_key, sorted(set(project_violations)))
+        cache.prune(entry.relpath for entry in entries)
+        cache.save()
+
+    report.violations = sorted(set(violations))
+    return report
+
+
 def lint_paths(
     paths: Sequence[str],
     *,
@@ -309,37 +576,9 @@ def lint_paths(
     ignore: Optional[Iterable[str]] = None,
 ) -> List[Violation]:
     """Lint files/directories and return sorted, suppression-filtered
-    violations.
-
-    Unparseable files surface as :data:`SYNTAX_RULE_ID` violations
-    rather than aborting the run.
-    """
-    roots = [Path(path) for path in paths]
-    rules = _select_rules(select, ignore)
-    contexts: List[FileContext] = []
-    violations: List[Violation] = []
-    for file_path in discover_files(roots):
-        relpath = _relpath(file_path, roots)
-        try:
-            source = file_path.read_text(encoding="utf-8")
-            contexts.append(FileContext(file_path, relpath, source))
-        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
-            line = getattr(exc, "lineno", None) or 1
-            violations.append(
-                Violation(relpath, line, 1, SYNTAX_RULE_ID, f"cannot parse: {exc}")
-            )
-    project = ProjectContext(contexts)
-    for rule_cls in rules:
-        rule = rule_cls()
-        for ctx in project.files:
-            violations.extend(rule.check_file(ctx))
-        violations.extend(rule.check_project(project))
-    kept = [
-        violation
-        for violation in violations
-        if not _suppressed(project, violation)
-    ]
-    return sorted(set(kept))
+    violations (the cache-less, single-threaded convenience wrapper
+    around :func:`run_lint`)."""
+    return run_lint(paths, select=select, ignore=ignore).violations
 
 
 def _suppressed(project: ProjectContext, violation: Violation) -> bool:

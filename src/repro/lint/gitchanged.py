@@ -1,0 +1,67 @@
+"""Git-aware file selection for ``repro lint --changed``.
+
+Resolves the set of Python files that differ from ``HEAD`` (staged or
+not) plus untracked ones, intersected with the paths the user asked
+for.  Pre-commit and fast local loops lint just that set; CI keeps
+linting the full tree, so ``--changed`` can only ever under-report
+relative to the gate that matters.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Sequence
+
+__all__ = ["GitUnavailableError", "changed_python_files"]
+
+
+class GitUnavailableError(RuntimeError):
+    """Raised when the working tree is not a usable git checkout."""
+
+
+def _git(args: Sequence[str], cwd: Path) -> str:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise GitUnavailableError(f"git {' '.join(args)} failed: {exc}") from exc
+    return completed.stdout
+
+
+def changed_python_files(paths: Sequence[str]) -> List[str]:
+    """Python files under ``paths`` that changed relative to HEAD.
+
+    Includes staged, unstaged and untracked files; deleted files drop
+    out naturally (they no longer exist on disk).  Raises
+    :class:`GitUnavailableError` outside a git checkout."""
+    cwd = Path.cwd()
+    toplevel = Path(_git(["rev-parse", "--show-toplevel"], cwd).strip())
+    listed = _git(["diff", "--name-only", "HEAD", "--"], cwd)
+    untracked = _git(
+        ["ls-files", "--others", "--exclude-standard"], cwd
+    )
+    scopes = [Path(path).resolve() for path in paths]
+    out: List[str] = []
+    seen = set()
+    for line in (listed + untracked).splitlines():
+        name = line.strip()
+        if not name.endswith(".py"):
+            continue
+        candidate = (toplevel / name).resolve()
+        if not candidate.is_file() or candidate in seen:
+            continue
+        if not any(
+            candidate == scope or scope in candidate.parents
+            for scope in scopes
+        ):
+            continue
+        seen.add(candidate)
+        out.append(str(candidate))
+    return sorted(out)

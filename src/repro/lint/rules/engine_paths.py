@@ -1,0 +1,234 @@
+"""EXC003 — engine execution paths stay inside the exception taxonomy.
+
+EXC002 flags ``raise Exception(...)`` textually inside repro modules;
+EXC003 proves the stronger, whole-program property the CLI relies on:
+every ``raise`` *reachable from an engine's* ``_execute`` — through
+helpers, inherited base-class methods and the registry's dynamic
+dispatch — either uses a sanctioned stdlib exception or a class from
+the :mod:`repro.errors` taxonomy.  A generic ``RuntimeError`` three
+helpers deep turns a typed engine failure into an untyped crash that
+the executor cannot classify, so it must be caught wherever it hides,
+not just where it is written.
+
+The same pass checks the engines' contract at the source: an
+``_execute`` override with a bare ``return`` (or explicit ``return
+None``) hands the dispatch funnel a non-result, which the stats layer
+records as a silent empty answer.
+
+The call graph under-approximates (unresolvable receivers produce no
+edge), so EXC003 reports only provable violations — no false paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.framework import ProjectContext, Rule, Violation, register
+from repro.lint.semantic.model import SemanticModel
+from repro.lint.semantic.symbols import ClassInfo, FunctionInfo, ProjectSymbols
+
+__all__ = ["EngineRaisePathRule"]
+
+#: module holding the exception taxonomy
+_ERRORS_MODULE = "repro.errors"
+
+#: root of the taxonomy
+_TAXONOMY_ROOT = "ReproError"
+
+#: builtins that may never terminate an engine path; narrower builtins
+#: (ValueError, KeyError, ...) signal programming errors the taxonomy
+#: intentionally does not wrap and are left alone
+_BANNED_BUILTINS = frozenset({"Exception", "RuntimeError", "BaseException"})
+
+
+def _raise_name(node: ast.Raise) -> Optional[str]:
+    """The dotted name raised, or None for bare/dynamic raises."""
+    exc = node.exc
+    if exc is None:  # bare re-raise
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    parts: List[str] = []
+    while isinstance(exc, ast.Attribute):
+        parts.append(exc.attr)
+        exc = exc.value
+    if isinstance(exc, ast.Name):
+        parts.append(exc.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _own_raises(fn: ast.AST) -> Iterator[ast.Raise]:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Raise):
+            yield node
+
+
+def _own_returns(fn: ast.AST) -> Iterator[ast.Return]:
+    """Returns lexically in ``fn`` but not in a nested def/lambda —
+    those return from the *helper*, not from ``_execute``."""
+    queue: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while queue:
+        node = queue.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Return):
+            yield node
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def _is_none_return(node: ast.Return) -> bool:
+    return node.value is None or (
+        isinstance(node.value, ast.Constant) and node.value.value is None
+    )
+
+
+@register
+class EngineRaisePathRule(Rule):
+    """Every engine _execute path raises from the repro taxonomy."""
+
+    rule_id = "EXC003"
+    description = (
+        "a raise reachable from an engine _execute (over the project "
+        "call graph, including registry dispatch) uses a generic "
+        "exception outside the repro.errors taxonomy, or _execute "
+        "returns None instead of a result"
+    )
+    version = 1
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        model = SemanticModel.of(project)
+        symbols = model.symbols
+        taxonomy = self._taxonomy_qualnames(symbols)
+        execute_roots = self._execute_roots(model)
+        if not execute_roots:
+            return
+
+        # 1) contract at the source: _execute must not return None
+        for engine_name, info in sorted(execute_roots.items()):
+            for node in _own_returns(info.node):
+                if _is_none_return(node):
+                    yield info.ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"engine {engine_name!r}: _execute returns None; "
+                        "return a result object or raise from the "
+                        "repro.errors taxonomy",
+                    )
+
+        # 2) reachable raises over the call graph
+        roots = sorted({info.qualname for info in execute_roots.values()})
+        parents = model.callgraph.reachable(roots)
+        root_engines: Dict[str, str] = {}
+        for engine_name, info in sorted(execute_roots.items()):
+            root_engines.setdefault(info.qualname, engine_name)
+        seen_sites: Set[Tuple[str, int, int]] = set()
+        for qualname in sorted(parents):
+            info = symbols.functions.get(qualname)
+            if info is None:
+                continue
+            for raise_node in _own_raises(info.node):
+                verdict = self._classify(
+                    raise_node, info, symbols, taxonomy
+                )
+                if verdict is None:
+                    continue
+                site = (
+                    info.ctx.relpath,
+                    raise_node.lineno,
+                    raise_node.col_offset,
+                )
+                if site in seen_sites:
+                    continue
+                seen_sites.add(site)
+                path = model.callgraph.path_to(parents, qualname)
+                engine_name = root_engines.get(path[0], "?")
+                via = " -> ".join(
+                    part.rsplit(".", 1)[-1] for part in path
+                )
+                yield info.ctx.violation(
+                    raise_node,
+                    self.rule_id,
+                    f"raise {verdict} is reachable from engine "
+                    f"{engine_name!r} _execute (via {via}); raise a "
+                    "repro.errors subclass so the executor can "
+                    "classify the failure",
+                )
+
+    # ------------------------------------------------------------------
+    def _taxonomy_qualnames(self, symbols: ProjectSymbols) -> Set[str]:
+        """Qualnames of every class in (or derived from) the taxonomy."""
+        out: Set[str] = set()
+        root_names: List[str] = []
+        for qualname, info in symbols.classes.items():
+            if info.module == _ERRORS_MODULE:
+                out.add(qualname)
+                root_names.append(info.name)
+        if not root_names:
+            root_names = [_TAXONOMY_ROOT]
+        for info in symbols.subclasses_of(tuple(sorted(set(root_names)))):
+            out.add(info.qualname)
+        return out
+
+    def _execute_roots(
+        self, model: SemanticModel
+    ) -> Dict[str, FunctionInfo]:
+        """engine name -> the ``_execute`` override that serves it."""
+        symbols = model.symbols
+        engines: Dict[str, ClassInfo] = dict(model.callgraph.engines)
+        # registry entries plus any EngineBase subclass not registered
+        # yet (a new engine must obey the contract before it ships)
+        for info in symbols.subclasses_of(("EngineBase",)):
+            if info.name.startswith("_"):
+                continue
+            if not any(
+                existing.qualname == info.qualname
+                for existing in engines.values()
+            ):
+                engines.setdefault(info.qualname, info)
+        out: Dict[str, FunctionInfo] = {}
+        for engine_name in sorted(engines):
+            cls = engines[engine_name]
+            for ancestor in symbols.mro_names(cls):
+                if "_execute" in ancestor.methods:
+                    out[engine_name] = ancestor.methods["_execute"]
+                    break
+        return out
+
+    def _classify(
+        self,
+        raise_node: ast.Raise,
+        info: FunctionInfo,
+        symbols: ProjectSymbols,
+        taxonomy: Set[str],
+    ) -> Optional[str]:
+        """A description of the offence, or None when sanctioned."""
+        dotted = _raise_name(raise_node)
+        if dotted is None:
+            return None  # bare re-raise preserves the original type
+        tail = dotted.rsplit(".", 1)[-1]
+        module_symbols = symbols.modules.get(info.module)
+        resolved = (
+            module_symbols.resolve_dotted(dotted)
+            if module_symbols is not None
+            else None
+        )
+        if resolved is None:
+            if dotted == tail and tail in _BANNED_BUILTINS:
+                return tail
+            # sanctioned builtin or unresolvable: under-approximate
+            return None
+        if resolved in taxonomy:
+            return None
+        target_class = symbols.classes.get(resolved)
+        if target_class is None:
+            return None  # not a project class we can judge
+        for ancestor in symbols.mro_names(target_class):
+            if ancestor.qualname in taxonomy:
+                return None
+            if ancestor.module == _ERRORS_MODULE:
+                return None
+        return f"{target_class.name} (outside the repro.errors taxonomy)"

@@ -1,0 +1,174 @@
+"""MUT001 — alias-aware CSR/snapshot and graph-internal immutability.
+
+SNAP001 catches the direct shapes (``snap.indptr[0] = 1`` on a name
+assigned from ``out_csr()``), but aliasing sails through it: bind the
+snapshot through a tuple unpack, a ``with`` target or an intermediate
+array (``arr = snap.indices; arr += 1``) and the per-file syntactic
+check loses the thread.  MUT001 re-runs the check on top of the
+dataflow engine (:mod:`repro.lint.semantic.dataflow`): taints flow
+from the snapshot sources through every aliasing construct the
+interpreter models, and any *store* — attribute, item, augmented, or
+an in-place ndarray method — through a tainted base is mutation of a
+shared read-only view.
+
+The same pass guards :class:`~repro.graph.labeled_graph.LabeledGraph`
+internals: assigning an underscore attribute or the ``version`` stamp
+through a graph alias outside the producer package bypasses the
+sanctioned version-bumping methods and desynchronises every cached
+snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+from repro.lint.semantic.dataflow import TaintSpec, analyze_module
+
+__all__ = ["AliasedMutationRule"]
+
+#: the producer package, exempt by definition (it builds and rebuilds
+#: snapshots and owns the version stamp)
+_PRODUCER_PACKAGE = "repro.graph"
+
+#: taints
+_SNAP = "snapshot"
+_ARRAY = "snapshot-array"
+_GRAPH = "labeled-graph"
+
+#: method calls whose *return value* is a live snapshot
+_SNAPSHOT_CALLS = frozenset({"out_csr", "in_csr"})
+
+#: attribute loads that surface a snapshot from a holder object
+_SNAPSHOT_ATTRS = frozenset({"csr", "_csr", "_out_csr", "_in_csr"})
+
+#: CSR array fields of a snapshot
+_ARRAY_FIELDS = frozenset({"indptr", "indices"})
+
+#: ndarray methods that mutate in place
+_INPLACE_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "resize", "setfield", "setflags"}
+)
+
+#: graph attributes whose assignment outside the producer is corruption
+_GRAPH_STAMP = "version"
+
+
+class _MutationSpec(TaintSpec):
+    view_taints = frozenset({_ARRAY})
+
+    def param_taints(
+        self, name: str, annotation: Optional[ast.expr]
+    ) -> FrozenSet[str]:
+        text = _annotation_text(annotation)
+        if "CSRSnapshot" in text or name in ("snapshot", "snap"):
+            return frozenset({_SNAP})
+        if "LabeledGraph" in text or name == "graph":
+            return frozenset({_GRAPH})
+        return frozenset()
+
+    def call_taints(
+        self,
+        call: ast.Call,
+        func_name: str,
+        func_taints: FrozenSet[str],
+        arg_taints: List[FrozenSet[str]],
+    ) -> FrozenSet[str]:
+        tail = func_name.rsplit(".", 1)[-1]
+        if tail in _SNAPSHOT_CALLS:
+            return frozenset({_SNAP})
+        if tail == "LabeledGraph":
+            return frozenset({_GRAPH})
+        if tail == "copy" and func_taints & {_GRAPH}:
+            return frozenset({_GRAPH})
+        return frozenset()
+
+    def attr_load_taints(
+        self, base: FrozenSet[str], attr: str
+    ) -> FrozenSet[str]:
+        if _SNAP in base and attr in _ARRAY_FIELDS:
+            return frozenset({_ARRAY})
+        if attr in _SNAPSHOT_ATTRS:
+            return frozenset({_SNAP})
+        return frozenset()
+
+
+def _annotation_text(annotation: Optional[ast.expr]) -> str:
+    if annotation is None:
+        return ""
+    try:
+        return ast.unparse(annotation)
+    except ValueError:  # pragma: no cover - malformed annotation
+        return ""
+
+
+@register
+class AliasedMutationRule(Rule):
+    """No mutation of snapshot/graph state through any alias."""
+
+    rule_id = "MUT001"
+    description = (
+        "mutation of a CSR snapshot, its arrays, or LabeledGraph "
+        "internals reachable through an alias (dataflow-tracked) "
+        "outside the repro.graph producer package"
+    )
+    version = 1
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.in_module(_PRODUCER_PACKAGE):
+            return
+        flow = analyze_module(ctx.tree, _MutationSpec())
+        for attr_store in flow.attr_stores:
+            base = attr_store.base_taints
+            if _SNAP in base or _ARRAY in base:
+                yield ctx.violation(
+                    attr_store.node,
+                    self.rule_id,
+                    f"assignment to attribute {attr_store.attr!r} of a "
+                    "CSR snapshot alias; snapshots are shared read-only "
+                    "views — mutate the graph and let it rebuild",
+                )
+            elif _GRAPH in base and (
+                attr_store.attr.startswith("_")
+                or attr_store.attr == _GRAPH_STAMP
+            ):
+                yield ctx.violation(
+                    attr_store.node,
+                    self.rule_id,
+                    f"assignment to LabeledGraph internal "
+                    f"{attr_store.attr!r} through an alias; only the "
+                    "version-bumping methods in repro.graph may touch "
+                    "graph state",
+                )
+        for item_store in flow.item_stores:
+            if item_store.base_taints & {_SNAP, _ARRAY}:
+                yield ctx.violation(
+                    item_store.node,
+                    self.rule_id,
+                    "item write into a CSR snapshot array reached "
+                    "through an alias; snapshot arrays are immutable "
+                    "after graph.version is stamped",
+                )
+        for aug_store in flow.aug_stores:
+            if _ARRAY in aug_store.taints:
+                yield ctx.violation(
+                    aug_store.node,
+                    self.rule_id,
+                    f"augmented assignment on {aug_store.name!r}, an "
+                    "alias of a CSR snapshot array, mutates the shared "
+                    "buffer in place",
+                )
+        for call in flow.calls:
+            tail = call.func_name.rsplit(".", 1)[-1]
+            if (
+                tail in _INPLACE_METHODS
+                and isinstance(call.node.func, ast.Attribute)
+                and call.receiver_taints() & {_SNAP, _ARRAY}
+            ):
+                yield ctx.violation(
+                    call.node,
+                    self.rule_id,
+                    f".{tail}() mutates a CSR snapshot array in place "
+                    "through an alias",
+                )

@@ -1,0 +1,107 @@
+"""PLN002 — plans are frozen after construction, project-wide.
+
+The prepare/execute split (see ``docs/architecture.md`` §5f) hinges on
+:class:`~repro.core.plan.PlanArtifact` being immutable once it enters
+the plan cache: a cached artifact is shared by every later query with
+the same fingerprint, so a post-construction attribute store is a
+cross-query heisenbug.  :class:`~repro.core.plan.Plan` carries per-call
+counters and is *almost* frozen — the one sanctioned writer is the
+``_plan_for`` funnel in ``repro.core.engine``, which stamps ``plan_s``
+immediately after cache lookup, before the plan escapes.
+
+PLN001 keeps planning *work* out of execution paths; PLN002 keeps plan
+*state* write-once.  The dataflow engine tracks plan values through
+aliases and helper parameters, so ``p = self.prepare(q); p.params =
+...`` is caught no matter how many bindings deep."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+from repro.lint.semantic.dataflow import TaintSpec, analyze_module
+
+__all__ = ["PlanFrozenRule"]
+
+#: the module that owns plan construction (dataclass internals,
+#: cache bookkeeping) — exempt
+_PLAN_MODULE = "repro.core.plan"
+
+#: the sanctioned construction funnel: the one function outside
+#: repro.core.plan allowed to stamp a plan field (it finishes
+#: construction before the plan escapes)
+_FUNNEL_FUNCTIONS = frozenset({"_plan_for"})
+
+_PLAN = "plan"
+
+#: calls whose return value is a Plan/PlanArtifact
+_PLAN_CALLS = frozenset(
+    {"Plan", "PlanArtifact", "plan_query", "prepare", "_prepare_engine"}
+)
+
+#: parameter names conventionally holding plans
+_PLAN_PARAMS = frozenset({"plan", "artifact"})
+
+
+class _PlanSpec(TaintSpec):
+    def param_taints(
+        self, name: str, annotation: Optional[ast.expr]
+    ) -> FrozenSet[str]:
+        text = ""
+        if annotation is not None:
+            try:
+                text = ast.unparse(annotation)
+            except ValueError:  # pragma: no cover - malformed annotation
+                text = ""
+        if name in _PLAN_PARAMS or "Plan" in text:
+            return frozenset({_PLAN})
+        return frozenset()
+
+    def call_taints(
+        self,
+        call: ast.Call,
+        func_name: str,
+        func_taints: FrozenSet[str],
+        arg_taints: List[FrozenSet[str]],
+    ) -> FrozenSet[str]:
+        if func_name.rsplit(".", 1)[-1] in _PLAN_CALLS:
+            return frozenset({_PLAN})
+        return frozenset()
+
+
+def _in_funnel(function: str) -> bool:
+    """True when the enclosing function is the sanctioned funnel
+    (``function`` is a qualname like ``EngineBase._plan_for``)."""
+    return function.rsplit(".", 1)[-1] in _FUNNEL_FUNCTIONS
+
+
+@register
+class PlanFrozenRule(Rule):
+    """Plan/PlanArtifact attributes are never assigned after __init__."""
+
+    rule_id = "PLN002"
+    description = (
+        "attribute assignment on a Plan/PlanArtifact outside "
+        "repro.core.plan and the _plan_for construction funnel; cached "
+        "plans are shared across queries and must stay frozen"
+    )
+    version = 1
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.in_module(_PLAN_MODULE):
+            return
+        flow = analyze_module(ctx.tree, _PlanSpec())
+        for store in flow.attr_stores:
+            if _PLAN not in store.base_taints:
+                continue
+            if _in_funnel(store.function):
+                continue
+            verb = "augmented assignment" if store.augmented else "assignment"
+            yield ctx.violation(
+                store.node,
+                self.rule_id,
+                f"{verb} to {store.attr!r} on a Plan/PlanArtifact after "
+                "construction; cached plans are shared — move the write "
+                "into repro.core.plan or derive a new artifact",
+            )

@@ -1,0 +1,130 @@
+"""SARIF 2.1.0 output for :mod:`repro.lint`.
+
+One run, one driver (``repro-lint``), one result per violation.  The
+document targets the subset GitHub code scanning ingests: driver rule
+metadata with ``ruleIndex`` back-references, ``physicalLocation`` with
+one-based line/column regions, and a stable ``partialFingerprints``
+entry so re-uploads of unchanged findings do not reopen alerts.
+
+The generator is dependency-free by design (no ``jsonschema`` in the
+runtime image); ``tests/test_lint.py`` pins the structural contract —
+``version``/``$schema``, the runs/tool/driver/results shape and the
+rule back-references — which is what the uploader actually validates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.framework import SYNTAX_RULE_ID, Violation, all_rules
+
+__all__ = ["render_sarif"]
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_VERSION = "2.1.0"
+
+_TOOL_NAME = "repro-lint"
+
+_INFO_URI = "https://example.invalid/repro/docs/architecture.md"
+
+
+def _rule_entries(
+    violations: Sequence[Violation],
+) -> List[Dict[str, object]]:
+    """Driver rule metadata: every registered rule, plus pseudo rules
+    (``SYNTAX``) that appear in the results."""
+    entries: List[Dict[str, object]] = []
+    seen = set()
+    for rule in all_rules():
+        entries.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+        seen.add(rule.rule_id)
+    extra = sorted(
+        {violation.rule_id for violation in violations} - seen
+    )
+    for rule_id in extra:
+        description = (
+            "file does not parse"
+            if rule_id == SYNTAX_RULE_ID
+            else "unregistered rule"
+        )
+        entries.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return entries
+
+
+def _fingerprint(violation: Violation) -> str:
+    payload = "\0".join(
+        (violation.path, violation.rule_id, violation.message)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    """The SARIF 2.1.0 document for one lint run."""
+    rules = _rule_entries(violations)
+    index_of = {
+        str(entry["id"]): position for position, entry in enumerate(rules)
+    }
+    results: List[Dict[str, object]] = []
+    for violation in violations:
+        results.append(
+            {
+                "ruleId": violation.rule_id,
+                "ruleIndex": index_of[violation.rule_id],
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": violation.line,
+                                "startColumn": max(violation.col, 1),
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLint/v1": _fingerprint(violation)
+                },
+            }
+        )
+    document = {
+        "$schema": _SCHEMA_URI,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,58 @@
+"""repro.lint.semantic — whole-program analysis for the deep rules.
+
+Layers, bottom-up (each usable on its own):
+
+* :mod:`~repro.lint.semantic.dataflow` — an intraprocedural abstract
+  interpreter (reaching definitions, alias taints, closure escapes)
+  that per-file rules drive directly;
+* :mod:`~repro.lint.semantic.symbols` — per-module symbol tables and
+  conservative name resolution;
+* :mod:`~repro.lint.semantic.modules` — the project import graph;
+* :mod:`~repro.lint.semantic.callgraph` — the project call graph, with
+  engine-registry dynamic dispatch resolved statically;
+* :mod:`~repro.lint.semantic.model` — :class:`SemanticModel`, the
+  memoised facade whole-program rules share per run.
+
+See ``docs/architecture.md`` §5g for the analysis order and the rules
+built on top (MUT001, RNG006, PLN002, EXC003).
+"""
+
+from repro.lint.semantic.callgraph import CallGraph
+from repro.lint.semantic.dataflow import (
+    CLOSURE,
+    AttrStore,
+    AugStore,
+    CallSite,
+    ItemStore,
+    ModuleDataflow,
+    TaintSpec,
+    analyze_module,
+    dotted_name,
+)
+from repro.lint.semantic.model import SemanticModel
+from repro.lint.semantic.modules import ModuleGraph
+from repro.lint.semantic.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    ProjectSymbols,
+)
+
+__all__ = [
+    "AttrStore",
+    "AugStore",
+    "CLOSURE",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ItemStore",
+    "ModuleDataflow",
+    "ModuleGraph",
+    "ModuleSymbols",
+    "ProjectSymbols",
+    "SemanticModel",
+    "TaintSpec",
+    "analyze_module",
+    "dotted_name",
+]

@@ -1,0 +1,246 @@
+"""The project call graph.
+
+Nodes are fully qualified functions/methods (``module.func`` /
+``module.Class.method``); edges are statically resolvable calls:
+
+* direct calls of module-level functions (local or imported);
+* ``self.method(...)`` resolved through the receiving class and its
+  project-resolvable bases (so an engine's ``_execute`` reaches the
+  helpers it inherits from ``EngineBase``);
+* ``alias.func(...)`` where ``alias`` is an imported project module;
+* ``ClassName(...)`` constructor calls (edge to ``Class.__init__``);
+* dynamic dispatch through the engine registry: the ``_ENGINE_SPECS``
+  mapping in ``repro.core.engine`` tells the graph that
+  ``make_engine`` can construct every registered engine, and that the
+  base class's ``query``/``execute`` funnel dispatches to each
+  registered engine's ``_execute`` override.
+
+Unresolvable receivers produce no edge — the graph under-approximates,
+which is the safe direction for the rules built on it (EXC003 reports
+only what is *provably* reachable).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.framework import ProjectContext
+from repro.lint.semantic.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ProjectSymbols,
+)
+
+__all__ = ["CallGraph"]
+
+#: name of the registry mapping in repro.core.engine
+_SPEC_NAME = "_ENGINE_SPECS"
+
+#: EngineBase methods that dispatch into engine overrides at runtime
+_DISPATCH_METHODS = ("query", "execute", "_finish")
+
+
+def _registry_entries(project: ProjectContext) -> List[Tuple[str, str, str]]:
+    """``(engine_name, module, class)`` rows of ``_ENGINE_SPECS``."""
+    rows: List[Tuple[str, str, str]] = []
+    for ctx in project.files:
+        for node in ctx.tree.body:
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == _SPEC_NAME
+                for target in node.targets
+            ):
+                value = node.value
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == _SPEC_NAME
+            ):
+                value = node.value
+            if not isinstance(value, ast.Dict):
+                continue
+            for key, spec in zip(value.keys, value.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(spec, ast.Tuple)
+                    and len(spec.elts) >= 2
+                    and isinstance(spec.elts[0], ast.Constant)
+                    and isinstance(spec.elts[1], ast.Constant)
+                ):
+                    continue
+                rows.append(
+                    (
+                        key.value,
+                        str(spec.elts[0].value),
+                        str(spec.elts[1].value),
+                    )
+                )
+            if rows:
+                return rows
+    return rows
+
+
+class CallGraph:
+    """Static call edges between project functions."""
+
+    def __init__(
+        self, project: ProjectContext, symbols: ProjectSymbols
+    ) -> None:
+        self.symbols = symbols
+        #: caller qualname -> callee qualnames
+        self.edges: Dict[str, FrozenSet[str]] = {}
+        #: engine name -> registered ClassInfo (resolved via the registry)
+        self.engines: Dict[str, ClassInfo] = {}
+        for engine_name, module, class_name in _registry_entries(project):
+            info = symbols.classes.get(f"{module}.{class_name}")
+            if info is not None:
+                self.engines[engine_name] = info
+        for info in sorted(
+            symbols.functions.values(), key=lambda fn: fn.qualname
+        ):
+            self.edges[info.qualname] = frozenset(self._callees(info))
+        self._add_dispatch_edges()
+
+    # -- construction ---------------------------------------------------
+    def _callees(self, info: FunctionInfo) -> Set[str]:
+        module_symbols = self.symbols.modules[info.module]
+        owner = (
+            self.symbols.classes.get(info.owner)
+            if info.owner is not None
+            else None
+        )
+        out: Set[str] = set()
+        for node in self._own_calls(info.node):
+            func = node.func
+            target: Optional[str] = None
+            if isinstance(func, ast.Name):
+                target = module_symbols.resolve(func.id)
+            elif isinstance(func, ast.Attribute):
+                receiver = func.value
+                if isinstance(receiver, ast.Name) and receiver.id in (
+                    "self",
+                    "cls",
+                ):
+                    target = self._resolve_method(owner, func.attr)
+                elif isinstance(receiver, ast.Name):
+                    target = module_symbols.resolve_dotted(
+                        f"{receiver.id}.{func.attr}"
+                    )
+            if target is None:
+                continue
+            resolved = self._normalize(target)
+            if resolved is not None:
+                out.add(resolved)
+        return out
+
+    @staticmethod
+    def _own_calls(fn: ast.AST) -> List[ast.Call]:
+        """Calls lexically inside ``fn`` but not inside a nested def
+        (nested functions are their own graph nodes only when bound at
+        top level; treating their bodies as part of the enclosing
+        function would be wrong for *when* they run, but for
+        reachability the conservative move is to include them)."""
+        return [
+            node for node in ast.walk(fn) if isinstance(node, ast.Call)
+        ]
+
+    def _resolve_method(
+        self, owner: Optional[ClassInfo], method: str
+    ) -> Optional[str]:
+        if owner is None:
+            return None
+        for cls in self.symbols.mro_names(owner):
+            if method in cls.methods:
+                return cls.methods[method].qualname
+        return None
+
+    def _normalize(self, target: str) -> Optional[str]:
+        """Map a resolved name onto a graph node: a project function, or
+        a class (-> its ``__init__`` when present)."""
+        if target in self.symbols.functions:
+            return target
+        cls = self.symbols.classes.get(target)
+        if cls is not None:
+            init = cls.methods.get("__init__")
+            return init.qualname if init is not None else None
+        return None
+
+    def _add_dispatch_edges(self) -> None:
+        """Engine-registry dynamic dispatch: ``make_engine`` constructs
+        every registered engine; the base-class query funnel reaches
+        every registered ``_execute`` override."""
+        if not self.engines:
+            return
+        ctor_targets: Set[str] = set()
+        execute_targets: Set[str] = set()
+        for engine_name in sorted(self.engines):
+            cls = self.engines[engine_name]
+            init = cls.methods.get("__init__")
+            if init is not None:
+                ctor_targets.add(init.qualname)
+            for ancestor in self.symbols.mro_names(cls):
+                if "_execute" in ancestor.methods:
+                    execute_targets.add(
+                        ancestor.methods["_execute"].qualname
+                    )
+                    break
+        for qualname in list(self.edges):
+            name = qualname.rsplit(".", 1)[-1]
+            if name == "make_engine":
+                self.edges[qualname] = self.edges[qualname] | frozenset(
+                    ctor_targets
+                )
+            elif name in _DISPATCH_METHODS and any(
+                qualname == f"{cls.qualname}.{name}"
+                for cls in self._dispatch_bases()
+            ):
+                self.edges[qualname] = self.edges[qualname] | frozenset(
+                    execute_targets
+                )
+
+    def _dispatch_bases(self) -> List[ClassInfo]:
+        """Classes whose query/execute methods dispatch over the
+        registry: every ancestor shared by registered engines."""
+        out: Dict[str, ClassInfo] = {}
+        for cls in self.engines.values():
+            for ancestor in self.symbols.mro_names(cls)[1:]:
+                out[ancestor.qualname] = ancestor
+        return [out[qualname] for qualname in sorted(out)]
+
+    # -- queries --------------------------------------------------------
+    def callees(self, qualname: str) -> FrozenSet[str]:
+        """Direct callees of one function."""
+        return self.edges.get(qualname, frozenset())
+
+    def reachable(
+        self, roots: List[str], limit: int = 10_000
+    ) -> Dict[str, Optional[str]]:
+        """BFS closure from ``roots``: reached qualname -> parent (None
+        for roots).  The parent chain reconstructs one example path."""
+        parents: Dict[str, Optional[str]] = {}
+        queue: List[str] = []
+        for root in roots:
+            if root not in parents:
+                parents[root] = None
+                queue.append(root)
+        while queue and len(parents) < limit:
+            current = queue.pop(0)
+            for callee in sorted(self.edges.get(current, frozenset())):
+                if callee not in parents:
+                    parents[callee] = current
+                    queue.append(callee)
+        return parents
+
+    def path_to(
+        self, parents: Dict[str, Optional[str]], target: str
+    ) -> List[str]:
+        """The example call path from a root to ``target``."""
+        path = [target]
+        current: Optional[str] = target
+        while current is not None:
+            current = parents.get(current)
+            if current is not None:
+                path.append(current)
+        return list(reversed(path))

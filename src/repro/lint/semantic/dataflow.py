@@ -1,0 +1,560 @@
+"""Intraprocedural dataflow: reaching definitions, alias sets, escapes.
+
+This is the analysis half of the deep rule family (MUT001, RNG006,
+PLN002): a small abstract interpreter over one module's AST that tracks
+which *taints* (abstract value labels such as ``"snapshot"`` or
+``"generator"``) each local name may hold at each program point, and
+records the events rules care about — attribute/item stores, augmented
+assignments, and calls with the taints of every receiver and argument.
+
+Design notes, in decreasing order of load-bearing-ness:
+
+* **Ordered, flow-sensitive-ish.**  Statements execute in source order;
+  an ``If`` joins the environments of both arms, a loop body runs twice
+  so back-edge flows stabilise (one extra pass reaches the fixed point
+  for the single-level taint lattice used here), and a rebinding
+  assignment *kills* the old taints.  This is a reaching-definitions
+  approximation, not a full CFG — precise enough that
+  ``snap = graph.out_csr(); snap = np.zeros(3); snap[0] = 1`` is clean.
+* **Aliases flow through structure.**  Tuple/list unpacking is
+  element-wise when arities match, ``with ... as t`` binds the context
+  expression's taints, ``x := expr`` binds and returns, comprehensions
+  get their own scope (targets never leak), and subscript *loads*
+  propagate only where the rule's :class:`TaintSpec` says a view is
+  produced (a slice of a CSR array is still the CSR array).
+* **Escapes via closures.**  A nested ``def`` or ``lambda`` captures
+  the taints of its free variables at the definition point; the bound
+  name carries those taints plus :data:`CLOSURE`, so a worker function
+  that closes over an RNG stream is as tainted as the stream itself
+  when it is handed to ``submit``.  Nested functions are then analysed
+  in their own right, seeded with the captured environment, so
+  mutations *inside* decorated or nested functions are still seen.
+
+Rules drive the engine by subclassing :class:`TaintSpec` (what is a
+source, which attribute loads derive new taints) and reading the
+recorded :class:`AttrStore` / :class:`ItemStore` / :class:`AugStore` /
+:class:`CallSite` events from :func:`analyze_module`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+__all__ = [
+    "AttrStore",
+    "AugStore",
+    "CallSite",
+    "CLOSURE",
+    "ModuleDataflow",
+    "ItemStore",
+    "TaintSpec",
+    "analyze_module",
+    "dotted_name",
+]
+
+#: marker taint carried by closures/lambdas alongside their captures
+CLOSURE = "closure"
+
+Taints = FrozenSet[str]
+_EMPTY: Taints = frozenset()
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted form of a call target or annotation.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``; anything
+    that is not a pure Name/Attribute chain collapses to ``""`` for the
+    non-name parts (``graph.out_csr`` inside a subscript still resolves).
+    """
+    parts: List[str] = []
+    current: Optional[ast.AST] = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    elif parts:
+        parts.append("")
+    return ".".join(reversed(parts))
+
+
+class TaintSpec:
+    """What a rule considers a source and how taints derive.
+
+    Subclasses override the hooks; every default is "no taint", so an
+    empty spec records events with empty taint sets (still useful for
+    pure call-site collection).
+    """
+
+    #: taints that survive a *slice* load (``arr[1:]`` is a view)
+    view_taints: FrozenSet[str] = frozenset()
+    #: taints that flow from an iterable to a ``for`` target
+    iteration_taints: FrozenSet[str] = frozenset()
+
+    def param_taints(self, name: str, annotation: Optional[ast.expr]) -> Taints:
+        """Taints seeded on a function parameter."""
+        return _EMPTY
+
+    def call_taints(
+        self,
+        call: ast.Call,
+        func_name: str,
+        func_taints: Taints,
+        arg_taints: List[Taints],
+    ) -> Taints:
+        """Taints of a call's return value."""
+        return _EMPTY
+
+    def attr_load_taints(self, base: Taints, attr: str) -> Taints:
+        """Taints of an attribute *load* ``base.attr``."""
+        return _EMPTY
+
+
+@dataclass
+class AttrStore:
+    """``base.attr = value`` (or ``base.attr op= value``)."""
+
+    node: ast.AST
+    attr: str
+    base_taints: Taints
+    function: str
+    augmented: bool = False
+
+
+@dataclass
+class ItemStore:
+    """``base[...] = value`` (or ``base[...] op= value``)."""
+
+    node: ast.AST
+    base_taints: Taints
+    function: str
+    augmented: bool = False
+
+
+@dataclass
+class AugStore:
+    """``name op= value`` on a tainted name (in-place array updates)."""
+
+    node: ast.AST
+    name: str
+    taints: Taints
+    function: str
+
+
+@dataclass
+class CallSite:
+    """One call with the taints of its receiver and every argument."""
+
+    node: ast.Call
+    func_name: str
+    func_taints: Taints
+    args: List[Tuple[ast.expr, Taints]]
+    keywords: List[Tuple[Optional[str], ast.expr, Taints]]
+    function: str
+
+    def receiver_taints(self) -> Taints:
+        """Taints of ``obj`` in an ``obj.method(...)`` call."""
+        func = self.node.func
+        return self.func_taints if isinstance(func, ast.Attribute) else _EMPTY
+
+
+@dataclass
+class ModuleDataflow:
+    """Every event recorded while interpreting one module."""
+
+    attr_stores: List[AttrStore] = field(default_factory=list)
+    item_stores: List[ItemStore] = field(default_factory=list)
+    aug_stores: List[AugStore] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+
+
+_Env = Dict[str, Taints]
+
+#: compound statements whose bodies are control structure, not spans of
+#: one logical statement
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _join(left: _Env, right: _Env) -> _Env:
+    """Union join of two environments (may-alias semantics)."""
+    out = dict(left)
+    for name, taints in right.items():
+        out[name] = out.get(name, _EMPTY) | taints
+    return out
+
+
+class _FreeVars(ast.NodeVisitor):
+    """Names a nested function reads but does not bind itself."""
+
+    def __init__(self) -> None:
+        self.bound: Set[str] = set()
+        self.read: Set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.read.add(node.id)
+        else:
+            self.bound.add(node.id)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.bound.add(node.name)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.bound.add(node.name)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        self.bound.add(node.arg)
+
+
+def _free_variables(fn: ast.AST) -> FrozenSet[str]:
+    finder = _FreeVars()
+    for child in ast.iter_child_nodes(fn):
+        finder.visit(child)
+    return frozenset(finder.read - finder.bound)
+
+
+class _Interpreter:
+    """One pass over a module; see the module docstring for semantics."""
+
+    def __init__(self, spec: TaintSpec, flow: ModuleDataflow) -> None:
+        self.spec = spec
+        self.flow = flow
+        self.env: _Env = {}
+        #: (function node, qualname, captured environment) still to run
+        self.pending: List[Tuple[ast.AST, str, _Env]] = []
+        self.function = "<module>"
+
+    # -- driving --------------------------------------------------------
+    def run_module(self, tree: ast.Module) -> None:
+        self.exec_block(tree.body)
+        while self.pending:
+            fn, qualname, seed = self.pending.pop(0)
+            self._run_function(fn, qualname, seed)
+
+    def _run_function(self, fn: ast.AST, qualname: str, seed: _Env) -> None:
+        self.env = dict(seed)
+        self.function = qualname
+        args = fn.args if isinstance(fn, _FUNCTION_NODES) else None
+        if args is not None:
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                taints = self.spec.param_taints(arg.arg, arg.annotation)
+                if taints:
+                    self.env[arg.arg] = taints
+            for vararg in (args.vararg, args.kwarg):
+                if vararg is not None:
+                    self.env.pop(vararg.arg, None)
+        if isinstance(fn, _FUNCTION_NODES):
+            for decorator in fn.decorator_list:
+                self.eval(decorator)
+            self.exec_block(fn.body)
+
+    def _queue_function(self, fn: ast.AST, name: str) -> Taints:
+        """Queue a nested/decorated function and return its closure
+        taints (captures plus the closure marker)."""
+        captured: Taints = _EMPTY
+        seed: _Env = {}
+        for free in sorted(_free_variables(fn)):
+            taints = self.env.get(free, _EMPTY)
+            if taints:
+                seed[free] = taints
+                captured |= taints
+        qualname = (
+            name
+            if self.function == "<module>"
+            else f"{self.function}.{name}"
+        )
+        self.pending.append((fn, qualname, seed))
+        return captured | frozenset({CLOSURE}) if captured else _EMPTY
+
+    # -- statements -----------------------------------------------------
+    def exec_block(self, body: List[ast.stmt]) -> None:
+        for statement in body:
+            self.exec_stmt(statement)
+
+    def exec_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            taints = self.eval(node.value)
+            for target in node.targets:
+                self.assign(target, taints, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            taints = self.eval(node.value) if node.value is not None else _EMPTY
+            if node.value is not None or taints:
+                self.assign(node.target, taints, node.value)
+        elif isinstance(node, ast.AugAssign):
+            value_taints = self.eval(node.value)
+            target = node.target
+            if isinstance(target, ast.Name):
+                current = self.env.get(target.id, _EMPTY)
+                if current:
+                    self.flow.aug_stores.append(
+                        AugStore(node, target.id, current, self.function)
+                    )
+                self.env[target.id] = current | value_taints
+            elif isinstance(target, ast.Attribute):
+                base = self.eval(target.value)
+                self.flow.attr_stores.append(
+                    AttrStore(node, target.attr, base, self.function, True)
+                )
+            elif isinstance(target, ast.Subscript):
+                base = self.eval(target.value)
+                self.flow.item_stores.append(
+                    ItemStore(node, base, self.function, True)
+                )
+        elif isinstance(node, ast.If):
+            self.eval(node.test)
+            before = dict(self.env)
+            self.exec_block(node.body)
+            after_body = self.env
+            self.env = dict(before)
+            self.exec_block(node.orelse)
+            self.env = _join(after_body, self.env)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_taints = self.eval(node.iter)
+            element = iter_taints & self.spec.iteration_taints
+            before = dict(self.env)
+            for _ in range(2):  # once more for back-edge flows
+                self.assign(node.target, element, None)
+                self.exec_block(node.body)
+            self.exec_block(node.orelse)
+            self.env = _join(before, self.env)
+        elif isinstance(node, ast.While):
+            before = dict(self.env)
+            for _ in range(2):
+                self.eval(node.test)
+                self.exec_block(node.body)
+            self.exec_block(node.orelse)
+            self.env = _join(before, self.env)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                taints = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taints, item.context_expr)
+            self.exec_block(node.body)
+        elif isinstance(node, ast.Try):
+            before = dict(self.env)
+            self.exec_block(node.body)
+            merged = self.env
+            for handler in node.handlers:
+                self.env = dict(before)
+                if handler.name is not None:
+                    self.env.pop(handler.name, None)
+                self.exec_block(handler.body)
+                merged = _join(merged, self.env)
+            self.env = merged
+            self.exec_block(node.orelse)
+            self.exec_block(node.finalbody)
+        elif isinstance(node, _FUNCTION_NODES):
+            for decorator in node.decorator_list:
+                self.eval(decorator)
+            self.env[node.name] = self._queue_function(node, node.name)
+        elif isinstance(node, ast.ClassDef):
+            for decorator in node.decorator_list:
+                self.eval(decorator)
+            for base in node.bases:
+                self.eval(base)
+            qualname = (
+                node.name
+                if self.function == "<module>"
+                else f"{self.function}.{node.name}"
+            )
+            before_class = dict(self.env)
+            before_name = self.function
+            self.function = qualname
+            self.exec_block(node.body)
+            self.env = before_class
+            self.function = before_name
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.eval(node.value)
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+                else:
+                    self.eval(target)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        # Import/Global/Nonlocal/Pass/Break/Continue: no taint flow
+
+    # -- assignment targets ---------------------------------------------
+    def assign(
+        self,
+        target: ast.expr,
+        taints: Taints,
+        value: Optional[ast.expr],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taints  # kill + gen
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: List[Optional[ast.expr]]
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                elements = list(value.elts)
+            else:
+                elements = [None] * len(target.elts)
+            for element_target, element_value in zip(target.elts, elements):
+                element_taints = (
+                    self.eval(element_value)
+                    if element_value is not None
+                    else taints
+                )
+                inner = (
+                    element_target.value
+                    if isinstance(element_target, ast.Starred)
+                    else element_target
+                )
+                self.assign(inner, element_taints, element_value)
+        elif isinstance(target, ast.Attribute):
+            base = self.eval(target.value)
+            self.flow.attr_stores.append(
+                AttrStore(target, target.attr, base, self.function)
+            )
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value)
+            self.eval(target.slice)
+            self.flow.item_stores.append(
+                ItemStore(target, base, self.function)
+            )
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taints, None)
+
+    # -- expressions ----------------------------------------------------
+    def eval(self, node: Optional[ast.expr]) -> Taints:
+        if node is None:
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value)
+            return self.spec.attr_load_taints(base, node.attr)
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value)
+            self.eval(node.slice)
+            if isinstance(node.slice, ast.Slice):
+                return base & self.spec.view_taints
+            return _EMPTY
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out: Taints = _EMPTY
+            for element in node.elts:
+                out |= self.eval(element)
+            return out
+        if isinstance(node, ast.Dict):
+            out = _EMPTY
+            for key in node.keys:
+                if key is not None:
+                    self.eval(key)
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, ast.BoolOp):
+            out = _EMPTY
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, ast.NamedExpr):
+            taints = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = taints
+            return taints
+        if isinstance(node, ast.Lambda):
+            return self._queue_function(node, "<lambda>")
+        if isinstance(node, (ast.Await, ast.Starred, ast.UnaryOp)):
+            inner = (
+                node.value
+                if not isinstance(node, ast.UnaryOp)
+                else node.operand
+            )
+            taints = self.eval(inner)
+            return taints if isinstance(node, (ast.Await, ast.Starred)) else _EMPTY
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.BinOp):
+            self.eval(node.left)
+            self.eval(node.right)
+            return _EMPTY  # arithmetic yields fresh objects, not aliases
+        if isinstance(node, ast.Compare):
+            self.eval(node.left)
+            for comparator in node.comparators:
+                self.eval(comparator)
+            return _EMPTY
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return _EMPTY
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part)
+            return _EMPTY
+        return _EMPTY  # constants and anything exotic
+
+    def _eval_call(self, node: ast.Call) -> Taints:
+        func_taints = (
+            self.eval(node.func.value)
+            if isinstance(node.func, ast.Attribute)
+            else self.eval(node.func)
+            if isinstance(node.func, ast.Name)
+            else self.eval(node.func)
+        )
+        args = [(arg, self.eval(arg)) for arg in node.args]
+        keywords = [
+            (keyword.arg, keyword.value, self.eval(keyword.value))
+            for keyword in node.keywords
+        ]
+        name = dotted_name(node.func)
+        self.flow.calls.append(
+            CallSite(
+                node,
+                name,
+                func_taints,
+                args,
+                keywords,
+                self.function,
+            )
+        )
+        return self.spec.call_taints(
+            node, name, func_taints, [taints for _, taints in args]
+        )
+
+    def _eval_comprehension(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
+    ) -> Taints:
+        saved = dict(self.env)
+        for comp in node.generators:
+            iter_taints = self.eval(comp.iter)
+            element = iter_taints & self.spec.iteration_taints
+            self.assign(comp.target, element, None)
+            for condition in comp.ifs:
+                self.eval(condition)
+        if isinstance(node, ast.DictComp):
+            self.eval(node.key)
+            self.eval(node.value)
+        else:
+            self.eval(node.elt)
+        self.env = saved  # comprehension targets never leak
+        return _EMPTY
+
+
+def analyze_module(tree: ast.Module, spec: TaintSpec) -> ModuleDataflow:
+    """Interpret one module under ``spec`` and return every event."""
+    flow = ModuleDataflow()
+    _Interpreter(spec, flow).run_module(tree)
+    return flow

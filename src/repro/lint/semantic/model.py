@@ -1,0 +1,40 @@
+"""The whole-program analysis facade.
+
+:class:`SemanticModel` bundles the analysis passes in dependency order
+— symbol tables first, then the module/import graph, then the call
+graph — and memoises itself on the :class:`~repro.lint.framework.
+ProjectContext` so every whole-program rule of one run shares one
+model.  Per-file rules deliberately do *not* go through the model:
+they depend only on their own file (see the incremental cache contract
+in :mod:`repro.lint.cache`), so they run the dataflow engine directly.
+"""
+
+from __future__ import annotations
+
+from repro.lint.framework import ProjectContext
+from repro.lint.semantic.callgraph import CallGraph
+from repro.lint.semantic.modules import ModuleGraph
+from repro.lint.semantic.symbols import ProjectSymbols
+
+__all__ = ["SemanticModel"]
+
+_MODEL_ATTR = "_semantic_model"
+
+
+class SemanticModel:
+    """Symbol tables, import graph and call graph of one lint run."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.symbols = ProjectSymbols(project)
+        self.modules = ModuleGraph(project)
+        self.callgraph = CallGraph(project, self.symbols)
+
+    @classmethod
+    def of(cls, project: ProjectContext) -> "SemanticModel":
+        """The (memoised) model for ``project``."""
+        model = getattr(project, _MODEL_ATTR, None)
+        if not isinstance(model, SemanticModel):
+            model = cls(project)
+            setattr(project, _MODEL_ATTR, model)
+        return model

@@ -1,0 +1,85 @@
+"""The project module/import graph.
+
+A thin whole-program index over :class:`~repro.lint.framework.
+ProjectContext`: which project module imports which, both directly and
+transitively.  Rules use it for layering checks (who may depend on
+whom) and the incremental machinery uses the same file set, so the
+graph is intentionally cheap to build — one pass over each file's
+import statements, resolved against the set of modules actually in the
+run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Set
+
+from repro.lint.framework import ProjectContext
+
+__all__ = ["ModuleGraph"]
+
+
+class ModuleGraph:
+    """Directed import graph over the modules of one lint run."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.modules: List[str] = sorted(project.by_module)
+        known = set(self.modules)
+        #: module -> project modules it imports (direct edges)
+        self.imports: Dict[str, FrozenSet[str]] = {}
+        for ctx in project.files:
+            targets: Set[str] = set()
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        targets.update(_project_prefixes(alias.name, known))
+                elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                    module = node.module or ""
+                    targets.update(_project_prefixes(module, known))
+                    for alias in node.names:
+                        if alias.name != "*" and module:
+                            candidate = f"{module}.{alias.name}"
+                            if candidate in known:
+                                targets.add(candidate)
+            targets.discard(ctx.module)
+            self.imports[ctx.module] = frozenset(targets)
+        #: reverse edges: module -> project modules importing it
+        importers: Dict[str, Set[str]] = {name: set() for name in self.modules}
+        for source, sinks in self.imports.items():
+            for sink in sinks:
+                importers.setdefault(sink, set()).add(source)
+        self.importers: Dict[str, FrozenSet[str]] = {
+            name: frozenset(sources) for name, sources in importers.items()
+        }
+
+    def imports_of(self, module: str) -> FrozenSet[str]:
+        """Direct project imports of ``module``."""
+        return self.imports.get(module, frozenset())
+
+    def importers_of(self, module: str) -> FrozenSet[str]:
+        """Project modules that import ``module`` directly."""
+        return self.importers.get(module, frozenset())
+
+    def transitive_imports(self, module: str) -> FrozenSet[str]:
+        """Every project module reachable from ``module`` via imports."""
+        seen: Set[str] = set()
+        queue = [module]
+        while queue:
+            current = queue.pop()
+            for target in sorted(self.imports.get(current, frozenset())):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return frozenset(seen)
+
+
+def _project_prefixes(dotted: str, known: Set[str]) -> Set[str]:
+    """Project modules named by ``dotted`` or one of its prefixes
+    (``import repro.core.engine`` names three nested packages)."""
+    out: Set[str] = set()
+    parts = dotted.split(".")
+    for end in range(1, len(parts) + 1):
+        prefix = ".".join(parts[:end])
+        if prefix in known:
+            out.add(prefix)
+    return out

@@ -1,0 +1,244 @@
+"""Name resolution and per-module symbol tables.
+
+The whole-program rules need to answer two questions cheaply: *what
+does this name refer to in this module* (an imported project function?
+a local class?), and *what is defined where* across the project.  A
+:class:`ModuleSymbols` answers the first for one file; a
+:class:`ProjectSymbols` indexes every module of the run for the second.
+
+Resolution is static and conservative: a name resolves to a fully
+qualified ``module.Class.method`` / ``module.func`` string when the
+binding is a top-level def, class, or import whose target is a project
+module; everything else resolves to ``None`` and the callers treat it
+as an unknown (no edge, no finding — under-approximation on purpose).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.framework import FileContext, ProjectContext
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleSymbols",
+    "ProjectSymbols",
+]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # "module.func" or "module.Class.method"
+    module: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    ctx: FileContext
+    owner: Optional[str] = None  # owning class qualname, if a method
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and base-class names."""
+
+    qualname: str  # "module.Class"
+    module: str
+    name: str
+    node: ast.ClassDef
+    ctx: FileContext
+    #: base names as written (``EngineBase``, ``errors.ReproError``)
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class ModuleSymbols:
+    """Top-level bindings and import aliases of one module."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.module = ctx.module
+        #: local alias -> fully qualified imported name
+        self.imports: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._collect()
+
+    def _collect(self) -> None:
+        for node in self.ctx.tree.body:
+            self._collect_statement(node)
+
+    def _collect_statement(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self.imports[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                self.imports[local] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = FunctionInfo(
+                qualname=f"{self.module}.{node.name}",
+                module=self.module,
+                name=node.name,
+                node=node,
+                ctx=self.ctx,
+            )
+            self.functions[node.name] = info
+        elif isinstance(node, ast.ClassDef):
+            info = ClassInfo(
+                qualname=f"{self.module}.{node.name}",
+                module=self.module,
+                name=node.name,
+                node=node,
+                ctx=self.ctx,
+                bases=[_base_name(base) for base in node.bases],
+            )
+            for statement in node.body:
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    info.methods[statement.name] = FunctionInfo(
+                        qualname=f"{info.qualname}.{statement.name}",
+                        module=self.module,
+                        name=statement.name,
+                        node=statement,
+                        ctx=self.ctx,
+                        owner=info.qualname,
+                    )
+            self.classes[node.name] = info
+        elif isinstance(node, (ast.Try, ast.If)):
+            # version-guarded imports/defs still bind at top level
+            for block in _guard_blocks(node):
+                for inner in block:
+                    self._collect_statement(inner)
+
+    # ------------------------------------------------------------------
+    def resolve(self, name: str) -> Optional[str]:
+        """Fully qualified target of a bare name in this module."""
+        if name in self.functions:
+            return self.functions[name].qualname
+        if name in self.classes:
+            return self.classes[name].qualname
+        if name in self.imports:
+            return self.imports[name]
+        return None
+
+    def resolve_dotted(self, dotted: str) -> Optional[str]:
+        """Resolve ``head.rest`` through the import table (``head`` may
+        be a module alias: ``plan.compile_query`` ->
+        ``repro.core.plan.compile_query``)."""
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved_head = self.resolve(head)
+        if resolved_head is None:
+            return None
+        return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def _base_name(base: ast.expr) -> str:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return ""
+
+
+def _guard_blocks(node: ast.stmt) -> Iterator[List[ast.stmt]]:
+    if isinstance(node, ast.Try):
+        yield node.body
+        yield node.orelse
+        yield node.finalbody
+        for handler in node.handlers:
+            yield handler.body
+    elif isinstance(node, ast.If):
+        yield node.body
+        yield node.orelse
+
+
+class ProjectSymbols:
+    """Symbol tables for every module of one lint run, indexed."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.modules: Dict[str, ModuleSymbols] = {}
+        for ctx in project.files:
+            self.modules[ctx.module] = ModuleSymbols(ctx)
+        #: every function/method by qualified name
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: every class by qualified name
+        self.classes: Dict[str, ClassInfo] = {}
+        for symbols in self.modules.values():
+            for info in symbols.functions.values():
+                self.functions[info.qualname] = info
+            for class_info in symbols.classes.values():
+                self.classes[class_info.qualname] = class_info
+                for method in class_info.methods.values():
+                    self.functions[method.qualname] = method
+
+    # ------------------------------------------------------------------
+    def resolve_class_base(
+        self, cls: ClassInfo, base_name: str
+    ) -> Optional[ClassInfo]:
+        """The project :class:`ClassInfo` a base-class name refers to."""
+        symbols = self.modules.get(cls.module)
+        if symbols is None:
+            return None
+        target = symbols.resolve(base_name)
+        if target is None:
+            # unqualified base imported with ``from x import *`` or
+            # written as an attribute: try a project-wide name match
+            candidates = sorted(
+                qualname
+                for qualname, info in self.classes.items()
+                if info.name == base_name
+            )
+            return self.classes[candidates[0]] if candidates else None
+        return self.classes.get(target)
+
+    def mro_names(self, cls: ClassInfo) -> List[ClassInfo]:
+        """The class plus every project-resolvable ancestor, in order."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            out.append(current)
+            for base in current.bases:
+                resolved = self.resolve_class_base(current, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return out
+
+    def subclasses_of(self, names: Tuple[str, ...]) -> List[ClassInfo]:
+        """Project classes whose (written) base names include one of
+        ``names`` — transitively."""
+        direct = [
+            info
+            for info in self.classes.values()
+            if any(base in names for base in info.bases)
+        ]
+        out: Dict[str, ClassInfo] = {info.qualname: info for info in direct}
+        changed = True
+        while changed:
+            changed = False
+            parent_names = {info.name for info in out.values()}
+            for info in self.classes.values():
+                if info.qualname in out:
+                    continue
+                if any(base in parent_names for base in info.bases):
+                    out[info.qualname] = info
+                    changed = True
+        return [out[qualname] for qualname in sorted(out)]

@@ -1,0 +1,10 @@
+from repro.core.engine import EngineBase
+from repro.core.helpers import expand
+
+
+class DemoEngine(EngineBase):
+    name = "demo"
+    index_free = True
+
+    def _execute(self, query):
+        return expand(query)

@@ -1,0 +1,8 @@
+def expand(query):
+    return _expand_inner(query)
+
+
+def _expand_inner(query):
+    if not query:
+        raise RuntimeError("empty query")  # repro: noqa[EXC002]
+    return query

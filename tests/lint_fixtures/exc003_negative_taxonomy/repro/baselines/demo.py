@@ -1,0 +1,14 @@
+from repro.core.engine import EngineBase
+from repro.errors import QueryError
+
+
+class DemoEngine(EngineBase):
+    name = "demo"
+    index_free = True
+
+    def _execute(self, query):
+        if not query:
+            raise QueryError("empty")
+        if query == "odd":
+            raise ValueError("odd queries unsupported")
+        return query

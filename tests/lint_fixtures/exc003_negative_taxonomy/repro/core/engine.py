@@ -1,0 +1,11 @@
+_ENGINE_SPECS = {
+    "demo": ("repro.baselines.demo", "DemoEngine"),  # repro: noqa[VER002]
+}
+
+
+class EngineBase:
+    def query(self, query):
+        return self._execute(query)
+
+    def _execute(self, query):
+        raise NotImplementedError

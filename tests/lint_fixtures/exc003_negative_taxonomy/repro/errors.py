@@ -1,0 +1,6 @@
+class ReproError(Exception):
+    pass
+
+
+class QueryError(ReproError):
+    pass

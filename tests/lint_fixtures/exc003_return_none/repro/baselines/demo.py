@@ -1,0 +1,11 @@
+from repro.core.engine import EngineBase
+
+
+class DemoEngine(EngineBase):
+    name = "demo"
+    index_free = True
+
+    def _execute(self, query):
+        if query is None:
+            return None
+        return query

@@ -1,0 +1,3 @@
+def shift(snapshot):
+    arr = snapshot.indices
+    arr += 1

@@ -1,0 +1,7 @@
+import functools
+
+
+@functools.lru_cache(maxsize=None)
+def poke(snapshot):
+    view = snapshot.indptr
+    view.fill(0)

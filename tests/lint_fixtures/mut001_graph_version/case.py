@@ -1,0 +1,3 @@
+def bump(graph):
+    alias = graph
+    alias.version = 7

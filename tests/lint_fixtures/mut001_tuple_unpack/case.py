@@ -1,0 +1,4 @@
+def rewrite(graph):
+    snap = graph.out_csr()
+    ptr, idx = snap.indptr, snap.indices
+    idx[0] = 99

@@ -1,0 +1,3 @@
+def pin(graph):
+    with graph.out_csr() as snap:
+        snap.indices.fill(0)

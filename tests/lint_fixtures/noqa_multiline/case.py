@@ -1,0 +1,7 @@
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng(
+    )  # repro: noqa[RNG002]
+    return rng

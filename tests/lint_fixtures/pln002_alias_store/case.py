@@ -1,0 +1,5 @@
+def warm(engine, query):
+    plan = engine.prepare(query)
+    cached = plan
+    cached.cache_hit = True
+    return cached

@@ -1,0 +1,2 @@
+def touch(artifact):
+    artifact.params = {}

@@ -1,0 +1,9 @@
+import threading
+
+
+def sample_async(rng):
+    def draw():
+        return rng.integers(100)
+
+    worker = threading.Thread(target=draw)
+    worker.start()

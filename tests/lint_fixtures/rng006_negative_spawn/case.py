@@ -1,0 +1,7 @@
+import numpy as np
+
+
+def fan_out(pool, work, seed_seq):
+    children = seed_seq.spawn(4)
+    for child in children:
+        pool.submit(work, child)

@@ -1,0 +1,6 @@
+import functools
+
+
+def batch(pool, work, rng):
+    job = functools.partial(work, rng)
+    pool.submit(job)

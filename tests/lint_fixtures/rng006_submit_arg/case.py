@@ -1,0 +1,3 @@
+def fan_out(pool, work, rng):
+    generator = rng
+    pool.submit(work, generator)

@@ -1,0 +1,6 @@
+import threading
+
+
+def launch(work, rng):
+    thread = threading.Thread(target=work, args=(rng,))
+    thread.start()

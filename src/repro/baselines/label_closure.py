@@ -28,6 +28,7 @@ from collections import deque
 from typing import Any, Dict, FrozenSet, List, Optional
 
 from repro.core.engine import EngineBase
+from repro.obs import profiled
 from repro.core.plan import Plan, PlanCache
 from repro.core.result import QueryResult
 from repro.errors import IndexBuildError, QueryError, UnsupportedQueryError
@@ -88,6 +89,7 @@ class LabelClosureIndex(EngineBase):
             return [frozenset()]
         return [frozenset((label,)) for label in self.graph.edge_labels(u, v)]
 
+    @profiled("label_closure.build")
     def build(self) -> None:
         """Compute the closure from scratch."""
         self._reach = {}

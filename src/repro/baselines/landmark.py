@@ -28,6 +28,7 @@ from collections import deque
 from typing import Any, Dict, FrozenSet, List, Optional
 
 from repro.core.engine import EngineBase
+from repro.obs import profiled
 from repro.core.plan import Plan, PlanCache
 from repro.core.result import QueryResult
 from repro.errors import IndexBuildError, QueryError, UnsupportedQueryError
@@ -87,6 +88,7 @@ class LandmarkIndex(EngineBase):
         )
         return nodes[:n_landmarks]
 
+    @profiled("landmark.build")
     def build(self) -> None:
         """Compute both antichain tables for every landmark.
 

@@ -95,9 +95,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("json", "edgelist"), default="json"
     )
 
-    stats = commands.add_parser("stats", help="summarise a stored graph")
-    stats.add_argument("graph")
+    stats = commands.add_parser(
+        "stats",
+        help="summarise a stored graph, or render a metrics snapshot",
+    )
+    stats.add_argument("graph", nargs="?", default=None)
     stats.add_argument("--top-labels", type=int, default=10)
+    stats.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="render a metrics snapshot exported by "
+        "`repro evaluate --metrics-out FILE` instead of a graph",
+    )
 
     query = commands.add_parser("query", help="answer one RSPQ")
     query.add_argument("graph")
@@ -162,6 +170,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plan-cache-size", type=int, default=256, metavar="N",
         help="maximum cached plans per engine scope (LRU-evicted "
         "beyond this; only meaningful with --plan-cache on)",
+    )
+    evaluate.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record structured spans and write them as JSON-lines; a "
+        "FILE ending in .json gets the Chrome trace_event format "
+        "(chrome://tracing / Perfetto) instead",
+    )
+    evaluate.add_argument(
+        "--metrics", action="store_true",
+        help="collect the observability metrics registry during the "
+        "run and print it afterwards",
+    )
+    evaluate.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="also write the metrics snapshot as JSON (render it later "
+        "with `repro stats --metrics FILE`)",
     )
 
     verify = commands.add_parser(
@@ -243,6 +267,21 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    if args.metrics is not None:
+        import json
+
+        from repro.obs import MetricsSnapshot, render_snapshot
+
+        with open(args.metrics, encoding="utf-8") as handle:
+            snapshot = MetricsSnapshot.from_dict(json.load(handle))
+        print(render_snapshot(snapshot))
+        return 0
+    if args.graph is None:
+        print(
+            "error: provide a graph file or --metrics FILE",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args.graph)
     summary = summarize(graph, name=args.graph)
     print(f"nodes: {summary.num_nodes}")
@@ -338,6 +377,12 @@ def _cmd_evaluate(args) -> int:
     )
     from repro.queries.io import load_workload
 
+    from repro import obs
+
+    observing = bool(args.trace or args.metrics or args.metrics_out)
+    if observing:
+        obs.enable(tracing=bool(args.trace))
+
     graph = _load_graph(args.graph)
     queries = load_workload(args.workload)
     from repro.queries.workload import workload_summary
@@ -405,6 +450,32 @@ def _cmd_evaluate(args) -> int:
     if oracle.undecided:
         print(f"warning: {oracle.undecided} queries undecided within the "
               "oracle budget")
+    if observing:
+        import json
+
+        obs.disable()
+        if args.trace:
+            tracer = obs.current_tracer()
+            assert tracer is not None  # enable(tracing=True) made one
+            if args.trace.endswith(".json"):
+                n_spans = tracer.export_chrome_trace(args.trace)
+                print(f"trace: {n_spans} span(s) written to {args.trace} "
+                      "(Chrome trace_event format)")
+            else:
+                n_spans = tracer.export_jsonl(args.trace)
+                print(f"trace: {n_spans} span(s) written to {args.trace}")
+        snapshot = obs.registry().snapshot()
+        if args.metrics:
+            print()
+            print(obs.render_snapshot(snapshot))
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    snapshot.as_dict(), handle, indent=1, sort_keys=True
+                )
+                handle.write("\n")
+            print(f"metrics snapshot written to {args.metrics_out}")
+        obs.reset()
     return 0
 
 

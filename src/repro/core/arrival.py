@@ -43,6 +43,7 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.core.engine import EngineBase
 from repro.core.fastpath import GraphView, LabelSetInterner, build_graph_view
 from repro.core.plan import Plan, PlanCache
@@ -498,6 +499,10 @@ class Arrival(EngineBase):
         backward.opposite = forward
 
         joined: Optional[List[int]] = None
+        # fetched once per query: None while observability is disabled,
+        # so the walk loop pays one `is not None` test per walk
+        walk_sampler = obs.walk_sampler()
+        forward_jumps_seen = backward_jumps_seen = 0
         # the forward side dies instantly when the source's own symbol
         # cannot begin any accepted word; that is a certain negative
         # (probed in exact mode so the answer does not depend on label
@@ -516,14 +521,28 @@ class Arrival(EngineBase):
                 < num_walks
             ):
                 joined = forward.step()
+                if walk_sampler is not None:
+                    walk_sampler.record_walk(
+                        forward.jumps - forward_jumps_seen
+                    )
+                    forward_jumps_seen = forward.jumps
                 if joined is not None:
                     break
                 if self.bidirectional:
                     joined = backward.step()
+                    if walk_sampler is not None:
+                        walk_sampler.record_walk(
+                            backward.jumps - backward_jumps_seen
+                        )
+                        backward_jumps_seen = backward.jumps
                     if joined is not None:
                         break
 
         stats.walk_s = time.perf_counter() - stage_start
+        if walk_sampler is not None:
+            walk_sampler.record_query(
+                forward.jumps + backward.jumps, stats.walk_s
+            )
         self._record_endpoints(forward, backward)
 
         transition_hits, transition_misses = _table_deltas(
@@ -640,6 +659,9 @@ class Arrival(EngineBase):
         source_alive = start_forward[0] != EMPTY_STATE_ID
 
         outcome: Optional[WavefrontResult] = None
+        # None while observability is disabled: the kernel's superstep
+        # loop then carries no sampling branches at all
+        step_sampler = obs.superstep_sampler()
         if source_alive:
             forward_budget = (num_walks + 1) // 2
             # the backward side keeps at least one walk even for
@@ -684,8 +706,12 @@ class Arrival(EngineBase):
                 min_edges=min_distance,
                 sampler=self._wavefront_sampler(False, backward_width),
             )
-            outcome = run_wavefront(forward_side, backward_side)
+            outcome = run_wavefront(
+                forward_side, backward_side, sampler=step_sampler
+            )
         stats.walk_s = time.perf_counter() - stage_start
+        if step_sampler is not None and outcome is not None:
+            step_sampler.record_query(outcome.jumps, stats.walk_s)
 
         joined: Optional[List[int]] = None
         completed = 0

@@ -60,6 +60,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro import obs
 from repro.core.plan import Plan, PlanCache, compile_query, plan_query
 from repro.core.result import QueryResult
 from repro.core.stats import ExecStats
@@ -282,8 +283,11 @@ class EngineBase:
             min_distance=min_distance,
         )
         started = time.perf_counter()
-        plan = self._plan_for(query)
-        return self._finish(plan, check=check, kwargs=kwargs, started=started)
+        with obs.span("engine.query", engine=self.name):
+            plan = self._plan_for(query)
+            return self._finish(
+                plan, check=check, kwargs=kwargs, started=started
+            )
 
     # -- the plan/execute split ----------------------------------------
     def prepare(
@@ -352,7 +356,8 @@ class EngineBase:
                 f"{self.name} does not support distance-bounded queries"
             )
         start = time.perf_counter()
-        plan = plan_query(self, query, self._ensure_plan_cache())
+        with obs.span("engine.plan", engine=self.name):
+            plan = plan_query(self, query, self._ensure_plan_cache())
         plan.plan_s = time.perf_counter() - start
         return plan
 
@@ -367,7 +372,9 @@ class EngineBase:
         """Execute ``plan`` and attach stats (the shared back half of
         :meth:`query` and :meth:`execute`)."""
         plan_s, compile_s, params_s, hit, evictions = plan.consume_counters()
-        result = self._execute(plan, **kwargs)
+        with obs.span("engine.execute", engine=self.name) as span:
+            result = self._execute(plan, **kwargs)
+            span.set_attr("reachable", bool(result.reachable))
         elapsed = time.perf_counter() - started
         stats = result.stats
         if stats is None:
@@ -389,6 +396,8 @@ class EngineBase:
         stats.jumps = result.jumps
         if check != "off":
             self._oracle_check(plan.query, result, stats, check)
+        if obs.enabled():
+            stats.publish(obs.metrics())
         return result
 
     def _ensure_plan_cache(self) -> PlanCache:
@@ -462,14 +471,15 @@ class EngineBase:
         from repro.verify.witness import check_result  # repro: noqa[VER001]
 
         start = time.perf_counter()
-        report = check_result(
-            getattr(self, "graph", None),
-            query,
-            result,
-            expect_simple=self.enforces_simple_paths,
-            elements=getattr(self, "elements", None),
-            mode=mode,
-        )
+        with obs.span("verify.check", engine=self.name, mode=mode):
+            report = check_result(
+                getattr(self, "graph", None),
+                query,
+                result,
+                expect_simple=self.enforces_simple_paths,
+                elements=getattr(self, "elements", None),
+                mode=mode,
+            )
         elapsed = time.perf_counter() - start
         stats.oracle_s += elapsed
         stats.total_s += elapsed

@@ -67,6 +67,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, cast
 
 import numpy as np
 
+from repro import obs
 from repro.core.engine import Engine
 from repro.core.result import QueryResult
 from repro.core.stats import BatchStats
@@ -156,8 +157,15 @@ _WORKER_ENGINE: Optional[Engine] = None
 _WORKER_SEED: Optional[int] = None
 
 
-def _process_init(factory: Callable[[], Engine], seed: Optional[int]) -> None:
+def _process_init(
+    factory: Callable[[], Engine],
+    seed: Optional[int],
+    obs_config: Optional[obs.ObsConfig] = None,
+) -> None:
     global _WORKER_ENGINE, _WORKER_SEED
+    # replicate the parent's observability gate before building the
+    # engine, so index builds / parameter estimation are captured too
+    obs.configure(obs_config)
     engine = factory()
     if seed is not None:
         engine.reseed(setup_stream(seed))
@@ -173,11 +181,34 @@ def _query_kwargs(check: str) -> Dict[str, str]:
     return {} if check == "off" else {"check": check}
 
 
+#: result.info key carrying a worker's per-query metrics delta home
+_OBS_DELTA_KEY = "obs_delta"
+
+
 def _process_run(index: int, query: RSPQuery, check: str = "off") -> QueryResult:
     assert _WORKER_ENGINE is not None, "pool initializer did not run"
     if _WORKER_SEED is not None:
         _WORKER_ENGINE.reseed(query_stream(_WORKER_SEED, index))
-    return _WORKER_ENGINE.query(query, **_query_kwargs(check))
+    if not obs.enabled():
+        return _WORKER_ENGINE.query(query, **_query_kwargs(check))
+    # bracket the query in registry snapshots: the delta is exactly the
+    # increments this query caused in this worker, so merging every
+    # delta in the parent reproduces serial-mode counters bit-for-bit
+    before = obs.registry().snapshot()
+    result = _WORKER_ENGINE.query(query, **_query_kwargs(check))
+    delta = obs.registry().snapshot().delta(before)
+    if not delta.empty:
+        result.info[_OBS_DELTA_KEY] = delta
+    return result
+
+
+def _absorb_worker_metrics(result: QueryResult) -> QueryResult:
+    """Merge a process worker's metrics delta into this process's
+    registry (no-op for thread workers, which share it directly)."""
+    delta = result.info.pop(_OBS_DELTA_KEY, None)
+    if delta is not None:
+        obs.registry().merge(delta)
+    return result
 
 
 class BatchExecutor:
@@ -265,14 +296,28 @@ class BatchExecutor:
         """Execute the workload; results come back in workload order."""
         queries = list(queries)
         start = time.perf_counter()
-        if self.backend == "serial" or len(queries) <= 1:
-            results = self._run_serial(queries)
-        else:
-            results = self._run_pool(queries)
+        with obs.span(
+            "batch.run", backend=self.backend, queries=len(queries)
+        ):
+            if self.backend == "serial" or len(queries) <= 1:
+                results = self._run_serial(queries)
+            else:
+                results = self._run_pool(queries)
         wall_s = time.perf_counter() - start
-        return BatchReport(
-            results=results, stats=BatchStats.aggregate(results, wall_s)
-        )
+        stats = BatchStats.aggregate(results, wall_s)
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.counter("batch.runs").inc()
+            registry.counter("batch.queries").inc(stats.n_queries)
+            if stats.n_timeouts:
+                registry.counter("batch.timeouts").inc(stats.n_timeouts)
+            if stats.n_errors:
+                registry.counter("batch.errors").inc(stats.n_errors)
+            registry.histogram("batch.wall_s").observe(wall_s)
+            registry.gauge("batch.queries_per_s").set(
+                stats.queries_per_second
+            )
+        return BatchReport(results=results, stats=stats)
 
     # ------------------------------------------------------------------
     def _build_engine(self) -> Engine:
@@ -346,7 +391,7 @@ class BatchExecutor:
             pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_process_init,
-                initargs=(self.factory, self.seed),
+                initargs=(self.factory, self.seed, obs.active_config()),
             )
             run = _process_run
             prepare_query = _sanitize_query
@@ -392,7 +437,9 @@ class BatchExecutor:
                             raise exc
                         results[index] = ErrorResult.from_exception(exc)
                     else:
-                        results[index] = future.result()
+                        results[index] = _absorb_worker_metrics(
+                            future.result()
+                        )
                 if self.timeout_s is not None:
                     now = time.monotonic()
                     for future in list(pending):

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 import numpy as np
 import numpy.typing as npt
 
+from repro.obs import profiled
 from repro.graph.labeled_graph import LabeledGraph
 from repro.labels import LabelSet
 
@@ -168,6 +169,7 @@ class GraphView:
         return built
 
 
+@profiled("fastpath.build_graph_view")
 def build_graph_view(
     graph: LabeledGraph, interner: LabelSetInterner
 ) -> GraphView:

@@ -66,6 +66,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.stats import label_frequency_distribution
 from repro.lru import LRUCache
@@ -333,12 +334,17 @@ class PlanCache:
         """The memoised compiled bundle, with this call's compile cost."""
         cached = self.compiled.get(fingerprint)
         if cached is not None:
+            obs.metrics().counter("plan.compiled_hits").inc()
             return cached, 0.0
         start = time.perf_counter()
-        built = build()
+        with obs.span("plan.compile", fingerprint=fingerprint[:12]):
+            built = build()
         elapsed = time.perf_counter() - start
         self.compiles += 1
         self.compile_s += elapsed
+        registry = obs.metrics()
+        registry.counter("plan.compiles").inc()
+        registry.histogram("plan.compile_s").observe(elapsed)
         self.compiled.put(fingerprint, built)
         return built, elapsed
 
@@ -475,7 +481,9 @@ def plan_query(
     evictions_before = cache.plans.evictions
     artifact_hit = cache.plans.get(key)
     if artifact_hit is not None:
+        obs.metrics().counter("plan.cache_hits").inc()
         return Plan(query, artifact_hit, cache_hit=True)
+    obs.metrics().counter("plan.cache_misses").inc()
     compiled, compile_s = cache.compiled_for(fingerprint, build_compiled)
     params, params_s = _engine_params(engine, query, compiled)
     artifact = PlanArtifact(
@@ -486,13 +494,16 @@ def plan_query(
         params_s=params_s,
     )
     cache.plans.put(key, artifact)
+    evicted = cache.plans.evictions - evictions_before
+    if evicted:
+        obs.metrics().counter("plan.cache_evictions").inc(evicted)
     return Plan(
         query,
         artifact,
         cache_hit=False,
         compile_s=compile_s,
         params_s=params_s,
-        evictions=cache.plans.evictions - evictions_before,
+        evictions=evicted,
     )
 
 

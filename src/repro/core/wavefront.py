@@ -55,7 +55,10 @@ cannot express: hashmap meeting, bidirectional sampling, no trace sink.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.profiling import SuperstepSampler
 
 import numpy as np
 import numpy.typing as npt
@@ -215,6 +218,11 @@ class WavefrontSide:
         self.jumps = 0
         self.scanned = 0
         self.supersteps = 0
+        #: meeting-probe hits (keys found in the opposite side's table)
+        self.meet_hits = 0
+        # last-seen counter values for the superstep sampler's deltas
+        self._obs_jumps = 0
+        self._obs_meet_hits = 0
         self.endpoints: List[int] = []
         if self._start_key_sid == EMPTY_STATE_ID:
             # the origin's own symbol cannot start/end any accepted
@@ -474,6 +482,7 @@ class WavefrontSide:
         joined: Optional[List[int]] = None
         hits = opposite._keys.contains(flat_keys)
         if bool(hits.any()):
+            self.meet_hits += int(hits.sum())
             seen: Set[Tuple[int, int]] = set()
             for index in np.nonzero(hits)[0].tolist():
                 row = int(flat_rows[index])
@@ -527,22 +536,45 @@ class WavefrontResult:
     backward_endpoints: List[int]
 
 
+def _sample_superstep(
+    sampler: "SuperstepSampler", side: WavefrontSide
+) -> None:
+    """Feed one side's superstep into the observability sampler.
+
+    Reads SoA aggregates only (``alive.sum()`` plus two counter
+    deltas); called between supersteps, never from the numpy inner
+    code, and only when observability is enabled.
+    """
+    jumps = side.jumps - side._obs_jumps
+    side._obs_jumps = side.jumps
+    meets = side.meet_hits - side._obs_meet_hits
+    side._obs_meet_hits = side.meet_hits
+    sampler.record_superstep(int(side.alive.sum()), jumps, meets)
+
+
 def run_wavefront(
     forward_side: WavefrontSide,
     backward_side: WavefrontSide,
+    sampler: Optional["SuperstepSampler"] = None,
 ) -> WavefrontResult:
     """Drive both wavefronts to a Case-3 join or budget exhaustion.
 
     Supersteps alternate forward / backward exactly like the scalar
     engine's step loop, so each side's fresh keys are probed against
     everything the opposite side has registered up to that instant.
+    ``sampler`` (enabled-mode observability only) records frontier
+    width, jumps and meeting-probe hits per superstep.
     """
     joined: Optional[List[int]] = None
     while not (forward_side.exhausted and backward_side.exhausted):
         joined = forward_side.superstep(backward_side)
+        if sampler is not None:
+            _sample_superstep(sampler, forward_side)
         if joined is not None:
             break
         joined = backward_side.superstep(forward_side)
+        if sampler is not None:
+            _sample_superstep(sampler, backward_side)
         if joined is not None:
             break
     return WavefrontResult(

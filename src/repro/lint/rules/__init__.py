@@ -19,6 +19,8 @@ EXC       EXC001 bare except, EXC002 ad-hoc builtin raise, EXC003
 SNAP      SNAP001 CSR snapshot mutation outside labeled_graph
 MUT       MUT001 alias-reachable snapshot/graph mutation (dataflow)
 TIM       TIM001 wall-clock read outside timing code
+OBS       OBS001 tracing span opened outside a with block / manual
+          Span.end() in instrumented code
 PLN       PLN001 raw compile_regex bypassing the plan funnel,
           PLN002 Plan/PlanArtifact assigned after __init__
           (dataflow)
@@ -39,6 +41,7 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     engines,
     exceptions,
     mutation,
+    obs_spans,
     picklable,
     plan_frozen,
     planner,
@@ -56,6 +59,7 @@ __all__ = [
     "engines",
     "exceptions",
     "mutation",
+    "obs_spans",
     "picklable",
     "plan_frozen",
     "planner",

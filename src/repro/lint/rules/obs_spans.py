@@ -1,0 +1,103 @@
+"""Span-discipline rule for the observability layer.
+
+A :class:`~repro.obs.tracing.Span` that is opened but never closed
+corrupts the tracer's per-thread nesting stack: every later span in
+that thread is recorded as its child, and the leaked span itself never
+reaches the exporters.  The context-manager form cannot leak — it
+closes the span exactly once, in LIFO order, even when the traced
+region raises.  So instrumented code (everything outside
+:mod:`repro.obs` itself) must open spans as ``with`` context
+expressions and must never call :meth:`Span.end` by hand:
+
+* OBS001 flags a ``span(...)`` / ``tracer.span(...)`` / ``obs.span(...)``
+  call that is not directly the context expression of a ``with``
+  statement — including ``s = obs.span(...)`` followed by ``with s:``,
+  because the window between the two statements is exactly where an
+  early return leaks the open span;
+* OBS001 also flags manual ``.end()`` calls: chained directly on a span
+  call, or on a name previously bound to one.
+
+The rule is scoped to ``repro`` minus ``repro.obs`` (the tracer and its
+exporters legitimately own :meth:`Span.end`).  A sanctioned exception
+elsewhere must carry ``# repro: noqa[OBS001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+
+__all__ = ["ObsSpanRule"]
+
+
+def _is_span_call(node: ast.AST) -> bool:
+    """A call that opens a span: ``span(...)`` or ``<expr>.span(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "span"
+    return isinstance(func, ast.Attribute) and func.attr == "span"
+
+
+@register
+class ObsSpanRule(Rule):
+    """Spans opened or closed outside the context-manager discipline."""
+
+    rule_id = "OBS001"
+    description = (
+        "tracing spans in instrumented code must be `with` context "
+        "expressions; manual Span.end() calls leak open spans"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_module("repro") or ctx.in_module("repro.obs"):
+            return
+        # span calls sanctioned by being a with-item's context expression
+        with_items: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _is_span_call(item.context_expr):
+                        with_items.add(id(item.context_expr))
+        span_names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and _is_span_call(node.value)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        span_names.add(target.id)
+        for node in ast.walk(ctx.tree):
+            if _is_span_call(node) and id(node) not in with_items:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    "span opened outside a `with` statement; use "
+                    "`with obs.span(...)` so it cannot leak open, or "
+                    "justify it with # repro: noqa[OBS001]",
+                )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "end"
+                and not node.args
+                and not node.keywords
+                and (
+                    _is_span_call(node.func.value)
+                    or (
+                        isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in span_names
+                    )
+                )
+            ):
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    "manual Span.end() in instrumented code; close the "
+                    "span with its `with` block instead, or justify "
+                    "it with # repro: noqa[OBS001]",
+                )

@@ -46,6 +46,7 @@ _TIMING_MODULES = (
     "repro.core.plan",
     "repro.core.stats",
     "repro.experiments",
+    "repro.obs",
 )
 
 

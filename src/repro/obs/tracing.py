@@ -1,0 +1,295 @@
+"""Structured tracing: nested spans with monotonic timings.
+
+A :class:`Span` is one timed region of work — an engine query, a batch
+stage, a plan compile — with a name, free-form attributes and a parent,
+so a run unrolls into a forest of spans per thread.  The API surface is
+deliberately a *context manager*::
+
+    with tracer.span("engine.query", engine="ARRIVAL") as span:
+        ...
+        span.set_attr("reachable", True)
+
+which guarantees every span closes exactly once, in LIFO order, even
+when the region raises (the exception type is recorded as the
+``error`` attribute).  :class:`Span` does expose :meth:`Span.end` —
+exporters and the context manager need it — but calling it manually
+from engine code is flagged by lint rule OBS001: a hand-closed span is
+exactly the kind that leaks open on an early return.
+
+Timings come from :func:`time.perf_counter_ns` (monotonic, ns
+resolution); wall-clock anchors are never recorded, so traces diff
+cleanly across runs.  Two exporters:
+
+* :meth:`Tracer.export_jsonl` — one JSON object per finished span,
+  streamable and greppable;
+* :meth:`Tracer.export_chrome_trace` — the Chrome ``trace_event``
+  format (one ``"ph": "X"`` complete event per span), loadable in
+  ``chrome://tracing`` / Perfetto for a flame view.
+
+The spans of *this* process only: the batch executor's process backend
+merges worker **metrics** home, but worker spans stay in the worker
+(documented in the architecture notes; per-query stage timings still
+arrive via ``ExecStats``).
+
+:class:`NullTracer` is the disabled mode: its :meth:`~NullTracer.span`
+hands back one shared re-entrant no-op context manager, so a disabled
+``with span(...)`` costs two empty method calls and no allocation
+beyond the argument tuple.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "read_jsonl",
+]
+
+
+class Span:
+    """One timed region.  Created by :meth:`Tracer.span`, closed by the
+    context manager (OBS001 bars manual :meth:`end` calls in engine
+    code)."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "thread_id",
+        "start_ns",
+        "end_ns",
+        "attrs",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        thread_id: int,
+        start_ns: int,
+        attrs: Dict[str, Any],
+        tracer: "Tracer",
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread_id
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.attrs = attrs
+        self._tracer = tracer
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.end()
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span while it is open."""
+        self.attrs[key] = value
+
+    def end(self) -> None:
+        """Close the span (idempotent).  Exists for the context manager
+        and exporters; engine code must use ``with`` (OBS001)."""
+        if self.end_ns is None:
+            self._tracer._close(self)
+
+    # -- views ---------------------------------------------------------
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.end_ns is None:
+            return None
+        return (self.end_ns - self.start_ns) / 1e9
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-lines record of one finished span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects finished spans; one per process (the obs gate owns it).
+
+    The open-span stack is thread-local, so spans nest correctly per
+    worker thread; the finished-span list is shared under a lock.
+    ``clock`` is injectable for deterministic tests (golden trace
+    fixtures) and defaults to :func:`time.perf_counter_ns`.
+    """
+
+    def __init__(self, clock: Optional[Any] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter_ns
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._local = threading.local()
+
+    # -- recording -----------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack: Optional[List[Span]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a nested span; use as a context manager."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        record = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            thread_id=threading.get_ident(),
+            start_ns=int(self._clock()),
+            attrs=attrs,
+            tracer=self,
+        )
+        stack.append(record)
+        return record
+
+    def _close(self, span: Span) -> None:
+        span.end_ns = int(self._clock())
+        stack = self._stack()
+        # LIFO discipline: the context manager guarantees the closing
+        # span is the innermost open one; be tolerant of stray closes
+        # from other threads' views
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+
+    # -- views & exporters --------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        """Finished spans in completion order (a snapshot copy)."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def export_jsonl(self, path: str) -> int:
+        """Write finished spans as JSON-lines; returns the span count."""
+        spans = self.finished_spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(
+                    json.dumps(span.as_dict(), sort_keys=True, default=str)
+                )
+                handle.write("\n")
+        return len(spans)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` payload for the finished spans."""
+        events = []
+        for span in self.finished_spans():
+            if span.end_ns is None:
+                continue
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": span.start_ns / 1e3,  # microseconds
+                    "dur": (span.end_ns - span.start_ns) / 1e3,
+                    "pid": 1,
+                    "tid": span.thread_id,
+                    "args": dict(span.attrs),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, path: str) -> int:
+        """Write the Chrome trace file; returns the event count."""
+        payload = self.chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True, default=str)
+            handle.write("\n")
+        return len(payload["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# the disabled mode
+# ---------------------------------------------------------------------------
+class NullSpan:
+    """Shared re-entrant no-op span."""
+
+    __slots__ = ()
+    name = "null"
+    attrs: Dict[str, Any] = {}
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        pass
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        return None
+
+
+class NullTracer:
+    """Hands out the shared :data:`NULL_SPAN`; records nothing."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def export_jsonl(self, path: str) -> int:
+        return 0
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, path: str) -> int:
+        return 0
+
+
+NULL_SPAN = NullSpan()
+
+
+def read_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+    """Parse a JSON-lines trace file back into span records."""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

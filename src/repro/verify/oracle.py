@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro import obs
 from repro.core.engine import (
     EngineBase,
     EngineCapabilities,
@@ -271,33 +272,48 @@ class DifferentialOracle:
         query is adjudicated under the error model."""
         queries = list(queries)
         per_engine: Dict[str, List[QueryResult]] = {}
-        for name in self.engines:
-            factory = partial(
-                make_engine,
-                name,
-                self.graph,
-                seed=self.seed,
-                **self.engine_kwargs.get(name, {}),
+        with obs.span(
+            "oracle.run",
+            engines=",".join(self.engines),
+            queries=len(queries),
+        ):
+            for name in self.engines:
+                factory = partial(
+                    make_engine,
+                    name,
+                    self.graph,
+                    seed=self.seed,
+                    **self.engine_kwargs.get(name, {}),
+                )
+                executor = BatchExecutor(
+                    factory=factory,
+                    backend=self.backend,
+                    workers=self.workers,
+                    seed=self.seed,
+                    timeout_s=self.timeout_s,
+                    fail_fast=False,
+                )
+                per_engine[name] = executor.run(queries).results
+            report = OracleReport(
+                dataset=self.dataset, seed=self.seed, engines=self.engines
             )
-            executor = BatchExecutor(
-                factory=factory,
-                backend=self.backend,
-                workers=self.workers,
-                seed=self.seed,
-                timeout_s=self.timeout_s,
-                fail_fast=False,
+            with obs.span("oracle.adjudicate", queries=len(queries)):
+                for index, query in enumerate(queries):
+                    results = {
+                        name: per_engine[name][index]
+                        for name in self.engines
+                    }
+                    report.adjudications.append(
+                        self._adjudicate(index, query, results)
+                    )
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.counter("oracle.queries").inc(len(queries))
+            divergences = sum(
+                len(entry.divergences) for entry in report.adjudications
             )
-            per_engine[name] = executor.run(queries).results
-        report = OracleReport(
-            dataset=self.dataset, seed=self.seed, engines=self.engines
-        )
-        for index, query in enumerate(queries):
-            results = {
-                name: per_engine[name][index] for name in self.engines
-            }
-            report.adjudications.append(
-                self._adjudicate(index, query, results)
-            )
+            if divergences:
+                registry.counter("oracle.divergences").inc(divergences)
         return report
 
     def check(

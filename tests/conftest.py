@@ -1,12 +1,40 @@
-"""Shared pytest configuration."""
+"""Shared pytest configuration.
+
+Hypothesis profiles are pinned here so example budgets are explicit and
+reproducible instead of drifting with library defaults:
+
+* ``repro`` (default) — the everyday budget: 40 examples, no deadline
+  (experiment-grade code paths can be slow per example).
+* ``fast`` — smoke budget for the CI fast lane and local pre-commit
+  runs: fewer examples, same determinism.
+* ``thorough`` — nightly budget: more examples for the property suites.
+
+Select with ``HYPOTHESIS_PROFILE=fast pytest ...`` (or ``thorough``);
+unset, the ``repro`` profile loads.
+"""
+
+import os
 
 from hypothesis import HealthCheck, settings
 
-# one shared profile: experiment-grade code paths can be slow per example
+_SUPPRESS = [HealthCheck.too_slow]
+
 settings.register_profile(
     "repro",
     max_examples=40,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+    suppress_health_check=_SUPPRESS,
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "fast",
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=_SUPPRESS,
+)
+settings.register_profile(
+    "thorough",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=_SUPPRESS,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -160,6 +160,7 @@ def test_results_carry_stats(name, graph, query_set):
 # ---------------------------------------------------------------------------
 # the no-false-positive invariant and witness validity
 # ---------------------------------------------------------------------------
+@pytest.mark.slow
 @pytest.mark.parametrize("name", ALL_ENGINES)
 def test_no_false_positives_and_valid_witnesses(name, graph, query_set):
     engine = build(name, graph)
@@ -185,6 +186,7 @@ def test_no_false_positives_and_valid_witnesses(name, graph, query_set):
         assert checked > 0
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", ALL_ENGINES)
 def test_exact_engines_match_oracle(name, graph, query_set):
     engine = build(name, graph)
@@ -221,6 +223,7 @@ def test_distance_bounds_refused_when_unsupported(name, graph, query_set):
 # must commit to a *correct* boolean path_is_simple; None is reserved
 # for path-less answers
 # ---------------------------------------------------------------------------
+@pytest.mark.slow
 @pytest.mark.parametrize("name", ALL_ENGINES)
 def test_simplicity_flag_is_boolean_on_witnessed_positives(
     name, graph, query_set

@@ -10,9 +10,20 @@ EXAMPLES = sorted(
     (Path(__file__).parent.parent / "examples").glob("*.py")
 )
 
+#: examples that take > 5s end-to-end (index builds over full scans)
+_SLOW_EXAMPLES = {"dynamic_index_vs_arrival"}
+
 
 @pytest.mark.parametrize(
-    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+    "script",
+    [
+        pytest.param(
+            path,
+            marks=[pytest.mark.slow] if path.stem in _SLOW_EXAMPLES else [],
+        )
+        for path in EXAMPLES
+    ],
+    ids=[path.stem for path in EXAMPLES],
 )
 def test_example_runs(script, capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", [str(script)])

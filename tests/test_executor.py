@@ -152,11 +152,14 @@ def test_seed_streams_are_disjoint():
 # timeouts
 # ---------------------------------------------------------------------------
 def test_serial_timeout_posthoc():
+    # 0.0 s vs 0.5 s against a 0.2 s deadline: wide margins on both
+    # sides so scheduler stalls on a loaded box cannot flip either
+    # verdict (a 2x separation here flaked under contention)
     queries = [
         RSPQuery(0, 1, "a", meta={"sleep": 0.0}),
-        RSPQuery(0, 1, "a", meta={"sleep": 0.1}),
+        RSPQuery(0, 1, "a", meta={"sleep": 0.5}),
     ]
-    report = BatchExecutor(SlowEngine(), timeout_s=0.05).run(queries)
+    report = BatchExecutor(SlowEngine(), timeout_s=0.2).run(queries)
     assert report.results[0].reachable
     assert isinstance(report.results[1], TimeoutResult)
     assert report.results[1].timed_out

@@ -50,6 +50,7 @@ class TestTables:
         _assert_valid(result)
         assert len(result.rows) == 5
 
+    @pytest.mark.slow
     def test_table3_shape(self):
         result = table3.run(scale=0.08, n_queries=4, seed=1)
         _assert_valid(result)
@@ -85,6 +86,7 @@ class TestFigures:
         )
         assert all(m is None for m in result.column("LI memory"))
 
+    @pytest.mark.slow
     def test_fig5_query_types(self):
         result = fig5.run_query_types(
             scale=0.06, n_queries=3, datasets=("gplus",), seed=2

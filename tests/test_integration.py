@@ -69,6 +69,7 @@ class TestHeadlineClaims:
             if arrival.query(query).reachable:
                 assert rare.query(query).reachable
 
+    @pytest.mark.slow
     def test_truth_consistent_with_bbfs(self, gplus_setup):
         graph, queries, truths = gplus_setup
         bbfs = BBFSEngine(graph, max_expansions=300_000, time_budget=5.0)

@@ -122,6 +122,7 @@ class TestDynamics:
 
 
 class TestCosts:
+    @pytest.mark.slow
     def test_memory_grows_with_alphabet(self):
         from repro.datasets.follower import twitter_like
         from repro.graph.stats import labels_by_frequency

@@ -43,6 +43,7 @@ ALL_RULE_IDS = {
     "EXC002",
     "EXC003",
     "MUT001",
+    "OBS001",
     "PKL001",
     "PLN001",
     "PLN002",
@@ -659,6 +660,92 @@ class TestWallClockRule:
         )
         found = run_lint(
             tmp_path, {"repro/baselines/thing.py": source}, select=["TIM001"]
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — span discipline
+# ---------------------------------------------------------------------------
+class TestObsSpanRule:
+    def test_span_outside_with(self, tmp_path):
+        source = (
+            "from repro import obs\n"
+            "def run(plan):\n"
+            "    s = obs.span('engine.query')\n"
+            "    return plan\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["OBS001"]
+        )
+        assert rule_ids(found) == {"OBS001"}
+
+    def test_manual_end_on_bound_span(self, tmp_path):
+        source = (
+            "def run(tracer):\n"
+            "    s = tracer.span('engine.query')\n"
+            "    s.end()\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["OBS001"]
+        )
+        # the bare call outside `with` AND the manual close
+        assert len(found) == 2
+        assert rule_ids(found) == {"OBS001"}
+
+    def test_chained_end(self, tmp_path):
+        source = (
+            "def run(tracer):\n"
+            "    tracer.span('engine.query').end()\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["OBS001"]
+        )
+        assert len(found) == 2
+
+    def test_with_span_is_clean(self, tmp_path):
+        source = (
+            "from repro import obs\n"
+            "def run(plan):\n"
+            "    with obs.span('engine.query', engine='A') as s:\n"
+            "        s.set_attr('done', True)\n"
+            "    return plan\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["OBS001"]
+        )
+        assert found == []
+
+    def test_obs_package_exempt(self, tmp_path):
+        source = (
+            "def close(tracer):\n"
+            "    s = tracer.span('x')\n"
+            "    s.end()\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/obs/thing.py": source}, select=["OBS001"]
+        )
+        assert found == []
+
+    def test_unrelated_end_call_is_clean(self, tmp_path):
+        source = (
+            "def run(match):\n"
+            "    return match.end()\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["OBS001"]
+        )
+        assert found == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        source = (
+            "from repro import obs\n"
+            "def run(plan):\n"
+            "    s = obs.span('engine.query')  # repro: noqa[OBS001]\n"
+            "    return plan\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["OBS001"]
         )
         assert found == []
 

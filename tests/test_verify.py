@@ -330,6 +330,7 @@ def _sweep_queries(name, pairs):
     ]
 
 
+@pytest.mark.slow
 def test_paranoid_sweep_zero_false_alarms(sweep_graph, sweep_pairs):
     """Acceptance criterion: a clean workload through every registered
     engine with ``check="all"`` produces no oracle violations and no
@@ -364,6 +365,7 @@ def test_paranoid_sweep_zero_false_alarms(sweep_graph, sweep_pairs):
     assert total_queries >= 150
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("backend", ["thread", "process"])
 def test_paranoid_sweep_pool_backends(sweep_graph, sweep_pairs, backend):
     factory = partial(
@@ -386,6 +388,7 @@ def test_paranoid_sweep_pool_backends(sweep_graph, sweep_pairs, backend):
     assert report.stats.totals.oracle_checks > 0
 
 
+@pytest.mark.slow
 def test_paranoid_mode_does_not_change_answers(sweep_graph, sweep_pairs):
     queries = _sweep_queries("bbfs", sweep_pairs)
     factory = partial(

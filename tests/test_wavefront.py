@@ -60,6 +60,7 @@ def _workload(graph, count, seed=11):
 # ---------------------------------------------------------------------------
 # cross-dataset answer equivalence (>= 200 queries total)
 # ---------------------------------------------------------------------------
+@pytest.mark.slow
 @pytest.mark.parametrize("name", ["twitter", "gplus", "dblp"])
 def test_differential_sweep_no_divergences(name):
     graph = _dataset(name)

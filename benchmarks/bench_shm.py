@@ -1,0 +1,243 @@
+"""Shared-memory graph plane + warm worker pool vs pickle shipping.
+
+The process backend used to rebuild each worker's engine from scratch
+for every batch: spawn a pool, ship the factory, pay the O(n + m)
+graph-view/interning/prepare cost in every worker, answer the batch,
+tear the pool down — and pay it all again next batch.  The shm plane
+and the persistent :class:`~repro.core.executor.WorkerPool` remove both
+recurring costs: workers attach the exported CSR buffers zero-copy
+instead of rebuilding them, and a ``keep_pool=True`` executor keeps the
+warm workers (engines, plan caches, transition tables) alive across
+batches.  This bench measures that seam on the 10k-node synthetic and
+persists the numbers to ``results/BENCH_shm.json``:
+
+* **legacy** — a fresh executor per batch, ``shm="off"``,
+  ``chunk_size=1``: per-query futures on a pool that re-initialises
+  every worker every batch (the pre-plane behaviour);
+* **warm** — one ``keep_pool=True`` executor, ``shm="on"``, chunked
+  dispatch: the plane is exported once, workers attach once, later
+  batches ride entirely warm workers;
+* per-batch warm-up cost (the batch's ``worker_init_s``) must average
+  >= 5x lower on the warm side, and multi-batch wall throughput must
+  be >= 1.5x higher (both asserted at full scale only);
+* answers are **byte-identical** across serial / thread / process x
+  shm on/off x chunked/per-query — the plane and the pool are
+  transport, never an answer lever (asserted at every scale);
+* no ``rshm-*`` segment may survive in ``/dev/shm`` once the runs
+  finish (asserted at every scale).
+"""
+
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.core import BatchExecutor, make_engine
+from repro.core.shm import segment_prefix
+from repro.datasets import gplus_like
+from repro.queries import WorkloadGenerator
+
+from _meta import write_payload
+from conftest import BENCH_SCALE, RESULTS_DIR, n_queries, scaled
+
+SEED = 42
+WORKERS = 3
+N_BATCHES = 8
+# serving-regime walk budgets: many cheap queries per batch, where the
+# per-batch pool/graph setup is the cost the plane exists to remove
+WALK_LENGTH = 8
+NUM_WALKS = 16
+
+
+def shm_entries():
+    try:
+        entries = os.listdir("/dev/shm")
+    except FileNotFoundError:
+        return []
+    return [name for name in entries if name.startswith(segment_prefix())]
+
+
+def answers(report):
+    return [
+        (bool(r.reachable), tuple(r.path) if r.path else None)
+        for r in report.results
+    ]
+
+
+def run_legacy(factory, queries):
+    """Fresh pool every batch, pickle shipping, per-query futures."""
+    batches = []
+    start = time.perf_counter()
+    for _ in range(N_BATCHES):
+        executor = BatchExecutor(
+            factory=factory, seed=SEED, backend="process",
+            workers=WORKERS, shm="off", chunk_size=1,
+        )
+        try:
+            batches.append(executor.run(queries))
+        finally:
+            executor.close()
+    return batches, time.perf_counter() - start
+
+
+def run_warm(factory, queries):
+    """One persistent pool, shm plane, chunked dispatch."""
+    batches = []
+    executor = BatchExecutor(
+        factory=factory, seed=SEED, backend="process",
+        workers=WORKERS, shm="on", chunk_size="auto", keep_pool=True,
+    )
+    start = time.perf_counter()
+    try:
+        for _ in range(N_BATCHES):
+            batches.append(executor.run(queries))
+        seconds = time.perf_counter() - start
+    finally:
+        executor.close()
+    return batches, seconds
+
+
+def determinism_sweep(factory, queries, baseline):
+    """Answers must be byte-identical across every transport."""
+    combos = []
+    for backend, kwargs in (
+        ("thread", {}),
+        ("process", {"shm": "off", "chunk_size": 1}),
+        ("process", {"shm": "off", "chunk_size": "auto"}),
+        ("process", {"shm": "on", "chunk_size": 1}),
+        ("process", {"shm": "on", "chunk_size": "auto"}),
+    ):
+        executor = BatchExecutor(
+            factory=factory, seed=SEED, backend=backend,
+            workers=WORKERS, **kwargs,
+        )
+        try:
+            report = executor.run(queries)
+        finally:
+            executor.close()
+        combos.append(
+            {
+                "backend": backend,
+                **{k: str(v) for k, v in kwargs.items()},
+                "identical": answers(report) == baseline,
+            }
+        )
+    return combos
+
+
+@pytest.fixture(scope="module")
+def report():
+    graph = gplus_like(n_nodes=round(scaled(10_000)), seed=19)
+    factory = partial(
+        make_engine, "arrival", graph,
+        walk_length=WALK_LENGTH, num_walks=NUM_WALKS,
+    )
+    queries = WorkloadGenerator(graph, seed=23).generate(n_queries(120))
+
+    serial = BatchExecutor(factory=factory, seed=SEED).run(queries)
+    baseline = answers(serial)
+
+    legacy_batches, legacy_seconds = run_legacy(factory, queries)
+    warm_batches, warm_seconds = run_warm(factory, queries)
+
+    identical = all(
+        answers(report) == baseline
+        for report in legacy_batches + warm_batches
+    )
+    sweep = determinism_sweep(factory, queries, baseline)
+
+    legacy_init = [b.stats.worker_init_s for b in legacy_batches]
+    warm_init = [b.stats.worker_init_s for b in warm_batches]
+    legacy_warmup = sum(legacy_init) / N_BATCHES
+    warm_warmup = sum(warm_init) / N_BATCHES
+    payload = {
+        "graph": {"n_nodes": graph.num_nodes, "n_edges": graph.num_edges},
+        "workload": {
+            "n_queries": len(queries),
+            "n_batches": N_BATCHES,
+            "workers": WORKERS,
+            "walk_length": WALK_LENGTH,
+            "num_walks": NUM_WALKS,
+        },
+        "legacy": {
+            "seconds": legacy_seconds,
+            "per_batch_warmup_s": legacy_warmup,
+            "worker_init_s": legacy_init,
+            "ship_bytes": [b.stats.ship_bytes for b in legacy_batches],
+        },
+        "warm": {
+            "seconds": warm_seconds,
+            "per_batch_warmup_s": warm_warmup,
+            "worker_init_s": warm_init,
+            "ship_bytes": [b.stats.ship_bytes for b in warm_batches],
+        },
+        "warmup_speedup": (
+            legacy_warmup / warm_warmup if warm_warmup
+            else float("inf")
+        ),
+        "throughput_speedup": (
+            legacy_seconds / warm_seconds if warm_seconds
+            else float("inf")
+        ),
+        "answers_identical": identical,
+        "determinism_sweep": sweep,
+        "leaked_segments": shm_entries(),
+    }
+    path = RESULTS_DIR / "BENCH_shm.json"
+    write_payload(path, payload)
+    print(
+        f"\nshm plane: legacy {legacy_seconds:.2f} s vs warm "
+        f"{warm_seconds:.2f} s over {N_BATCHES} batches "
+        f"({payload['throughput_speedup']:.2f}x); per-batch warm-up "
+        f"{legacy_warmup * 1000:.1f} ms -> {warm_warmup * 1000:.1f} ms "
+        f"({payload['warmup_speedup']:.1f}x); answers identical: "
+        f"{identical} -> {path}\n"
+    )
+    return payload
+
+
+def test_warmup_at_least_5x(report):
+    if BENCH_SCALE < 1.0:
+        pytest.skip("warm-up threshold asserted at full scale only")
+    assert report["warmup_speedup"] >= 5.0, report
+
+
+def test_throughput_at_least_1_5x(report):
+    if BENCH_SCALE < 1.0:
+        pytest.skip("throughput threshold asserted at full scale only")
+    assert report["throughput_speedup"] >= 1.5, report
+
+
+def test_answers_byte_identical(report):
+    assert report["answers_identical"], report
+    assert all(combo["identical"] for combo in report["determinism_sweep"])
+
+
+def test_warm_batches_ship_nothing(report):
+    # batch 1 pays the plane export; batches 2..N ride warm workers
+    assert report["warm"]["ship_bytes"][0] > 0
+    assert all(b == 0 for b in report["warm"]["ship_bytes"][1:])
+    assert all(s == 0.0 for s in report["warm"]["worker_init_s"][1:])
+
+
+def test_no_leaked_segments(report):
+    assert report["leaked_segments"] == []
+
+
+def test_warm_batch_latency(benchmark, report):
+    graph = gplus_like(n_nodes=round(scaled(2_000)), seed=19)
+    factory = partial(
+        make_engine, "arrival", graph,
+        walk_length=WALK_LENGTH, num_walks=NUM_WALKS,
+    )
+    queries = WorkloadGenerator(graph, seed=23).generate(n_queries(40))
+    executor = BatchExecutor(
+        factory=factory, seed=SEED, backend="process",
+        workers=WORKERS, shm="on", chunk_size="auto", keep_pool=True,
+    )
+    try:
+        executor.run(queries)  # prime: export, spawn, warm engines
+        benchmark(executor.run, queries)
+    finally:
+        executor.close()

@@ -162,6 +162,25 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--workers", type=int, default=4,
                           help="worker count for parallel backends")
     evaluate.add_argument(
+        "--shm", choices=("auto", "on", "off"), default="auto",
+        help="ship the graph to process workers through a zero-copy "
+        "shared-memory plane instead of pickling it ('auto' uses shm "
+        "when the engine factory carries a graph argument; ignored by "
+        "serial/thread backends)",
+    )
+    evaluate.add_argument(
+        "--chunk-size", default="auto", metavar="N",
+        help="queries per process-pool future: 'auto' sizes chunks "
+        "from the workload, an integer fixes it, 1 restores per-query "
+        "dispatch (answers are identical either way)",
+    )
+    evaluate.add_argument(
+        "--keep-pool", action="store_true",
+        help="keep the process worker pool (and its warm per-worker "
+        "engines) alive across batches instead of tearing it down "
+        "after each run",
+    )
+    evaluate.add_argument(
         "--plan-cache", choices=("on", "off"), default="on",
         help="reuse compiled query plans across the workload (warm "
         "serving); 'off' replans every query from scratch",
@@ -371,7 +390,7 @@ def _cmd_evaluate(args) -> int:
     )
     from repro.experiments.harness import (
         Oracle,
-        evaluate_workload,
+        evaluate_workload_report,
         ground_truths,
         workload_metrics,
     )
@@ -394,8 +413,13 @@ def _cmd_evaluate(args) -> int:
     truths = ground_truths(oracle, queries)
     # picklable factories: the registry + partial shape every backend of
     # the batch executor accepts, including process pools
+    chunk_size = (
+        int(args.chunk_size) if args.chunk_size.isdigit()
+        else args.chunk_size
+    )
     executor_kwargs = dict(
-        backend=args.backend, workers=args.workers, seed=args.seed
+        backend=args.backend, workers=args.workers, seed=args.seed,
+        shm=args.shm, chunk_size=chunk_size, keep_pool=args.keep_pool,
     )
     # one shared artifact cache: repeated templates plan once, and the
     # baseline reuses the same compiled automata (max_plans=0 switches
@@ -414,7 +438,7 @@ def _cmd_evaluate(args) -> int:
         seed=args.seed,
         plan_cache=plan_cache,
     )
-    records = evaluate_workload(
+    records, report = evaluate_workload_report(
         None, queries, truths, factory=factory, **executor_kwargs
     )
     baseline_records = None
@@ -424,7 +448,7 @@ def _cmd_evaluate(args) -> int:
             max_expansions=200_000, time_budget=5.0,
             plan_cache=plan_cache,
         )
-        baseline_records = evaluate_workload(
+        baseline_records, _ = evaluate_workload_report(
             None, queries, truths, factory=baseline_factory,
             **executor_kwargs,
         )
@@ -439,6 +463,11 @@ def _cmd_evaluate(args) -> int:
     print(f"mean time: {metrics.mean_time * 1000:.3f} ms")
     if metrics.speedup is not None:
         print(f"mean speedup vs BBFS: {metrics.speedup:.1f}x")
+    if args.backend == "process":
+        batch = report.stats
+        print(f"worker init: {batch.worker_init_s * 1000:.1f} ms, "
+              f"shipped: {batch.ship_bytes} bytes "
+              f"(shm {args.shm}, chunk {args.chunk_size})")
     if args.plan_cache == "on" and args.backend != "process":
         # process workers hold their own cache copies; the parent's
         # counters would read zero there

@@ -28,6 +28,13 @@ from repro.core.plan import (
     plan_query,
 )
 from repro.core.router import AutoEngine
+from repro.core.shm import (
+    GraphPlane,
+    GraphPlaneManifest,
+    SharedGraph,
+    WorkerBundle,
+    attach_bundle,
+)
 from repro.core.unlabeled import UnlabeledWalkReachability
 from repro.core.parameters import (
     recommended_num_walks,
@@ -51,10 +58,15 @@ __all__ = [
     "EngineCapabilities",
     "ErrorResult",
     "ExecStats",
+    "GraphPlane",
+    "GraphPlaneManifest",
     "Plan",
     "PlanArtifact",
     "PlanCache",
+    "SharedGraph",
     "TimeoutResult",
+    "WorkerBundle",
+    "attach_bundle",
     "compile_query",
     "fingerprint_regex",
     "plan_query",

@@ -46,7 +46,7 @@ from typing import (
 from repro import obs
 from repro.core.engine import EngineBase
 from repro.core.fastpath import GraphView, LabelSetInterner, build_graph_view
-from repro.core.plan import Plan, PlanCache
+from repro.core.plan import Plan, PlanCache, fingerprint_regex
 from repro.core.parameters import (
     StationaryOverlapEstimator,
     estimate_walk_length_cached,
@@ -65,6 +65,7 @@ from repro.graph.labeled_graph import LabeledGraph
 from repro.queries.query import RSPQuery
 from repro.regex.compiler import CompiledRegex, RegexLike
 from repro.regex.interner import EMPTY_STATE_ID, InternedStepTable
+from repro.regex.nfa import NFA
 from repro.regex.matcher import (
     COMPATIBLE,
     BackwardTracker,
@@ -268,6 +269,13 @@ class Arrival(EngineBase):
         self._label_interner = LabelSetInterner()
         self._graph_view: Optional[GraphView] = None
         self._fast_tables: Dict[Tuple[int, bool], InternedStepTable] = {}
+        # the regex behind each fast-table key (the key uses id(); the
+        # strong reference both prevents id reuse and lets the shm
+        # export recover a fingerprint per table)
+        self._fast_compiled: Dict[int, CompiledRegex] = {}
+        # (fingerprint, forward) -> raw warm-table state adopted from a
+        # shared-memory plane; consumed lazily by _fast_table
+        self._warm_table_state: Dict[Tuple[str, bool], Dict[str, Any]] = {}
         # wavefront samplers cached per (direction, slot count): the
         # per-slot child-stream spawn is measurable per-query work.  The
         # generator that spawned each sampler is remembered so reseed()
@@ -828,10 +836,39 @@ class Arrival(EngineBase):
         table = self._fast_tables.get(key)
         if table is None:
             nfa = compiled.nfa if forward else compiled.reversed_nfa
-            table = InternedStepTable(nfa, self._label_interner.sets)
+            table = self._adopt_warm_table(compiled, forward, nfa)
+            if table is None:
+                table = InternedStepTable(nfa, self._label_interner.sets)
             self._fast_tables[key] = table
+            self._fast_compiled[id(compiled)] = compiled
         table.project()
         return table
+
+    def _adopt_warm_table(
+        self, compiled: CompiledRegex, forward: bool, nfa: NFA
+    ) -> Optional[InternedStepTable]:
+        """A warm table shipped via shared memory, if one matches.
+
+        Matching is by regex fingerprint (canonical source + negation
+        mode), which also guarantees both sides compiled identical NFAs
+        — the precondition of :meth:`InternedStepTable.adopt_state`.
+        """
+        if not self._warm_table_state:
+            return None
+        fingerprint = fingerprint_regex(compiled)
+        if fingerprint is None:
+            return None
+        state = self._warm_table_state.pop((fingerprint, forward), None)
+        if state is None:
+            return None
+        return InternedStepTable.adopt_state(
+            nfa,
+            self._label_interner.sets,
+            state_sets=state["state_sets"],
+            key_ids=state["key_ids"],
+            sym_ids=state["sym_ids"],
+            dense=state["dense"],
+        )
 
     def _step_cache(
         self, compiled: CompiledRegex, forward: bool
@@ -862,6 +899,61 @@ class Arrival(EngineBase):
         _ = self.num_walks
         if self.fast_path:
             self._current_view()
+
+    # ------------------------------------------------------------------
+    # shared-memory plane (repro.core.shm)
+    # ------------------------------------------------------------------
+    def adopt_shared_plane(
+        self,
+        view: Any,
+        interner: Any,
+        warm_tables: Optional[Dict[Tuple[str, bool], Dict[str, Any]]] = None,
+    ) -> None:
+        """Reuse an attached plane's view/interner/warm tables.
+
+        Called by the process backend right after a worker builds its
+        engine over a :class:`~repro.core.shm.SharedGraph`.  The view
+        must match the graph's version (always true for a frozen
+        shared graph); a mismatched view is ignored and the engine
+        falls back to building its own.
+        """
+        if not isinstance(view, GraphView) or not isinstance(
+            interner, LabelSetInterner
+        ):
+            return
+        if view.version != self.graph.version:
+            return
+        self._label_interner = interner
+        self._graph_view = view
+        if warm_tables:
+            self._warm_table_state.update(warm_tables)
+
+    def shared_plane_state(
+        self,
+    ) -> Tuple[
+        GraphView,
+        LabelSetInterner,
+        List[Tuple[str, bool, Dict[str, Any]]],
+    ]:
+        """This engine's exportable plane state (shm donor side).
+
+        Returns the current view, the label interner and one
+        ``(fingerprint, forward, raw state)`` triple per fingerprintable
+        warm transition table (tables whose regex cannot be
+        fingerprinted — query-time predicates — are skipped; workers
+        rebuild those cheaply on demand).
+        """
+        view = self._current_view()
+        tables: List[Tuple[str, bool, Dict[str, Any]]] = []
+        for (cid, forward), table in self._fast_tables.items():
+            compiled = self._fast_compiled.get(cid)
+            if compiled is None:
+                continue
+            fingerprint = fingerprint_regex(compiled)
+            if fingerprint is None:
+                continue
+            tables.append((fingerprint, forward, table.export_state()))
+        return view, self._label_interner, tables
 
     def query_many(self, queries: Iterable[RSPQuery]) -> List[QueryResult]:
         """Answer a workload of RSPQuery objects in order.

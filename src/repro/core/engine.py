@@ -51,6 +51,7 @@ from typing import (
     Callable,
     Dict,
     List,
+    Mapping,
     Optional,
     Protocol,
     Tuple,
@@ -514,6 +515,21 @@ class EngineBase:
         override this so the executor can trigger that work (via
         no-argument :meth:`prepare`) under a dedicated, deterministic
         setup stream instead of whichever query happens to run first.
+        """
+
+    def adopt_shared_plane(
+        self,
+        view: Any,
+        interner: Any,
+        warm_tables: Optional[Mapping[Any, Any]] = None,
+    ) -> None:
+        """Adopt an attached shared-memory graph plane (default: no-op).
+
+        Process workers built over a :mod:`repro.core.shm` plane call
+        this right after construction.  Engines that keep their own CSR
+        views override it to reuse the attached zero-copy arrays —
+        and, optionally, the shipped warm transition tables — instead
+        of rebuilding per worker; everything else safely ignores it.
         """
 
 

@@ -29,7 +29,7 @@ engine routes every other query down the frozenset path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 import numpy.typing as npt
@@ -60,6 +60,20 @@ class LabelSetInterner:
             self._ids[labels] = lsid
             self.sets.append(labels)
         return lsid
+
+    @classmethod
+    def adopt(cls, sets: Sequence[LabelSet]) -> "LabelSetInterner":
+        """An interner pre-seeded with ``sets`` in id order.
+
+        Shared-memory attachment (:mod:`repro.core.shm`) ships the
+        owner's id -> label-set table; adopting it verbatim keeps every
+        interned id — and therefore every shipped transition-table entry
+        keyed on those ids — valid in the attaching process.
+        """
+        interner = cls()
+        for labels in sets:
+            interner.intern(labels)
+        return interner
 
     def __len__(self) -> int:
         return len(self.sets)
@@ -167,6 +181,36 @@ class GraphView:
             )
             self._in_arrays = built
         return built
+
+
+def view_from_side_arrays(
+    version: int,
+    out: SideArrays,
+    in_: SideArrays,
+    label_sets: List[LabelSet],
+) -> GraphView:
+    """A :class:`GraphView` wrapped around pre-built side arrays.
+
+    The shared-memory attach path (:mod:`repro.core.shm`) already holds
+    both directions as (read-only, zero-copy) ``int32`` arrays; this
+    installs them as the view's array caches and derives the scalar
+    list fields from them — the only copies made, and they are plain
+    Python lists the walk inner loop needs anyway.
+    """
+    view = GraphView(
+        version=version,
+        out_indptr=out.indptr.tolist(),
+        out_indices=out.indices.tolist(),
+        out_edge_ls=out.edge_ls.tolist(),
+        in_indptr=in_.indptr.tolist(),
+        in_indices=in_.indices.tolist(),
+        in_edge_ls=in_.edge_ls.tolist(),
+        node_ls=out.node_ls.tolist(),
+        label_sets=label_sets,
+    )
+    view._out_arrays = out
+    view._in_arrays = in_
+    return view
 
 
 @profiled("fastpath.build_graph_view")

@@ -91,6 +91,7 @@ __all__ = [
     "Plan",
     "PlanArtifact",
     "PlanCache",
+    "adopt_stamp",
     "canonicalize",
     "compile_query",
     "fingerprint_regex",
@@ -220,6 +221,23 @@ def graph_stamp(graph: LabeledGraph) -> GraphStamp:
         token = next(_GRAPH_TOKENS)
         setattr(graph, _TOKEN_ATTR, token)
     return (token, graph.version)
+
+
+def adopt_stamp(graph: LabeledGraph, stamp: GraphStamp) -> None:
+    """Give ``graph`` the identity of an existing stamp.
+
+    Used by the shared-memory attach path (:mod:`repro.core.shm`): a
+    worker's :class:`~repro.core.shm.SharedGraph` *is* the exported
+    snapshot, so it inherits the owner's stamp and warm plan-cache
+    entries keyed on it stay servable.  The local token counter is
+    advanced past the adopted token so graphs stamped later in this
+    process can never collide with it.
+    """
+    global _GRAPH_TOKENS
+    token = stamp[0]
+    setattr(graph, _TOKEN_ATTR, token)
+    floor = next(_GRAPH_TOKENS)
+    _GRAPH_TOKENS = itertools.count(max(floor, token + 1))
 
 
 # ---------------------------------------------------------------------------

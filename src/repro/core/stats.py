@@ -49,6 +49,7 @@ _COUNTER_FIELDS = (
     "csr_rebuilds",
     "oracle_checks",
     "oracle_violations",
+    "ship_bytes",
 )
 
 #: per-stage wall-clock fields (seconds), also folded by summation
@@ -60,6 +61,7 @@ _STAGE_FIELDS = (
     "verify_s",
     "oracle_s",
     "total_s",
+    "worker_init_s",
 )
 
 
@@ -90,6 +92,9 @@ class ExecStats:
     oracle_s: float = 0.0
     #: the whole query() call
     total_s: float = 0.0
+    #: one-time engine construction/prepare cost in batch workers
+    #: (executor-level: set on a batch's ``totals`` record, 0 per query)
+    worker_init_s: float = 0.0
     # -- hot-path counters (PR 1's ``info["hot_path"]``, folded in) ----
     #: plan-cache hits (a prepared artifact was reused)
     plan_hits: int = 0
@@ -115,6 +120,10 @@ class ExecStats:
     oracle_checks: int = 0
     #: oracle checks that found a violated invariant
     oracle_violations: int = 0
+    #: bytes of engine-building state shipped to (or shared with) batch
+    #: workers — pickled initializer payloads, or the shm plane's
+    #: segments (executor-level, like ``worker_init_s``)
+    ship_bytes: int = 0
 
     def add(self, other: "ExecStats") -> None:
         """Fold ``other`` into this record (stage and counter sums)."""
@@ -192,6 +201,14 @@ class BatchStats:
     mean_query_s: Optional[float] = None
     #: engines that contributed (one entry normally; AUTO routes vary)
     engines: Sequence[str] = ()
+    #: one-time worker engine construction/prepare seconds this run
+    #: (summed across workers that initialised during it; warm pools
+    #: report ~0)
+    worker_init_s: float = 0.0
+    #: bytes of engine-building state shipped to / shared with workers
+    #: this run (charged to the run that created the pool; warm reuse
+    #: reports 0)
+    ship_bytes: int = 0
 
     @classmethod
     def aggregate(

@@ -11,6 +11,7 @@ from repro.experiments.charts import bar_chart, chart_experiment, sparkline
 from repro.experiments.harness import (
     Oracle,
     evaluate_workload,
+    evaluate_workload_report,
     workload_metrics,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "sparkline",
     "Oracle",
     "evaluate_workload",
+    "evaluate_workload_report",
     "workload_metrics",
 ]

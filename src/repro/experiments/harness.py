@@ -109,6 +109,34 @@ def time_query(engine, query: RSPQuery):
     return result, time.perf_counter() - start
 
 
+def evaluate_workload_report(
+    engine,
+    queries: Sequence[RSPQuery],
+    truths: Sequence[Optional[bool]],
+    **executor_kwargs,
+):
+    """Run a workload, returning ``(records, BatchReport)``.
+
+    Like :func:`evaluate_workload` but also hands back the executor's
+    :class:`~repro.core.executor.BatchReport`, whose ``stats`` carry the
+    batch-level fields per-record views cannot (``worker_init_s``,
+    ``ship_bytes``, throughput).  The executor is closed before
+    returning, so a ``keep_pool=True`` pool does not outlive the call.
+    """
+    executor = BatchExecutor(engine, **executor_kwargs)
+    try:
+        report = executor.run(queries)
+    finally:
+        executor.close()
+    records = []
+    for query, truth, result in zip(queries, truths, report.results):
+        elapsed = (
+            result.stats.total_s if result.stats is not None else 0.0
+        )
+        records.append(EvalRecord(query, truth, result, elapsed))
+    return records, report
+
+
 def evaluate_workload(
     engine,
     queries: Sequence[RSPQuery],
@@ -123,13 +151,9 @@ def evaluate_workload(
     ``factory=...`` with ``engine=None``, ``timeout_s=...``), which is
     how the Fig. 4-9 drivers pick up parallelism.
     """
-    report = BatchExecutor(engine, **executor_kwargs).run(queries)
-    records = []
-    for query, truth, result in zip(queries, truths, report.results):
-        elapsed = (
-            result.stats.total_s if result.stats is not None else 0.0
-        )
-        records.append(EvalRecord(query, truth, result, elapsed))
+    records, _ = evaluate_workload_report(
+        engine, queries, truths, **executor_kwargs
+    )
     return records
 
 

@@ -82,6 +82,11 @@ class LabeledGraph:
         ``(v, u)`` denote the same edge (labels/attrs are shared).
     """
 
+    #: frozen graphs (e.g. shared-memory attachments, see
+    #: :mod:`repro.core.shm`) reject every mutator: their storage is a
+    #: snapshot shared read-only across processes
+    _frozen = False
+
     def __init__(self, directed: bool = True) -> None:
         self.directed = directed
         #: which elements of a path contribute symbols to its label
@@ -112,8 +117,16 @@ class LabeledGraph:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise GraphError(
+                "graph is frozen: shared-memory attachments are read-only "
+                "snapshots (mutate the original and re-export, or copy())"
+            )
+
     def add_node(self, labels: Any = None, attrs: Optional[Dict[str, Any]] = None) -> int:
         """Add a node and return its id."""
+        self._check_mutable()
         node = len(self._out)
         self._out.append([])
         self._in.append([])
@@ -143,6 +156,7 @@ class LabeledGraph:
         Parallel edges are not supported: re-adding an existing edge
         replaces its labels/attributes instead.
         """
+        self._check_mutable()
         self._check_node(u)
         self._check_node(v)
         if u == v:
@@ -164,6 +178,7 @@ class LabeledGraph:
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove edge ``u -> v``; raises GraphError if absent."""
+        self._check_mutable()
         key = self._edge_key(u, v)
         if key not in self._edge_labels:
             raise GraphError(f"edge ({u}, {v}) does not exist")
@@ -183,6 +198,7 @@ class LabeledGraph:
         The id is retired, not recycled, so existing references stay
         meaningful in temporal replays.
         """
+        self._check_mutable()
         self._check_node(node)
         for v in list(self._out[node]):
             self.remove_edge(node, v)
@@ -195,18 +211,21 @@ class LabeledGraph:
 
     def set_node_labels(self, node: int, labels: Any) -> None:
         """Replace a node's label set (an "information change")."""
+        self._check_mutable()
         self._check_node(node)
         self._node_labels[node] = as_label_set(labels)
         self._version += 1
 
     def set_node_attrs(self, node: int, attrs: Optional[Dict[str, Any]]) -> None:
         """Replace a node's attribute dict."""
+        self._check_mutable()
         self._check_node(node)
         self._node_attrs[node] = dict(attrs) if attrs else None
         self._version += 1
 
     def set_edge_labels(self, u: int, v: int, labels: Any) -> None:
         """Replace an edge's label set."""
+        self._check_mutable()
         key = self._edge_key(u, v)
         if key not in self._edge_labels:
             raise GraphError(f"edge ({u}, {v}) does not exist")

@@ -17,6 +17,8 @@ EXC       EXC001 bare except, EXC002 ad-hoc builtin raise, EXC003
           engine _execute paths outside the exception taxonomy
           (whole-program, call graph)
 SNAP      SNAP001 CSR snapshot mutation outside labeled_graph
+SHM       SHM001 write through an attached shared-memory plane /
+          SharedMemory use outside repro.core.shm
 MUT       MUT001 alias-reachable snapshot/graph mutation (dataflow)
 TIM       TIM001 wall-clock read outside timing code
 OBS       OBS001 tracing span opened outside a with block / manual
@@ -48,6 +50,7 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     public_api,
     rng_discipline,
     rng_escape,
+    shm,
     snapshots,
     verify,
     wallclock,
@@ -66,6 +69,7 @@ __all__ = [
     "public_api",
     "rng_discipline",
     "rng_escape",
+    "shm",
     "snapshots",
     "verify",
     "wallclock",

@@ -1,0 +1,206 @@
+"""Shared-memory plane immutability rule.
+
+:mod:`repro.core.shm` maps the graph's CSR buffers into
+``multiprocessing.shared_memory`` segments that every process worker
+attaches zero-copy.  A write through an attached view would corrupt the
+plane for the owner and every sibling worker at once, silently and
+without any version bump — which is why attach sites hand out
+``writeable=False`` views.  This rule keeps it that way statically:
+
+* only :mod:`repro.core.shm` (the exporter, which must fill segments
+  once at create time) may instantiate ``SharedMemory`` or build numpy
+  views over a segment ``buf``;
+* nothing in scope may re-enable writes on an array with
+  ``.setflags(write=True)`` — the one call that defeats the read-only
+  views the attach path returns;
+* names bound from ``attach_bundle(...)`` / ``attach_*`` calls are
+  tracked like SNAP001 snapshots: item/attribute stores and ``.fill``
+  through them are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.framework import FileContext, Rule, Violation, register
+
+__all__ = ["SharedMemoryWriteRule"]
+
+#: the exporter module — the one place segments are created and filled
+_PLANE_MODULE = "repro.core.shm"
+
+#: packages whose code runs against attached planes
+_SCOPE = ("repro.core", "repro.baselines")
+
+#: call names whose return value wraps attached (read-only) segments
+_ATTACH_SOURCES = frozenset(
+    {"attach_bundle", "attach_plane", "attach_segment"}
+)
+
+#: mutating methods on a numpy array
+_MUTATORS = frozenset({"fill", "sort", "put", "partition", "resize"})
+
+
+class _ShmVisitor(ast.NodeVisitor):
+    def __init__(
+        self, ctx: FileContext, rule_id: str, in_plane_module: bool
+    ) -> None:
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self.in_plane_module = in_plane_module
+        self.violations: List[Violation] = []
+        self.tracked: List[Set[str]] = [set()]
+
+    # -- scope handling ------------------------------------------------
+    def _visit_function(self, node: ast.AST) -> None:
+        self.tracked.append(set())
+        self.generic_visit(node)
+        self.tracked.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- binding tracking ----------------------------------------------
+    @staticmethod
+    def _call_name(value: ast.AST) -> str:
+        if not isinstance(value, ast.Call):
+            return ""
+        func = value.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""
+
+    def _is_attach_source(self, value: ast.AST) -> bool:
+        name = self._call_name(value)
+        return name in _ATTACH_SOURCES
+
+    @staticmethod
+    def _is_buffer_view(value: ast.AST) -> bool:
+        # np.ndarray(..., buffer=segment.buf) — a raw view over shm
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        is_ndarray = (
+            isinstance(func, ast.Attribute) and func.attr == "ndarray"
+        ) or (isinstance(func, ast.Name) and func.id == "ndarray")
+        if not is_ndarray:
+            return False
+        return any(kw.arg == "buffer" for kw in value.keywords)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if self._is_attach_source(node.value) or self._is_buffer_view(
+                    node.value
+                ):
+                    self.tracked[-1].add(target.id)
+                else:
+                    self.tracked[-1].discard(target.id)
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target)
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # array.setflags(write=True) anywhere in scope re-arms
+            # writes on a view the attach path returned read-only
+            if func.attr == "setflags":
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "write"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        self._flag(
+                            node,
+                            "setflags(write=True) on an array view",
+                        )
+            elif (
+                not self.in_plane_module
+                and func.attr in _MUTATORS
+                and self._reaches_tracked(func.value)
+            ):
+                self._flag(
+                    node,
+                    f".{func.attr}() through an attached plane",
+                )
+            # SharedMemory(...) outside the exporter module
+            if (
+                func.attr == "SharedMemory"
+                and not self.in_plane_module
+            ):
+                self._flag(node, "direct SharedMemory use")
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "SharedMemory"
+            and not self.in_plane_module
+        ):
+            self._flag(node, "direct SharedMemory use")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def _reaches_tracked(self, node: ast.AST) -> bool:
+        # plane / plane.arrays / plane.arrays["role"] / bundle.view ...
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return isinstance(node, ast.Name) and any(
+            node.id in scope for scope in self.tracked
+        )
+
+    def _check_store(self, target: ast.AST) -> None:
+        if self.in_plane_module:
+            # the exporter fills segments once at create time; its
+            # buffer-view writes are the sanctioned exception
+            return
+        if isinstance(target, ast.Subscript) and self._reaches_tracked(
+            target.value
+        ):
+            self._flag(target, "an item store through an attached plane")
+        elif isinstance(target, ast.Attribute) and self._reaches_tracked(
+            target.value
+        ):
+            self._flag(
+                target, "an attribute store through an attached plane"
+            )
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.violations.append(
+            self.ctx.violation(
+                node,
+                self.rule_id,
+                f"{what}: shared-memory segments are read-only once "
+                "attached — only repro.core.shm may create/fill them, "
+                "and attach sites must keep writeable=False",
+            )
+        )
+
+
+@register
+class SharedMemoryWriteRule(Rule):
+    """Attached shared-memory planes are read-only outside the exporter."""
+
+    rule_id = "SHM001"
+    description = (
+        "write through an attached shared-memory plane, "
+        "setflags(write=True), or SharedMemory use outside "
+        "repro.core.shm (attached segments are read-only)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_module(*_SCOPE):
+            return
+        in_plane = ctx.in_module(_PLANE_MODULE)
+        visitor = _ShmVisitor(ctx, self.rule_id, in_plane)
+        visitor.visit(ctx.tree)
+        yield from visitor.violations

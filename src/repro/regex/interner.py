@@ -28,7 +28,7 @@ the frozenset trackers otherwise.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import numpy.typing as npt
@@ -204,6 +204,61 @@ class InternedStepTable:
         nsid = self.interner.intern(states)
         self.table[key] = nsid
         return nsid
+
+    # -- shared-memory warm state (see repro.core.shm) -----------------
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot the memoised transitions for cross-process shipping.
+
+        Returns the interned state sets (in id order), the symbol-key
+        map, and the ``sym_ids`` / dense-transition arrays — the two
+        arrays go into shared-memory segments, the rest rides in the
+        manifest blob.  The dense mirror is synchronised with the
+        scalar ``table`` first, so transitions learned on either path
+        are shipped.
+        """
+        self.project()
+        dense = self._ensure_dense()
+        sym_ids = self.sym_ids
+        for (sid, skid), nsid in self.table.items():
+            dense[sid, skid] = nsid
+        return {
+            "state_sets": list(self.interner._sets),
+            "key_ids": dict(self._key_ids),
+            "sym_ids": np.asarray(sym_ids, dtype=np.int32),
+            "dense": dense,
+        }
+
+    @classmethod
+    def adopt_state(
+        cls,
+        nfa: NFA,
+        label_sets: Sequence[LabelSet],
+        state_sets: Sequence[StateSet],
+        key_ids: Dict[Tuple[LabelSet, bool], int],
+        sym_ids: npt.NDArray[np.int32],
+        dense: npt.NDArray[np.int32],
+    ) -> "InternedStepTable":
+        """Rebuild a warm table from :meth:`export_state` output.
+
+        Sound only when ``nfa`` numbers its states exactly like the
+        exporting automaton — guaranteed here because both sides
+        compile the same canonical regex source with the deterministic
+        Thompson construction — and when ``label_sets`` is the adopted
+        (id-stable) interner table.  The dense mirror is copied into a
+        private writable array: shared-memory views are read-only, and
+        the mirror keeps learning transitions after adoption.
+        """
+        table = cls(nfa, label_sets)
+        for states in state_sets:
+            table.interner.intern(states)
+        table._key_ids = dict(key_ids)
+        table.sym_ids = [int(skid) for skid in sym_ids.tolist()]
+        mirror = np.array(dense, dtype=np.int32)
+        table._dense = mirror
+        rows, cols = np.nonzero(mirror >= 0)
+        for sid, skid in zip(rows.tolist(), cols.tolist()):
+            table.table[(sid, skid)] = int(mirror[sid, skid])
+        return table
 
     # -- bulk (wavefront) interface ------------------------------------
     def key_state_matrix(self) -> npt.NDArray[np.int64]:

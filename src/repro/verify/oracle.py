@@ -248,6 +248,7 @@ class DifferentialOracle:
         workers: int = 4,
         timeout_s: Optional[float] = None,
         engine_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+        executor_kwargs: Optional[Dict[str, Any]] = None,
     ) -> None:
         if not engines:
             raise ValueError("the differential oracle needs >= 1 engine")
@@ -261,6 +262,10 @@ class DifferentialOracle:
         self.workers = workers
         self.timeout_s = timeout_s
         self.engine_kwargs = dict(engine_kwargs or {})
+        #: extra BatchExecutor options for the sweep (``shm=...``,
+        #: ``chunk_size=...``) — answers are dispatch-independent, so
+        #: these change performance, never adjudications
+        self.executor_kwargs = dict(executor_kwargs or {})
         self.capabilities: Dict[str, EngineCapabilities] = {
             name: _class_capabilities(engine_class(name))
             for name in self.engines
@@ -292,8 +297,12 @@ class DifferentialOracle:
                     seed=self.seed,
                     timeout_s=self.timeout_s,
                     fail_fast=False,
+                    **self.executor_kwargs,
                 )
-                per_engine[name] = executor.run(queries).results
+                try:
+                    per_engine[name] = executor.run(queries).results
+                finally:
+                    executor.close()
             report = OracleReport(
                 dataset=self.dataset, seed=self.seed, engines=self.engines
             )

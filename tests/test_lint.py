@@ -53,6 +53,7 @@ ALL_RULE_IDS = {
     "RNG004",
     "RNG005",
     "RNG006",
+    "SHM001",
     "SNAP001",
     "TIM001",
     "VER001",
@@ -608,6 +609,98 @@ class TestSnapshotRule:
             tmp_path,
             {"repro/graph/labeled_graph.py": source},
             select=["SNAP001"],
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# SHM001 — shared-memory plane immutability
+# ---------------------------------------------------------------------------
+class TestSharedMemoryRule:
+    def test_item_write_through_attached_bundle(self, tmp_path):
+        source = (
+            "def corrupt(manifest):\n"
+            "    bundle = attach_bundle(manifest)\n"
+            "    bundle.arrays['out_indptr'][0] = 7\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["SHM001"]
+        )
+        assert rule_ids(found) == {"SHM001"}
+
+    def test_setflags_write_true(self, tmp_path):
+        source = (
+            "def rearm(view):\n"
+            "    view.setflags(write=True)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["SHM001"]
+        )
+        assert rule_ids(found) == {"SHM001"}
+
+    def test_buffer_view_fill(self, tmp_path):
+        source = (
+            "import numpy as np\n"
+            "def scribble(segment, shape, dtype):\n"
+            "    view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)\n"
+            "    view.fill(0)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["SHM001"]
+        )
+        assert rule_ids(found) == {"SHM001"}
+
+    def test_shared_memory_outside_exporter(self, tmp_path):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def grab(name):\n"
+            "    return shared_memory.SharedMemory(name=name, create=False)\n"
+        )
+        found = run_lint(
+            tmp_path,
+            {"repro/baselines/thing.py": source},
+            select=["SHM001"],
+        )
+        assert rule_ids(found) == {"SHM001"}
+
+    def test_read_only_use_passes(self, tmp_path):
+        source = (
+            "def degree(manifest, node):\n"
+            "    bundle = attach_bundle(manifest)\n"
+            "    indptr = bundle.arrays['out_indptr']\n"
+            "    return indptr[node + 1] - indptr[node]\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/thing.py": source}, select=["SHM001"]
+        )
+        assert found == []
+
+    def test_exporter_module_exempt(self, tmp_path):
+        source = (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n"
+            "def export(array, name):\n"
+            "    seg = shared_memory.SharedMemory(\n"
+            "        name=name, create=True, size=array.nbytes\n"
+            "    )\n"
+            "    view = np.ndarray(\n"
+            "        array.shape, dtype=array.dtype, buffer=seg.buf\n"
+            "    )\n"
+            "    view[...] = array\n"
+            "    return seg\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/core/shm.py": source}, select=["SHM001"]
+        )
+        assert found == []
+
+    def test_outside_scope_ignored(self, tmp_path):
+        source = (
+            "def rearm(view):\n"
+            "    view.setflags(write=True)\n"
+        )
+        found = run_lint(
+            tmp_path, {"repro/obs/thing.py": source}, select=["SHM001"]
         )
         assert found == []
 

@@ -695,6 +695,7 @@ class TestExecStatsBridge:
             "verify_s": float,
             "oracle_s": float,
             "total_s": float,
+            "worker_init_s": float,
             "plan_hits": int,
             "plan_misses": int,
             "plan_evictions": int,
@@ -707,6 +708,7 @@ class TestExecStatsBridge:
             "csr_rebuilds": int,
             "oracle_checks": int,
             "oracle_violations": int,
+            "ship_bytes": int,
         }
         fields = {f.name: f.type for f in dataclasses.fields(ExecStats)}
         assert list(fields) == list(expected)
@@ -784,11 +786,23 @@ class TestInstrumentationIntegration:
             == reports["thread"].answers()
             == reports["process"].answers()
         )
-        # ... and so is every merged counter, exactly
+
+        # ... and so is every merged engine-level counter, exactly.
+        # Transport-plane counters (shm plane exports/attaches, chunk
+        # dispatch) describe *how* queries were shipped, which is
+        # backend-specific by definition — everything else must match.
+        def engine_counters(snapshot):
+            return {
+                name: value
+                for name, value in snapshot.counters.items()
+                if not name.startswith("shm.")
+                and name != "batch.chunks"
+            }
+
         assert (
-            snapshots["serial"].counters
-            == snapshots["thread"].counters
-            == snapshots["process"].counters
+            engine_counters(snapshots["serial"])
+            == engine_counters(snapshots["thread"])
+            == engine_counters(snapshots["process"])
         )
 
     def test_histograms_fold_exactly_across_process_merge(
